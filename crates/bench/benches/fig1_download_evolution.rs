@@ -1,0 +1,18 @@
+//! Criterion bench for the Fig. 1 pipeline (scaled down).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("fig1a_small", |b| {
+        b.iter(|| std::hint::black_box(bt_bench::fig1::fig1a(5, 1)))
+    });
+    group.bench_function("fig1b_small", |b| {
+        b.iter(|| std::hint::black_box(bt_bench::fig1::fig1b(3, 20, 2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

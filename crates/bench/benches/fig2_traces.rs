@@ -1,0 +1,25 @@
+//! Criterion bench for the Fig. 2 trace pipeline (scaled down).
+
+use bt_traces::analyzer::segment;
+use bt_traces::generator::{generate, TraceScenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("generate_smooth", |b| {
+        b.iter(|| std::hint::black_box(generate(TraceScenario::Smooth, 2, 1).unwrap()))
+    });
+    let traces = generate(TraceScenario::Smooth, 2, 1).unwrap();
+    group.bench_function("segment", |b| {
+        b.iter(|| {
+            for t in &traces {
+                std::hint::black_box(segment(t));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for the Fig. 4(a) efficiency computations.
+
+use bt_model::efficiency::{monte_carlo_efficiency, EfficiencyModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig4a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a");
+    group.bench_function("model_solve_k4", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                EfficiencyModel::new(4, 0.875)
+                    .unwrap()
+                    .solve()
+                    .unwrap()
+                    .efficiency,
+            )
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("monte_carlo_k4", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            std::hint::black_box(monte_carlo_efficiency(4, 0.875, 200, 100, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4a);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for the Fig. 4(b)/(c) stability runs (scaled down).
+
+use bt_swarm::Swarm;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig4bc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4bc");
+    group.sample_size(10);
+    for pieces in [3u32, 10] {
+        group.bench_function(format!("stability_b{pieces}_short"), |b| {
+            b.iter(|| {
+                let mut config = bt_swarm::scenario::stability(pieces, 1).unwrap();
+                config.max_rounds = 30;
+                config.initial_leechers = 80;
+                config.arrival_rate = 5.0;
+                std::hint::black_box(Swarm::new(config).run().final_entropy())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4bc);
+criterion_main!(benches);

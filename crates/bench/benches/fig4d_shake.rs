@@ -1,0 +1,21 @@
+//! Criterion bench for the Fig. 4(d) shake experiment (scaled down).
+
+use bt_swarm::Swarm;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig4d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4d");
+    group.sample_size(10);
+    for shake in [false, true] {
+        group.bench_function(format!("shake_{shake}_short"), |b| {
+            b.iter(|| {
+                let config = bt_swarm::scenario::shake_study(shake, 5, 1).unwrap();
+                std::hint::black_box(Swarm::new(config).run().departures)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4d);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Ablation: bootstrap and last-phase sojourns against the 1/alpha and
+//! 1/gamma laws.
+
+fn main() {
+    println!("alpha\tmeasured_bootstrap_steps\texpected");
+    for row in bt_bench::ablations::alpha_sojourns(&[0.1, 0.2, 0.3, 0.5, 0.8], 2_000, 1) {
+        println!(
+            "{}\t{}\t{}",
+            row.value,
+            bt_bench::cell(row.measured),
+            bt_bench::cell(row.expected)
+        );
+    }
+    println!();
+    println!("gamma\tmeasured_last_phase_steps_per_piece\texpected");
+    for row in bt_bench::ablations::gamma_sojourns(&[0.1, 0.2, 0.3, 0.5, 0.8], 2_000, 1) {
+        println!(
+            "{}\t{}\t{}",
+            row.value,
+            bt_bench::cell(row.measured),
+            bt_bench::cell(row.expected)
+        );
+    }
+}

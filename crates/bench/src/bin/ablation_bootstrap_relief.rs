@@ -1,0 +1,13 @@
+//! Ablation: §4.3 tracker bootstrap-relief bias.
+
+fn main() {
+    println!("relief\tmean_bootstrap_rounds\tcompletions");
+    for row in bt_bench::ablations::bootstrap_relief(8) {
+        println!(
+            "{}\t{}\t{}",
+            row.relief,
+            bt_bench::cell(row.mean_bootstrap_rounds),
+            row.completions
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Ablations of the extension features: block granularity and
+//! heterogeneous bandwidth.
+
+fn main() {
+    println!("== block granularity (§2.1 blocks per piece) ==");
+    println!("blocks\tmean_rounds\tnormalized");
+    for row in bt_bench::ablations::block_granularity(&[1, 2, 4, 8, 16], 3) {
+        println!(
+            "{}\t{}\t{}",
+            row.blocks,
+            bt_bench::cell(row.mean_rounds),
+            bt_bench::cell(row.normalized_rounds)
+        );
+    }
+    println!();
+    println!("== heterogeneous bandwidth (strict tit-for-tat) ==");
+    println!("slow_fraction\tfast_mean_rounds\tslow_mean_rounds");
+    for row in bt_bench::ablations::heterogeneous_bandwidth(&[0.0, 0.2, 0.4, 0.6], 5) {
+        println!(
+            "{}\t{}\t{}",
+            row.slow_fraction,
+            bt_bench::cell(row.fast_mean),
+            bt_bench::cell(row.slow_mean)
+        );
+    }
+}

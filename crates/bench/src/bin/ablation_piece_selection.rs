@@ -1,0 +1,13 @@
+//! Ablation: rarest-first vs random-first piece selection.
+
+fn main() {
+    println!("strategy\tmean_entropy\tmean_download_rounds");
+    for row in bt_bench::ablations::piece_selection(1) {
+        println!(
+            "{:?}\t{}\t{}",
+            row.strategy,
+            bt_bench::cell(row.mean_entropy),
+            bt_bench::cell(row.mean_download_rounds)
+        );
+    }
+}

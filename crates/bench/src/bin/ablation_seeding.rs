@@ -1,0 +1,13 @@
+//! Ablation: origin-seed capacity vs last-phase severity (§7.2).
+
+fn main() {
+    println!("seed_uploads_per_round\ttail_ttd\tcompletions");
+    for row in bt_bench::ablations::seeding(&[0, 1, 2, 4, 8], 9) {
+        println!(
+            "{}\t{}\t{}",
+            row.uploads,
+            bt_bench::cell(row.tail_ttd),
+            row.completions
+        );
+    }
+}

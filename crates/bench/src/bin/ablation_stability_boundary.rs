@@ -1,0 +1,17 @@
+//! Ablation: the §6 stability boundary as a (B, λ) phase diagram.
+
+fn main() {
+    let piece_counts = [2, 3, 5, 8, 12, 20];
+    let rates = [2.0, 5.0, 10.0, 20.0, 40.0];
+    println!("pieces\tlambda\tgrowth\ttail_entropy\tstable");
+    for row in bt_bench::ablations::stability_boundary(&piece_counts, &rates, 250, 5) {
+        println!(
+            "{}\t{}\t{}\t{}\t{}",
+            row.pieces,
+            row.arrival_rate,
+            bt_bench::cell(row.growth),
+            bt_bench::cell(row.tail_entropy),
+            row.stable
+        );
+    }
+}

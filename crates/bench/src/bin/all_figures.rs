@@ -1,0 +1,19 @@
+//! Regenerates every figure of the paper in one run.
+
+fn main() {
+    println!("==== Fig. 1(a): potential-set ratio vs pieces (PSS sweep) ====");
+    bt_bench::fig1::print_fig1a(&bt_bench::fig1::fig1a(120, 1));
+    println!("\n==== Fig. 1(b): download timeline, sim vs model ====");
+    bt_bench::fig1::print_fig1b(&bt_bench::fig1::fig1b(120, 400, 2));
+    println!("\n==== Fig. 2: per-client archetype traces ====");
+    bt_bench::fig2::print_fig2(&bt_bench::fig2::fig2(10, 7));
+    println!("\n==== Fig. 4(a): efficiency vs k, model vs sim ====");
+    bt_bench::fig4a::print_fig4a(&bt_bench::fig4a::fig4a(8, 0.5, 4));
+    let runs = bt_bench::fig4bc::fig4bc(5);
+    println!("\n==== Fig. 4(b): population vs time, B=3 vs B=10 ====");
+    bt_bench::fig4bc::print_fig4b(&runs);
+    println!("\n==== Fig. 4(c): entropy vs time, B=3 vs B=10 ====");
+    bt_bench::fig4bc::print_fig4c(&runs);
+    println!("\n==== Fig. 4(d): last-pieces TTD, normal vs shake ====");
+    bt_bench::fig4d::print_fig4d(&bt_bench::fig4d::fig4d(60, 6));
+}

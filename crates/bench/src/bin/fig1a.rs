@@ -1,0 +1,6 @@
+//! Regenerates Fig. 1(a): potential-set ratio vs pieces downloaded.
+
+fn main() {
+    let series = bt_bench::fig1::fig1a(120, 1);
+    bt_bench::fig1::print_fig1a(&series);
+}

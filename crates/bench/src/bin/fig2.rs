@@ -1,0 +1,6 @@
+//! Regenerates Fig. 2: per-client traces for the three archetypes.
+
+fn main() {
+    let exemplars = bt_bench::fig2::fig2(10, 7);
+    bt_bench::fig2::print_fig2(&exemplars);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 4(d): last-pieces download time, normal vs shake.
+
+fn main() {
+    let cmp = bt_bench::fig4d::fig4d(60, 6);
+    bt_bench::fig4d::print_fig4d(&cmp);
+}

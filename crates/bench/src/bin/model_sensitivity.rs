@@ -1,0 +1,15 @@
+//! Exact design-space sweep of the download model over (s, k).
+
+fn main() {
+    println!("s\tk\texpected_time\tlast_phase_prob\tlast_phase_steps");
+    for row in bt_bench::ablations::model_sensitivity(&[1, 2, 3, 4, 6, 8], &[1, 2, 3, 4]) {
+        println!(
+            "{}\t{}\t{}\t{}\t{}",
+            row.s,
+            row.k,
+            bt_bench::cell(row.expected_time),
+            bt_bench::cell(row.last_phase_prob),
+            bt_bench::cell(row.last_phase_steps)
+        );
+    }
+}

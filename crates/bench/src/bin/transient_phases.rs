@@ -1,0 +1,33 @@
+//! Transient phase occupancy of the download chain over time — the exact
+//! time-dependent view the paper's §6 defers to future work.
+
+use bt_model::exact::transient_phase_occupancy;
+use bt_model::ModelParams;
+
+fn main() {
+    for s in [2u32, 6] {
+        let params = ModelParams::builder()
+            .pieces(10)
+            .max_connections(3)
+            .neighbor_set_size(s)
+            .alpha(0.3)
+            .gamma(0.2)
+            .build()
+            .expect("valid params");
+        let rows = transient_phase_occupancy(&params, 60).expect("analyzable");
+        println!("# s = {s}");
+        println!("step\tbootstrap\tefficient\tlast\tdone");
+        for (t, row) in rows.iter().enumerate() {
+            if t % 2 == 0 {
+                println!(
+                    "{t}\t{}\t{}\t{}\t{}",
+                    bt_bench::cell(row[0]),
+                    bt_bench::cell(row[1]),
+                    bt_bench::cell(row[2]),
+                    bt_bench::cell(row[3])
+                );
+            }
+        }
+        println!();
+    }
+}

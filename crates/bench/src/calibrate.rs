@@ -1,0 +1,188 @@
+//! Calibrating the analytical model from simulator measurements.
+//!
+//! The paper's model takes `φ`, `α`, and `γ` as inputs but does not say
+//! how to obtain them; its validation presumably hand-tuned them. This
+//! module estimates all three from a swarm run's metrics, so the
+//! model-vs-simulation comparison (Fig. 1(b)) uses measured rather than
+//! assumed parameters:
+//!
+//! * `φ(j)` — the time-averaged fraction of peer-rounds spent holding `j`
+//!   pieces, read off the potential-set bucket counts;
+//! * `α` — the per-round escape frequency from bootstrap stalls
+//!   (`pieces ≤ 1`, empty potential set) in the observer logs;
+//! * `γ` — the per-round escape frequency from last-phase stalls
+//!   (`pieces ≥ 2`, empty potential set, no connections).
+
+use bt_markov::dist::Empirical;
+use bt_swarm::SwarmMetrics;
+
+/// Parameters estimated from a swarm run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// Piece-count distribution over `0..=B` (mass only on `1..=B`).
+    pub phi: Empirical,
+    /// Bootstrap-stall escape probability per round.
+    pub alpha: f64,
+    /// Last-phase-stall escape probability per round.
+    pub gamma: f64,
+    /// Stall-escape sample counts `(alpha_opportunities,
+    /// gamma_opportunities)` behind the estimates.
+    pub samples: (u64, u64),
+}
+
+/// Estimates `φ`, `α`, and `γ` from a run's metrics.
+///
+/// `φ` comes from the piece-count bucket occupancies (available in every
+/// run); `α`/`γ` need observer logs and fall back to `defaults =
+/// (alpha, gamma)` when a stall kind was never observed. Estimates use
+/// add-one (Laplace) smoothing toward the default so single observations
+/// cannot produce 0 or 1.
+///
+/// Returns `None` if the run recorded no piece-count occupancy at all
+/// (nothing to build `φ` from).
+#[must_use]
+pub fn calibrate(metrics: &SwarmMetrics, pieces: u32, defaults: (f64, f64)) -> Option<Calibration> {
+    // φ from bucket occupancies over 1..=B (the model's support; empty
+    // peers have no trading power and the paper's sums start at j = 1).
+    let buckets = &metrics.potential_count_by_pieces;
+    if buckets.len() != pieces as usize + 1 {
+        return None;
+    }
+    let mut counts = vec![0u64; pieces as usize + 1];
+    counts[1..=pieces as usize].copy_from_slice(&buckets[1..=pieces as usize]);
+    if counts.iter().sum::<u64>() == 0 {
+        return None;
+    }
+    let phi = Empirical::from_counts(&counts).expect("non-zero total checked");
+
+    // α and γ from stall-escape frequencies in the observer logs.
+    let mut alpha_opportunities = 0u64;
+    let mut alpha_escapes = 0u64;
+    let mut gamma_opportunities = 0u64;
+    let mut gamma_escapes = 0u64;
+    for log in &metrics.observers {
+        for i in 0..log.len().saturating_sub(1) {
+            let stalled = log.potential[i] == 0;
+            if !stalled {
+                continue;
+            }
+            let escaped = log.potential[i + 1] > 0;
+            if log.pieces[i] <= 1 {
+                alpha_opportunities += 1;
+                alpha_escapes += u64::from(escaped);
+            } else if log.connections[i] == 0 {
+                gamma_opportunities += 1;
+                gamma_escapes += u64::from(escaped);
+            }
+        }
+    }
+    let smooth = |escapes: u64, opportunities: u64, default: f64| {
+        // Laplace smoothing toward the default with one pseudo-observation.
+        (escapes as f64 + default) / (opportunities as f64 + 1.0)
+    };
+    let alpha = smooth(alpha_escapes, alpha_opportunities, defaults.0).clamp(0.01, 1.0);
+    let gamma = smooth(gamma_escapes, gamma_opportunities, defaults.1).clamp(0.01, 1.0);
+    Some(Calibration {
+        phi,
+        alpha,
+        gamma,
+        samples: (alpha_opportunities, gamma_opportunities),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_swarm::{Swarm, SwarmConfig};
+
+    fn run_with_observers(seed: u64) -> (SwarmMetrics, u32) {
+        let pieces = 20;
+        let config = SwarmConfig::builder()
+            .pieces(pieces)
+            .max_connections(3)
+            .neighbor_set_size(5)
+            .arrival_rate(1.0)
+            .initial_leechers(15)
+            .observers(10)
+            .max_rounds(200)
+            .seed(seed)
+            .build()
+            .unwrap();
+        (Swarm::new(config).run(), pieces)
+    }
+
+    #[test]
+    fn calibration_produces_valid_parameters() {
+        let (metrics, pieces) = run_with_observers(1);
+        let cal = calibrate(&metrics, pieces, (0.3, 0.2)).expect("run has occupancy data");
+        assert_eq!(cal.phi.max_value(), pieces as usize);
+        assert_eq!(cal.phi.prob(0), 0.0, "no mass on empty peers");
+        let total: f64 = cal.phi.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((0.01..=1.0).contains(&cal.alpha));
+        assert!((0.01..=1.0).contains(&cal.gamma));
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let (m1, pieces) = run_with_observers(2);
+        let (m2, _) = run_with_observers(2);
+        assert_eq!(
+            calibrate(&m1, pieces, (0.3, 0.2)),
+            calibrate(&m2, pieces, (0.3, 0.2))
+        );
+    }
+
+    #[test]
+    fn empty_metrics_yield_none() {
+        let metrics = SwarmMetrics::new(10);
+        assert!(calibrate(&metrics, 10, (0.3, 0.2)).is_none());
+        // Wrong piece count: bucket shape mismatch.
+        let (metrics, _) = run_with_observers(3);
+        assert!(calibrate(&metrics, 99, (0.3, 0.2)).is_none());
+    }
+
+    #[test]
+    fn defaults_survive_when_no_stalls_observed() {
+        // A generously provisioned swarm rarely stalls; the smoothing
+        // keeps the estimates close to the defaults.
+        let config = SwarmConfig::builder()
+            .pieces(10)
+            .max_connections(5)
+            .neighbor_set_size(20)
+            .arrival_rate(2.0)
+            .initial_leechers(40)
+            .observers(3)
+            .max_rounds(50)
+            .seed(4)
+            .build()
+            .unwrap();
+        let metrics = Swarm::new(config).run();
+        let cal = calibrate(&metrics, 10, (0.4, 0.25)).unwrap();
+        if cal.samples.0 == 0 {
+            assert!((cal.alpha - 0.4).abs() < 1e-9);
+        }
+        if cal.samples.1 == 0 {
+            assert!((cal.gamma - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn calibrated_model_is_usable() {
+        let (metrics, pieces) = run_with_observers(5);
+        let cal = calibrate(&metrics, pieces, (0.3, 0.2)).unwrap();
+        let params = bt_model::ModelParams::builder()
+            .pieces(pieces)
+            .max_connections(3)
+            .neighbor_set_size(5)
+            .alpha(cal.alpha)
+            .gamma(cal.gamma)
+            .phi(cal.phi)
+            .build()
+            .expect("calibrated parameters validate");
+        let kernel = bt_model::transitions::TransitionKernel::new(&params).unwrap();
+        let succ = kernel.successors(bt_model::DownloadState::INITIAL);
+        let total: f64 = succ.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,124 @@
+//! Fig. 4(b)/(c) — stability: swarm population and entropy over time for a
+//! small vs a sufficient number of pieces, starting from a skewed state.
+
+use bt_swarm::{scenario, Swarm};
+
+/// The piece counts the paper contrasts.
+pub const PIECE_COUNTS: [u32; 2] = [3, 10];
+
+/// One run's stability series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityRun {
+    /// Number of pieces `B`.
+    pub pieces: u32,
+    /// `(round, population)` series.
+    pub population: Vec<(u64, u64)>,
+    /// `(round, entropy)` series.
+    pub entropy: Vec<(u64, f64)>,
+}
+
+/// Runs the §6 stability scenario for each piece count.
+///
+/// # Panics
+///
+/// Panics only on internal scenario bugs.
+#[must_use]
+pub fn fig4bc(seed: u64) -> Vec<StabilityRun> {
+    PIECE_COUNTS
+        .iter()
+        .map(|&pieces| run_stability(pieces, seed))
+        .collect()
+}
+
+/// One stability run at an arbitrary piece count (used by the ablations).
+///
+/// # Panics
+///
+/// Panics only on internal scenario bugs.
+#[must_use]
+pub fn run_stability(pieces: u32, seed: u64) -> StabilityRun {
+    let config = scenario::stability(pieces, seed).expect("scenario preset is valid");
+    let metrics = Swarm::new(config).run();
+    StabilityRun {
+        pieces,
+        population: metrics.population,
+        entropy: metrics.entropy,
+    }
+}
+
+/// Prints Fig. 4(b) as TSV: `round  pop@B3  pop@B10`.
+pub fn print_fig4b(runs: &[StabilityRun]) {
+    let header: Vec<String> = std::iter::once("round".to_string())
+        .chain(runs.iter().map(|r| format!("peers@B={}", r.pieces)))
+        .collect();
+    println!("{}", header.join("\t"));
+    let len = runs.iter().map(|r| r.population.len()).max().unwrap_or(0);
+    for i in 0..len {
+        let mut row = vec![runs
+            .first()
+            .and_then(|r| r.population.get(i))
+            .map_or(i as u64, |&(round, _)| round)
+            .to_string()];
+        for r in runs {
+            row.push(
+                r.population
+                    .get(i)
+                    .map_or("-".to_string(), |&(_, p)| p.to_string()),
+            );
+        }
+        println!("{}", row.join("\t"));
+    }
+}
+
+/// Prints Fig. 4(c) as TSV: `round  entropy@B3  entropy@B10`.
+pub fn print_fig4c(runs: &[StabilityRun]) {
+    let header: Vec<String> = std::iter::once("round".to_string())
+        .chain(runs.iter().map(|r| format!("entropy@B={}", r.pieces)))
+        .collect();
+    println!("{}", header.join("\t"));
+    let len = runs.iter().map(|r| r.entropy.len()).max().unwrap_or(0);
+    for i in 0..len {
+        let mut row = vec![runs
+            .first()
+            .and_then(|r| r.entropy.get(i))
+            .map_or(i as u64, |&(round, _)| round)
+            .to_string()];
+        for r in runs {
+            row.push(
+                r.entropy
+                    .get(i)
+                    .map_or("-".to_string(), |&(_, e)| crate::cell(e)),
+            );
+        }
+        println!("{}", row.join("\t"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_are_well_formed() {
+        // A short scaled-down stability run (full runs live in the bench
+        // binaries).
+        let run = run_stability_short(5, 1);
+        assert!(!run.population.is_empty());
+        assert_eq!(run.population.len(), run.entropy.len());
+        for &(_, e) in &run.entropy {
+            assert!((0.0..=1.0).contains(&e));
+        }
+    }
+
+    fn run_stability_short(pieces: u32, seed: u64) -> StabilityRun {
+        let mut config = bt_swarm::scenario::stability(pieces, seed).unwrap();
+        config.max_rounds = 20;
+        config.initial_leechers = 50;
+        let metrics = bt_swarm::Swarm::new(config).run();
+        StabilityRun {
+            pieces,
+            population: metrics.population,
+            entropy: metrics.entropy,
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! # bt-model — the multiphased BitTorrent download model (ICDCS'07)
+//!
+//! This crate is the paper's primary contribution: an analytical model of a
+//! single BitTorrent peer's download evolution as a three-dimensional
+//! absorbing Markov chain, together with the connection-class *efficiency*
+//! model (§5) and the entropy-based *stability* analysis (§6).
+//!
+//! ## The download-evolution chain (§3)
+//!
+//! The state is the triple `(n, b, i)`:
+//!
+//! * `n` — number of active connections (`0..=k`),
+//! * `b` — number of downloaded pieces (`0..=B`),
+//! * `i` — size of the potential set (`0..=s`).
+//!
+//! A peer starts at `(0, 0, 0)` and is absorbed at `(0, B, 0)`. One chain
+//! step corresponds to one piece-exchange round. The transition kernel
+//! factorizes as `f(b′|n,b) · g(i′|n,b,i) · h(n′|n,b,i′)`
+//! ([`transitions`]), with the trading-power probability `p₍b+n₎` of Eq. 1
+//! implemented in [`trading`].
+//!
+//! The chain exhibits the paper's three phases ([`phase`]): *bootstrap*
+//! (acquiring a tradable first piece), *efficient download* (potential set
+//! non-empty, download rate `≈ n`), and *last download* (potential set
+//! empty near completion, progress at rate `γ`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bt_model::{ModelParams, evolution::Walker};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = ModelParams::builder()
+//!     .pieces(50)
+//!     .max_connections(4)
+//!     .neighbor_set_size(10)
+//!     .build()?;
+//! let mut walker = Walker::new(&params, StdRng::seed_from_u64(7));
+//! let trajectory = walker.run();
+//! assert_eq!(trajectory.final_state().b, 50);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod efficiency;
+pub mod evolution;
+pub mod exact;
+pub mod params;
+pub mod phase;
+pub mod stability;
+pub mod state;
+pub mod trading;
+pub mod transitions;
+
+pub use params::{ModelParams, ModelParamsBuilder};
+pub use phase::Phase;
+pub use state::DownloadState;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A model parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// An underlying numeric computation failed.
+    Numeric(bt_markov::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidParameter { name, detail } => {
+                write!(f, "invalid parameter {name}: {detail}")
+            }
+            Error::Numeric(e) => write!(f, "numeric error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Numeric(e) => Some(e),
+            Error::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<bt_markov::Error> for Error {
+    fn from(e: bt_markov::Error) -> Self {
+        Error::Numeric(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;

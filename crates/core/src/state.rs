@@ -1,0 +1,217 @@
+//! The `(n, b, i)` state triple and state-space indexing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::ModelParams;
+
+/// A state of the download-evolution chain: `n` active connections, `b`
+/// downloaded pieces, `i` potential-set size.
+///
+/// # Example
+///
+/// ```
+/// use bt_model::DownloadState;
+///
+/// let start = DownloadState::INITIAL;
+/// assert_eq!(start, DownloadState::new(0, 0, 0));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DownloadState {
+    /// Number of active connections.
+    pub n: u32,
+    /// Number of downloaded pieces.
+    pub b: u32,
+    /// Potential-set size.
+    pub i: u32,
+}
+
+impl DownloadState {
+    /// The initial state `(0, 0, 0)` of a freshly joined peer.
+    pub const INITIAL: DownloadState = DownloadState { n: 0, b: 0, i: 0 };
+
+    /// Creates a state.
+    #[must_use]
+    pub const fn new(n: u32, b: u32, i: u32) -> Self {
+        DownloadState { n, b, i }
+    }
+
+    /// The absorbing state `(0, B, 0)` for a file of `pieces` pieces.
+    #[must_use]
+    pub const fn absorbed(pieces: u32) -> Self {
+        DownloadState {
+            n: 0,
+            b: pieces,
+            i: 0,
+        }
+    }
+
+    /// Whether this is the absorbing state for `pieces` pieces.
+    #[must_use]
+    pub fn is_absorbed(&self, pieces: u32) -> bool {
+        self.b == pieces
+    }
+
+    /// The peer's instantaneous trading stock `b + n` (pieces on hand plus
+    /// pieces in flight on active connections), the quantity Eq. 1–3
+    /// condition on.
+    #[must_use]
+    pub fn stock(&self) -> u32 {
+        self.b + self.n
+    }
+}
+
+impl std::fmt::Display for DownloadState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(n={}, b={}, i={})", self.n, self.b, self.i)
+    }
+}
+
+/// Bijective indexing of the full state space `{0..=k} × {0..=B} × {0..=s}`
+/// for building explicit transition matrices over small configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateSpace {
+    k: u32,
+    pieces: u32,
+    s: u32,
+}
+
+impl StateSpace {
+    /// The state space implied by `params`.
+    #[must_use]
+    pub fn new(params: &ModelParams) -> Self {
+        StateSpace {
+            k: params.max_connections(),
+            pieces: params.pieces(),
+            s: params.neighbor_set_size(),
+        }
+    }
+
+    /// Total number of states `(k+1)(B+1)(s+1)`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        (self.k as usize + 1) * (self.pieces as usize + 1) * (self.s as usize + 1)
+    }
+
+    /// Always false: a state space has at least the initial state.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Flattens a state to its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is outside the space.
+    #[must_use]
+    pub fn index(&self, state: DownloadState) -> usize {
+        assert!(
+            state.n <= self.k && state.b <= self.pieces && state.i <= self.s,
+            "state {state} outside space (k={}, B={}, s={})",
+            self.k,
+            self.pieces,
+            self.s
+        );
+        let per_b = self.s as usize + 1;
+        let per_n = (self.pieces as usize + 1) * per_b;
+        state.n as usize * per_n + state.b as usize * per_b + state.i as usize
+    }
+
+    /// Inverse of [`StateSpace::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[must_use]
+    pub fn state(&self, index: usize) -> DownloadState {
+        assert!(index < self.len(), "index {index} out of {}", self.len());
+        let per_b = self.s as usize + 1;
+        let per_n = (self.pieces as usize + 1) * per_b;
+        DownloadState {
+            n: (index / per_n) as u32,
+            b: ((index % per_n) / per_b) as u32,
+            i: (index % per_b) as u32,
+        }
+    }
+
+    /// Iterates over all states in index order.
+    pub fn iter(&self) -> impl Iterator<Item = DownloadState> + '_ {
+        (0..self.len()).map(move |idx| self.state(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelParams;
+
+    fn small_space() -> StateSpace {
+        let params = ModelParams::builder()
+            .pieces(5)
+            .max_connections(2)
+            .neighbor_set_size(3)
+            .build()
+            .unwrap();
+        StateSpace::new(&params)
+    }
+
+    #[test]
+    fn initial_and_absorbed() {
+        assert_eq!(DownloadState::INITIAL.stock(), 0);
+        let done = DownloadState::absorbed(5);
+        assert!(done.is_absorbed(5));
+        assert!(!DownloadState::new(0, 4, 0).is_absorbed(5));
+    }
+
+    #[test]
+    fn index_is_bijective() {
+        let space = small_space();
+        assert_eq!(space.len(), 3 * 6 * 4);
+        for idx in 0..space.len() {
+            assert_eq!(space.index(space.state(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn iter_yields_all_states_once() {
+        let space = small_space();
+        let states: Vec<DownloadState> = space.iter().collect();
+        assert_eq!(states.len(), space.len());
+        let mut dedup = states.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), states.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside space")]
+    fn index_rejects_foreign_state() {
+        let _ = small_space().index(DownloadState::new(9, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn state_rejects_big_index() {
+        let space = small_space();
+        let _ = space.state(space.len());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(DownloadState::new(1, 2, 3).to_string(), "(n=1, b=2, i=3)");
+    }
+
+    #[test]
+    fn stock_sums_b_and_n() {
+        assert_eq!(DownloadState::new(3, 7, 1).stock(), 10);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = DownloadState::new(1, 2, 3);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<DownloadState>(&json).unwrap(), s);
+    }
+}

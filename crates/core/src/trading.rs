@@ -1,0 +1,199 @@
+//! The trading-power probability `p₍c₎` of Eq. 1.
+//!
+//! `p₍c₎` is the probability that a randomly selected peer has at least one
+//! piece to exchange with a peer `P` holding `c = b + n` pieces, where piece
+//! sets are uniformly random subsets of the `B` pieces and the *number* of
+//! pieces at the random peer is distributed as `φ`:
+//!
+//! ```text
+//! p(c) =   Σ_{j=c+1}^{B} φ(j) · [1 − C(j, c) / C(B, c)]     (peer has more)
+//!        + Σ_{j=1}^{c}   φ(j) · [1 − C(c, j) / C(B, j)]     (peer has ≤ c)
+//! ```
+//!
+//! The first term: a peer `Q` with `j > c` pieces has nothing *to receive*
+//! exactly when all of `P`'s `c` pieces are among `Q`'s `j`, probability
+//! `C(j,c)/C(B,c)`. The second term is the mirrored case. The binomial
+//! ratios are evaluated in the log domain ([`bt_markov::dist::choose_ratio`])
+//! so `B` in the thousands stays exact.
+
+use bt_markov::dist::{choose_ratio, Empirical};
+
+use crate::{Error, Result};
+
+/// Computes `p₍c₎` — Eq. 1 — for a peer holding `c` pieces out of `B`,
+/// against the piece-count distribution `phi`.
+///
+/// # Errors
+///
+/// [`Error::InvalidParameter`] if `c` is not in `1..B` (a peer with zero
+/// pieces has no trading power and one with all `B` pieces has left the
+/// system), or if `phi`'s support does not cover `0..=B`.
+///
+/// # Example
+///
+/// ```
+/// use bt_model::trading::trading_power;
+/// use bt_model::params::uniform_phi;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let b = 200;
+/// let phi = uniform_phi(b);
+/// // The paper: p(1) ≈ 0.5, maximal near B/2, back to ≈ 0.5 at B − 1.
+/// let p1 = trading_power(1, b, &phi)?;
+/// let p_mid = trading_power(b / 2, b, &phi)?;
+/// assert!((p1 - 0.5).abs() < 0.01);
+/// assert!(p_mid > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn trading_power(c: u32, pieces: u32, phi: &Empirical) -> Result<f64> {
+    if c == 0 || c >= pieces {
+        return Err(Error::InvalidParameter {
+            name: "c",
+            detail: format!("c must be in 1..{pieces}, got {c}"),
+        });
+    }
+    if phi.max_value() != pieces as usize {
+        return Err(Error::InvalidParameter {
+            name: "phi",
+            detail: format!(
+                "support 0..={} does not match B = {pieces}",
+                phi.max_value()
+            ),
+        });
+    }
+    let b = u64::from(pieces);
+    let c64 = u64::from(c);
+    let mut p = 0.0;
+    // Peers with more pieces than P.
+    for j in (c64 + 1)..=b {
+        let mass = phi.prob(j as usize);
+        if mass == 0.0 {
+            continue;
+        }
+        p += mass * (1.0 - choose_ratio(j, c64, b)?);
+    }
+    // Peers with at most as many pieces as P.
+    for j in 1..=c64 {
+        let mass = phi.prob(j as usize);
+        if mass == 0.0 {
+            continue;
+        }
+        p += mass * (1.0 - choose_ratio(c64, j, b)?);
+    }
+    Ok(p.clamp(0.0, 1.0))
+}
+
+/// The full trading-power curve `c ↦ p₍c₎` for `c = 1..B`, as a vector
+/// indexed by `c` (index 0 and index `B` are set to 0: no trading power at
+/// the boundaries).
+///
+/// # Errors
+///
+/// Propagates [`trading_power`] errors.
+pub fn trading_power_curve(pieces: u32, phi: &Empirical) -> Result<Vec<f64>> {
+    let mut curve = vec![0.0; pieces as usize + 1];
+    for c in 1..pieces {
+        curve[c as usize] = trading_power(c, pieces, phi)?;
+    }
+    Ok(curve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::uniform_phi;
+
+    #[test]
+    fn boundary_values_near_half_uniform() {
+        // The paper: p increases from ~0.5 at c = 1 ... decreases to ~0.5
+        // at c = B − 1 (uniform φ).
+        for b in [10u32, 50, 200] {
+            let phi = uniform_phi(b);
+            let p1 = trading_power(1, b, &phi).unwrap();
+            let plast = trading_power(b - 1, b, &phi).unwrap();
+            assert!((p1 - 0.5).abs() < 1.0 / f64::from(b), "B={b}: p(1)={p1}");
+            assert!(
+                (plast - 0.5).abs() < 1.0 / f64::from(b),
+                "B={b}: p(B-1)={plast}"
+            );
+        }
+    }
+
+    #[test]
+    fn maximum_near_middle() {
+        let b = 100;
+        let phi = uniform_phi(b);
+        let curve = trading_power_curve(b, &phi).unwrap();
+        let argmax = (1..b)
+            .max_by(|&x, &y| curve[x as usize].partial_cmp(&curve[y as usize]).unwrap())
+            .unwrap();
+        assert!(
+            (i64::from(argmax) - i64::from(b / 2)).unsigned_abs() <= b as u64 / 10,
+            "argmax {argmax} not near B/2"
+        );
+        assert!(curve[(b / 2) as usize] > curve[1]);
+        assert!(curve[(b / 2) as usize] > curve[(b - 1) as usize]);
+    }
+
+    #[test]
+    fn curve_is_probability() {
+        let b = 60;
+        let phi = uniform_phi(b);
+        for (c, &p) in trading_power_curve(b, &phi).unwrap().iter().enumerate() {
+            assert!((0.0..=1.0).contains(&p), "p({c}) = {p}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_c() {
+        let phi = uniform_phi(10);
+        assert!(trading_power(0, 10, &phi).is_err());
+        assert!(trading_power(10, 10, &phi).is_err());
+        assert!(trading_power(11, 10, &phi).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_phi() {
+        let phi = uniform_phi(5);
+        assert!(trading_power(1, 10, &phi).is_err());
+    }
+
+    #[test]
+    fn exact_small_case() {
+        // B = 2, uniform φ over {1, 2}, c = 1:
+        // j = 2 term: φ(2)·[1 − C(2,1)/C(2,1)] = 0.5·0 = 0.
+        // j = 1 term: φ(1)·[1 − C(1,1)/C(2,1)] = 0.5·(1 − 1/2) = 0.25.
+        let phi = uniform_phi(2);
+        let p = trading_power(1, 2, &phi).unwrap();
+        assert!((p - 0.25).abs() < 1e-12, "p={p}");
+    }
+
+    #[test]
+    fn skewed_phi_reduces_trading_power() {
+        // If everyone holds exactly c pieces (all the same random subsets
+        // are unlikely to coincide, but the j = c term is the only one),
+        // trading power shrinks relative to uniform when c is small.
+        let b = 20u32;
+        let mut probs = vec![0.0; b as usize + 1];
+        probs[1] = 1.0; // everyone has exactly one piece
+        let phi = Empirical::from_probs(probs).unwrap();
+        let p = trading_power(1, b, &phi).unwrap();
+        // Two single-piece peers trade iff their pieces differ: 1 − 1/B.
+        assert!((p - (1.0 - 1.0 / f64::from(b))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_rise_then_fall_uniform() {
+        let b = 40;
+        let phi = uniform_phi(b);
+        let curve = trading_power_curve(b, &phi).unwrap();
+        // Rising on the first quarter, falling on the last quarter.
+        for c in 1..(b / 4) as usize {
+            assert!(curve[c + 1] >= curve[c] - 1e-12, "rise at {c}");
+        }
+        for c in (3 * b / 4) as usize..(b - 1) as usize {
+            assert!(curve[c + 1] <= curve[c] + 1e-12, "fall at {c}");
+        }
+    }
+}

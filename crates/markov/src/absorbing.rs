@@ -1,0 +1,290 @@
+//! Absorbing-chain analysis via the fundamental matrix.
+//!
+//! For an absorbing chain with transient states `T` and absorbing states `A`,
+//! write the transition matrix in canonical form with `Q` the transient→
+//! transient block and `R` the transient→absorbing block. The fundamental
+//! matrix `N = (I - Q)^{-1}` gives:
+//!
+//! * expected visits to each transient state (`N[i][j]`),
+//! * expected steps to absorption (`t = N · 1`),
+//! * absorption probabilities (`B = N · R`).
+//!
+//! The download-evolution model of the paper is exactly such a chain — a peer
+//! starts at `(0,0,0)` and is absorbed at `(0,B,0)` — so its expected
+//! download timeline falls out of this module.
+
+use crate::chain::TransitionMatrix;
+use crate::matrix::Matrix;
+use crate::{Error, Result};
+
+/// An absorbing Markov chain, partitioned into transient and absorbing
+/// states.
+///
+/// # Example
+///
+/// A gambler with 1 unit who bets until reaching 0 or 2 (fair coin):
+///
+/// ```
+/// use bt_markov::{AbsorbingChain, TransitionMatrix};
+///
+/// let p = TransitionMatrix::from_rows(vec![
+///     vec![1.0, 0.0, 0.0], // state 0: broke (absorbing)
+///     vec![0.5, 0.0, 0.5], // state 1: one unit
+///     vec![0.0, 0.0, 1.0], // state 2: goal (absorbing)
+/// ]).unwrap();
+/// let chain = AbsorbingChain::new(&p, &[0, 2]).unwrap();
+/// let steps = chain.expected_steps().unwrap();
+/// assert!((steps[0] - 1.0).abs() < 1e-12); // one bet decides it
+/// let absorb = chain.absorption_probabilities().unwrap();
+/// assert!((absorb[(0, 0)] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AbsorbingChain {
+    /// Transient→transient block.
+    q: Matrix,
+    /// Transient→absorbing block.
+    r: Matrix,
+    /// Original indices of the transient states, in block order.
+    transient: Vec<usize>,
+    /// Original indices of the absorbing states, in block order.
+    absorbing: Vec<usize>,
+}
+
+impl AbsorbingChain {
+    /// Partitions `p` given the indices of the absorbing states.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] if `absorbing` is empty, contains
+    /// duplicates or out-of-range indices, if a listed state is not actually
+    /// absorbing (self-loop probability 1), or if no transient states remain.
+    pub fn new(p: &TransitionMatrix, absorbing: &[usize]) -> Result<Self> {
+        let n = p.n_states();
+        let mut is_absorbing = vec![false; n];
+        for &a in absorbing {
+            if a >= n {
+                return Err(Error::InvalidParameter {
+                    name: "absorbing",
+                    detail: format!("state {a} out of range 0..{n}"),
+                });
+            }
+            if is_absorbing[a] {
+                return Err(Error::InvalidParameter {
+                    name: "absorbing",
+                    detail: format!("state {a} listed twice"),
+                });
+            }
+            if (p.prob(a, a) - 1.0).abs() > 1e-9 {
+                return Err(Error::InvalidParameter {
+                    name: "absorbing",
+                    detail: format!("state {a} is not absorbing (self-loop {})", p.prob(a, a)),
+                });
+            }
+            is_absorbing[a] = true;
+        }
+        if absorbing.is_empty() {
+            return Err(Error::InvalidParameter {
+                name: "absorbing",
+                detail: "no absorbing states given".into(),
+            });
+        }
+        let transient: Vec<usize> = (0..n).filter(|&i| !is_absorbing[i]).collect();
+        if transient.is_empty() {
+            return Err(Error::InvalidParameter {
+                name: "absorbing",
+                detail: "all states are absorbing".into(),
+            });
+        }
+        let absorbing_sorted: Vec<usize> = {
+            let mut a = absorbing.to_vec();
+            a.sort_unstable();
+            a
+        };
+        let mut q = Matrix::zeros(transient.len(), transient.len());
+        let mut r = Matrix::zeros(transient.len(), absorbing_sorted.len());
+        for (ti, &i) in transient.iter().enumerate() {
+            for (tj, &j) in transient.iter().enumerate() {
+                q[(ti, tj)] = p.prob(i, j);
+            }
+            for (aj, &j) in absorbing_sorted.iter().enumerate() {
+                r[(ti, aj)] = p.prob(i, j);
+            }
+        }
+        Ok(AbsorbingChain {
+            q,
+            r,
+            transient,
+            absorbing: absorbing_sorted,
+        })
+    }
+
+    /// The transient states, in the block order used by all outputs.
+    #[must_use]
+    pub fn transient_states(&self) -> &[usize] {
+        &self.transient
+    }
+
+    /// The absorbing states, in the block order used by all outputs.
+    #[must_use]
+    pub fn absorbing_states(&self) -> &[usize] {
+        &self.absorbing
+    }
+
+    /// The fundamental matrix `N = (I - Q)^{-1}`.
+    ///
+    /// `N[(i, j)]` is the expected number of visits to transient state `j`
+    /// (block index) starting from transient state `i` before absorption.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Singular`] if `I - Q` is singular, which happens when some
+    /// transient state cannot reach any absorbing state.
+    pub fn fundamental(&self) -> Result<Matrix> {
+        Matrix::identity(self.q.rows()).sub(&self.q)?.inverse()
+    }
+
+    /// Expected number of steps to absorption from each transient state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AbsorbingChain::fundamental`] errors.
+    pub fn expected_steps(&self) -> Result<Vec<f64>> {
+        let lhs = Matrix::identity(self.q.rows()).sub(&self.q)?;
+        lhs.solve(&vec![1.0; self.q.rows()])
+    }
+
+    /// Absorption probability matrix `B = N · R`.
+    ///
+    /// `B[(i, a)]` is the probability of being absorbed in absorbing state
+    /// `a` (block index) starting from transient state `i`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AbsorbingChain::fundamental`] errors.
+    pub fn absorption_probabilities(&self) -> Result<Matrix> {
+        self.fundamental()?.mul(&self.r)
+    }
+
+    /// Expected visits to each transient state starting from block state
+    /// `from` (a row of the fundamental matrix).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AbsorbingChain::fundamental`] errors.
+    pub fn expected_visits(&self, from: usize) -> Result<Vec<f64>> {
+        let n = self.fundamental()?;
+        Ok(n.row(from).to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Symmetric random walk on 0..=4 absorbed at the ends.
+    fn gamblers_ruin() -> (TransitionMatrix, AbsorbingChain) {
+        let mut rows = vec![vec![0.0; 5]; 5];
+        rows[0][0] = 1.0;
+        rows[4][4] = 1.0;
+        for i in 1..4 {
+            rows[i][i - 1] = 0.5;
+            rows[i][i + 1] = 0.5;
+        }
+        let p = TransitionMatrix::from_rows(rows).unwrap();
+        let chain = AbsorbingChain::new(&p, &[0, 4]).unwrap();
+        (p, chain)
+    }
+
+    #[test]
+    fn gamblers_ruin_expected_steps() {
+        // E[steps from i] = i * (N - i) with N = 4.
+        let (_, chain) = gamblers_ruin();
+        let steps = chain.expected_steps().unwrap();
+        assert_eq!(chain.transient_states(), &[1, 2, 3]);
+        assert!((steps[0] - 3.0).abs() < 1e-10);
+        assert!((steps[1] - 4.0).abs() < 1e-10);
+        assert!((steps[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gamblers_ruin_absorption_probabilities() {
+        // P[hit 4 from i] = i / 4.
+        let (_, chain) = gamblers_ruin();
+        let b = chain.absorption_probabilities().unwrap();
+        assert_eq!(chain.absorbing_states(), &[0, 4]);
+        for (row, start) in [(0usize, 1.0), (1, 2.0), (2, 3.0)] {
+            assert!((b[(row, 1)] - start / 4.0).abs() < 1e-10);
+            assert!((b[(row, 0)] - (1.0 - start / 4.0)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn absorption_rows_sum_to_one() {
+        let (_, chain) = gamblers_ruin();
+        let b = chain.absorption_probabilities().unwrap();
+        for i in 0..3 {
+            let sum: f64 = (0..2).map(|j| b[(i, j)]).sum();
+            assert!((sum - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn expected_visits_diagonal_at_least_one() {
+        let (_, chain) = gamblers_ruin();
+        for i in 0..3 {
+            let visits = chain.expected_visits(i).unwrap();
+            assert!(visits[i] >= 1.0, "a state visits itself at least once");
+        }
+    }
+
+    #[test]
+    fn rejects_non_absorbing_state() {
+        let p = TransitionMatrix::from_rows(vec![vec![0.5, 0.5], vec![0.0, 1.0]]).unwrap();
+        let err = AbsorbingChain::new(&p, &[0]).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let p = TransitionMatrix::from_rows(vec![vec![0.5, 0.5], vec![0.0, 1.0]]).unwrap();
+        assert!(AbsorbingChain::new(&p, &[5]).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        let p = TransitionMatrix::from_rows(vec![vec![0.5, 0.5], vec![0.0, 1.0]]).unwrap();
+        assert!(AbsorbingChain::new(&p, &[1, 1]).is_err());
+        assert!(AbsorbingChain::new(&p, &[]).is_err());
+    }
+
+    #[test]
+    fn rejects_all_absorbing() {
+        let p = TransitionMatrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        assert!(AbsorbingChain::new(&p, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn unreachable_absorption_is_singular() {
+        // State 1 loops to itself via state 2 and never reaches 0.
+        let p = TransitionMatrix::from_rows(vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let chain = AbsorbingChain::new(&p, &[0]).unwrap();
+        assert_eq!(chain.expected_steps().unwrap_err(), Error::Singular);
+    }
+
+    #[test]
+    fn single_bet_gambler_doc_case() {
+        let p = TransitionMatrix::from_rows(vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.5, 0.0, 0.5],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let chain = AbsorbingChain::new(&p, &[0, 2]).unwrap();
+        assert_eq!(chain.expected_steps().unwrap(), vec![1.0]);
+    }
+}

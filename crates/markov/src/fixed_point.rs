@@ -1,0 +1,196 @@
+//! Damped fixed-point iteration on probability vectors.
+//!
+//! The efficiency model of the paper (§5) defines the steady state of the
+//! connection-class populations implicitly, as the fixed point of its
+//! balance equations (Eq. 4–6); the paper itself computes it "by iterating
+//! this set of equations". This module provides that iteration with optional
+//! damping, renormalization, and convergence diagnostics.
+
+use crate::{Error, Result};
+
+/// Outcome of a successful fixed-point iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedPoint {
+    /// The converged vector.
+    pub value: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final L1 residual `‖x_{t+1} − x_t‖₁`.
+    pub residual: f64,
+}
+
+/// Options for [`iterate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Options {
+    /// Convergence threshold on the L1 step size.
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iters: usize,
+    /// Damping factor in `(0, 1]`: `x ← (1−d)·x + d·F(x)`. `1.0` is the
+    /// undamped iteration.
+    pub damping: f64,
+    /// If true, renormalize the iterate to sum to 1 after every step
+    /// (appropriate when the iterate is a probability vector and `F` only
+    /// preserves mass approximately).
+    pub renormalize: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            tol: 1e-12,
+            max_iters: 100_000,
+            damping: 1.0,
+            renormalize: false,
+        }
+    }
+}
+
+/// Iterates `x ← F(x)` from `x0` until the L1 step is below `opts.tol`.
+///
+/// `f` writes its output into the provided buffer (avoiding per-iteration
+/// allocation for large states).
+///
+/// # Errors
+///
+/// [`Error::InvalidParameter`] for an empty `x0` or damping outside `(0, 1]`;
+/// [`Error::NoConvergence`] if the budget is exhausted.
+///
+/// # Example
+///
+/// ```
+/// use bt_markov::fixed_point::{iterate, Options};
+///
+/// // Fixed point of x -> cos(x), the Dottie number.
+/// let fp = iterate(vec![0.0], Options::default(), |x, out| {
+///     out[0] = x[0].cos();
+/// }).unwrap();
+/// assert!((fp.value[0] - 0.739_085_133_2).abs() < 1e-9);
+/// ```
+pub fn iterate<F>(x0: Vec<f64>, opts: Options, mut f: F) -> Result<FixedPoint>
+where
+    F: FnMut(&[f64], &mut [f64]),
+{
+    if x0.is_empty() {
+        return Err(Error::InvalidParameter {
+            name: "x0",
+            detail: "empty initial vector".into(),
+        });
+    }
+    if !(opts.damping > 0.0 && opts.damping <= 1.0) {
+        return Err(Error::InvalidParameter {
+            name: "damping",
+            detail: format!("{} outside (0, 1]", opts.damping),
+        });
+    }
+    let mut x = x0;
+    let mut next = vec![0.0; x.len()];
+    let mut residual = f64::INFINITY;
+    for it in 1..=opts.max_iters {
+        f(&x, &mut next);
+        if opts.damping < 1.0 {
+            for (n, &old) in next.iter_mut().zip(&x) {
+                *n = (1.0 - opts.damping) * old + opts.damping * *n;
+            }
+        }
+        if opts.renormalize {
+            let sum: f64 = next.iter().sum();
+            if sum > 0.0 {
+                for n in &mut next {
+                    *n /= sum;
+                }
+            }
+        }
+        residual = x.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut x, &mut next);
+        if residual < opts.tol {
+            return Ok(FixedPoint {
+                value: x,
+                iterations: it,
+                residual,
+            });
+        }
+    }
+    Err(Error::NoConvergence {
+        iterations: opts.max_iters,
+        residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_dottie() {
+        let fp = iterate(vec![0.5], Options::default(), |x, out| {
+            out[0] = x[0].cos();
+        })
+        .unwrap();
+        assert!((fp.value[0].cos() - fp.value[0]).abs() < 1e-10);
+        assert!(fp.residual < 1e-12);
+        assert!(fp.iterations > 1);
+    }
+
+    #[test]
+    fn damping_still_converges() {
+        let opts = Options {
+            damping: 0.5,
+            ..Options::default()
+        };
+        let fp = iterate(vec![0.0], opts, |x, out| out[0] = x[0].cos()).unwrap();
+        assert!((fp.value[0] - 0.739_085_133_2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn renormalize_keeps_probability_mass() {
+        // A map that leaks mass; renormalization restores it.
+        let opts = Options {
+            renormalize: true,
+            tol: 1e-13,
+            ..Options::default()
+        };
+        let fp = iterate(vec![0.5, 0.5], opts, |x, out| {
+            out[0] = 0.8 * x[0] + 0.3 * x[1];
+            out[1] = 0.1 * x[0] + 0.6 * x[1];
+        })
+        .unwrap();
+        assert!((fp.value.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reports_no_convergence() {
+        // x -> x + 1 never converges.
+        let opts = Options {
+            max_iters: 10,
+            ..Options::default()
+        };
+        let err = iterate(vec![0.0], opts, |x, out| out[0] = x[0] + 1.0).unwrap_err();
+        assert!(matches!(err, Error::NoConvergence { iterations: 10, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(iterate(vec![], Options::default(), |_, _| {}).is_err());
+        let bad = Options {
+            damping: 0.0,
+            ..Options::default()
+        };
+        assert!(iterate(vec![1.0], bad, |_, _| {}).is_err());
+        let bad2 = Options {
+            damping: 1.5,
+            ..Options::default()
+        };
+        assert!(iterate(vec![1.0], bad2, |_, _| {}).is_err());
+    }
+
+    #[test]
+    fn identity_converges_immediately() {
+        let fp = iterate(vec![0.25, 0.75], Options::default(), |x, out| {
+            out.copy_from_slice(x);
+        })
+        .unwrap();
+        assert_eq!(fp.iterations, 1);
+        assert_eq!(fp.value, vec![0.25, 0.75]);
+    }
+}

@@ -1,0 +1,1352 @@
+//! The swarm simulation engine.
+//!
+//! A round-based protocol simulation driven by the `bt-des` kernel. One
+//! round corresponds to one piece-exchange period (one step of the paper's
+//! Markov model): arrivals are a Poisson process, each round every active
+//! connection swaps one piece in each direction under strict tit-for-tat,
+//! and peers depart the moment they complete.
+//!
+//! Per round, in order:
+//!
+//! 1. neighbor-set maintenance (symmetric top-up from the tracker),
+//! 2. bootstrap injection (empty peers acquire their first piece via the
+//!    seed / optimistic-unchoke channel),
+//! 3. connection pruning (departures, lost mutual interest, and the
+//!    `1 − p_r` per-round survival roll),
+//! 4. connection establishment (tit-for-tat preference with an optimistic
+//!    slot, success probability `p_n`, capped at `k` and by the potential
+//!    set),
+//! 5. piece exchange (one piece per direction per connection, rarest-first
+//!    or random-first),
+//! 6. completions depart; peers crossing the shake threshold shake (§7.1),
+//! 7. metrics sampling.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use bt_des::{Duration, SeedStream, SimTime, Simulator};
+use bt_markov::dist::sample_exponential;
+
+use crate::config::{BootstrapInjection, InitialPieces, SwarmConfig};
+use crate::metrics::{CompletionRecord, ObserverLog, SwarmMetrics};
+use crate::peer::{Peer, PeerId};
+use crate::selection::{replication_counts, select_piece};
+use crate::tracker::Tracker;
+
+/// Events driving the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A new leecher joins the swarm.
+    Arrival,
+    /// One piece-exchange round elapses.
+    Round,
+}
+
+/// A running (or finished) swarm simulation.
+///
+/// # Example
+///
+/// ```
+/// use bt_swarm::{Swarm, SwarmConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = SwarmConfig::builder()
+///     .pieces(20)
+///     .max_connections(3)
+///     .neighbor_set_size(8)
+///     .arrival_rate(1.0)
+///     .initial_leechers(10)
+///     .max_rounds(200)
+///     .seed(42)
+///     .build()?;
+/// let metrics = Swarm::new(config).run();
+/// assert!(metrics.departures > 0, "someone should finish in 200 rounds");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Swarm {
+    config: SwarmConfig,
+    peers: Vec<Option<Peer>>,
+    tracker: Tracker,
+    round: u64,
+    rng: StdRng,
+    metrics: SwarmMetrics,
+}
+
+impl Swarm {
+    /// Creates a swarm with its initial leechers in place.
+    #[must_use]
+    pub fn new(config: SwarmConfig) -> Self {
+        let rng = SeedStream::new(config.seed).rng("swarm", 0);
+        let mut swarm = Swarm {
+            metrics: SwarmMetrics::new(config.pieces),
+            peers: Vec::new(),
+            tracker: Tracker::new(),
+            round: 0,
+            rng,
+            config,
+        };
+        for _ in 0..swarm.config.initial_leechers {
+            let id = swarm.spawn_peer();
+            swarm.endow_initial(id);
+        }
+        swarm
+    }
+
+    /// The configuration this swarm runs under.
+    #[must_use]
+    pub fn config(&self) -> &SwarmConfig {
+        &self.config
+    }
+
+    /// The metrics collected so far.
+    #[must_use]
+    pub fn metrics(&self) -> &SwarmMetrics {
+        &self.metrics
+    }
+
+    /// Current leecher population.
+    #[must_use]
+    pub fn population(&self) -> u64 {
+        self.tracker.len() as u64
+    }
+
+    /// Current round number.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Identifiers of the currently alive peers, in join order.
+    #[must_use]
+    pub fn alive_peer_ids(&self) -> Vec<PeerId> {
+        self.tracker.peers().to_vec()
+    }
+
+    /// The possession bitfield of an alive peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer has departed.
+    #[must_use]
+    pub fn peer_bitfield(&self, id: PeerId) -> &crate::piece::Bitfield {
+        &self.peer(id).have
+    }
+
+    /// The active-connection count of an alive peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer has departed.
+    #[must_use]
+    pub fn peer_connection_count(&self, id: PeerId) -> u32 {
+        self.peer(id).connections.len() as u32
+    }
+
+    /// Runs the simulation to its stop condition and returns the metrics.
+    #[must_use]
+    pub fn run(mut self) -> SwarmMetrics {
+        let mut sim: Simulator<Event> = Simulator::new();
+        if self.config.arrival_rate > 0.0 {
+            let gap = sample_exponential(self.config.arrival_rate, &mut self.rng);
+            sim.schedule(SimTime::from_secs(gap), Event::Arrival);
+        }
+        sim.schedule(SimTime::from_secs(1.0), Event::Round);
+        sim.run(|sim, _time, event| match event {
+            Event::Arrival => {
+                let id = self.spawn_peer();
+                let _ = id;
+                let gap = sample_exponential(self.config.arrival_rate, &mut self.rng);
+                sim.schedule_in(Duration::from_secs(gap), Event::Arrival);
+            }
+            Event::Round => {
+                self.round += 1;
+                self.execute_round();
+                let done_rounds = self.round >= self.config.max_rounds;
+                let done_completions = self
+                    .config
+                    .stop_after_completions
+                    .is_some_and(|n| self.metrics.completions.len() as u64 >= n);
+                if done_rounds || done_completions {
+                    sim.request_stop();
+                } else {
+                    sim.schedule_in(Duration::from_secs(1.0), Event::Round);
+                }
+            }
+        });
+        self.metrics.rounds_run = self.round;
+        self.metrics
+    }
+
+    /// Runs exactly one round without the DES driver (step-level control
+    /// for tests and custom harnesses). Note: Poisson arrivals are
+    /// scheduled by [`Swarm::run`]'s event loop, so stepped swarms see no
+    /// new arrivals.
+    pub fn step_round(&mut self) {
+        self.round += 1;
+        self.execute_round();
+        self.metrics.rounds_run = self.round;
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn spawn_peer(&mut self) -> PeerId {
+        let id = PeerId(self.peers.len() as u64);
+        let mut peer = Peer::new(id, self.config.pieces, self.round);
+        if self.config.slow_peer_fraction > 0.0 {
+            peer.slow = self.rng.gen::<f64>() < self.config.slow_peer_fraction;
+        }
+        // Initial neighbor handout on join (tracker contact). With
+        // bootstrap relief (§4.3), the tracker fills up to half the slots
+        // with peers trapped in the bootstrap phase, so the newcomer's
+        // fresh pieces reach them.
+        let want = self.config.neighbor_set_size as usize;
+        let mut handout = Vec::with_capacity(want);
+        if self.config.bootstrap_relief {
+            let mut trapped: Vec<PeerId> = self
+                .tracker
+                .peers()
+                .iter()
+                .copied()
+                .filter(|&p| {
+                    self.peers[p.0 as usize]
+                        .as_ref()
+                        .is_some_and(|peer| peer.have.count() <= 1)
+                })
+                .collect();
+            let take = (want / 2).min(trapped.len());
+            for i in 0..take {
+                let j = self.rng.gen_range(i..trapped.len());
+                trapped.swap(i, j);
+            }
+            handout.extend_from_slice(&trapped[..take]);
+        }
+        let rest = self
+            .tracker
+            .handout(id, &handout, want - handout.len(), &mut self.rng);
+        handout.extend(rest);
+        self.peers.push(Some(peer));
+        let evict = self.config.join_eviction;
+        for other in handout {
+            self.add_symmetric_neighbor(id, other, evict);
+        }
+        self.tracker.register(id);
+        self.metrics.arrivals += 1;
+        let obs_lo = u64::from(self.config.observe_from);
+        let obs_hi = obs_lo + u64::from(self.config.observers);
+        if (obs_lo..obs_hi).contains(&id.0) {
+            self.metrics.observers.push(ObserverLog::new(id));
+        }
+        id
+    }
+
+    /// Makes `a` and `b` neighbors symmetrically. With `evict` set (used
+    /// when integrating a joining peer), a full side evicts a random
+    /// neighbor it is not actively connected to — so newcomers always find
+    /// room, as when a BitTorrent client accepts an incoming connection.
+    /// Without it (steady-state top-ups), the add fails if either side is
+    /// full, keeping established neighborhoods stable between tracker
+    /// contacts.
+    fn add_symmetric_neighbor(&mut self, a: PeerId, b: PeerId, evict: bool) -> bool {
+        if a == b || self.peer(a).is_neighbor(b) {
+            return false;
+        }
+        let s = self.config.neighbor_set_size as usize;
+        for id in [a, b] {
+            if self.peer(id).neighbors.len() >= s && (!evict || !self.evict_idle_neighbor(id)) {
+                return false;
+            }
+        }
+        self.peer_mut(a).add_neighbor(b);
+        self.peer_mut(b).add_neighbor(a);
+        true
+    }
+
+    /// Evicts a uniformly random neighbor of `id` that is not an active
+    /// connection, removing the backlink too. Returns false if every
+    /// neighbor is connected.
+    fn evict_idle_neighbor(&mut self, id: PeerId) -> bool {
+        let idle: Vec<PeerId> = self
+            .peer(id)
+            .neighbors
+            .iter()
+            .copied()
+            .filter(|&n| !self.peer(id).is_connected(n))
+            .collect();
+        if idle.is_empty() {
+            return false;
+        }
+        let victim = idle[self.rng.gen_range(0..idle.len())];
+        self.peer_mut(id).remove_neighbor(victim);
+        if let Some(v) = self.peers[victim.0 as usize].as_mut() {
+            v.remove_neighbor(id);
+        }
+        true
+    }
+
+    fn endow_initial(&mut self, id: PeerId) {
+        let endowment = self.config.initial_pieces;
+        let pieces = self.config.pieces;
+        match endowment {
+            InitialPieces::Empty => {}
+            InitialPieces::Random { count } => {
+                let mut got = 0;
+                let mut guard = 0;
+                while got < count && guard < 100_000 {
+                    guard += 1;
+                    let p = self.rng.gen_range(0..pieces);
+                    if self.peer_mut(id).acquire(p, 0) {
+                        got += 1;
+                    }
+                }
+            }
+            InitialPieces::Skewed { count, strength } => {
+                let weights: Vec<f64> = (0..pieces).map(|j| strength.powi(j as i32)).collect();
+                let mut got = 0;
+                let mut guard = 0;
+                while got < count && guard < 10_000 {
+                    guard += 1;
+                    let p = bt_markov::chain::sample_index(&weights, &mut self.rng) as u32;
+                    if self.peer_mut(id).acquire(p, 0) {
+                        got += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn peer(&self, id: PeerId) -> &Peer {
+        self.peers[id.0 as usize]
+            .as_ref()
+            .expect("peer departed but was referenced")
+    }
+
+    fn peer_mut(&mut self, id: PeerId) -> &mut Peer {
+        self.peers[id.0 as usize]
+            .as_mut()
+            .expect("peer departed but was referenced")
+    }
+
+    fn alive_ids(&self) -> Vec<PeerId> {
+        self.tracker.peers().to_vec()
+    }
+
+    fn execute_round(&mut self) {
+        self.maintain_neighbors();
+        self.bootstrap_injection();
+        self.seed_uploads();
+        self.prune_connections();
+        self.establish_connections();
+        self.exchange_pieces();
+        self.handle_completions();
+        self.handle_shakes();
+        self.sample_metrics();
+    }
+
+    /// Symmetric neighbor-set top-up from the tracker.
+    fn maintain_neighbors(&mut self) {
+        let s = self.config.neighbor_set_size as usize;
+        for id in self.alive_ids() {
+            let need = s.saturating_sub(self.peer(id).neighbors.len());
+            if need == 0 {
+                continue;
+            }
+            let exclude = self.peer(id).neighbors.clone();
+            let handout = self.tracker.handout(id, &exclude, need, &mut self.rng);
+            for other in handout {
+                self.add_symmetric_neighbor(id, other, false);
+            }
+        }
+    }
+
+    /// Empty peers acquire a first piece via the seed / optimistic-unchoke
+    /// channel.
+    fn bootstrap_injection(&mut self) {
+        let policy = self.config.bootstrap;
+        let pieces = self.config.pieces;
+        let empty: Vec<PeerId> = self
+            .alive_ids()
+            .into_iter()
+            .filter(|&id| self.peer(id).have.is_empty())
+            .collect();
+        if empty.is_empty() {
+            return;
+        }
+        match policy {
+            BootstrapInjection::Off => {}
+            BootstrapInjection::Uniform => {
+                for id in empty {
+                    let p = self.rng.gen_range(0..pieces);
+                    let round = self.round;
+                    self.peer_mut(id).acquire(p, round);
+                }
+            }
+            BootstrapInjection::Weighted { seed_weight } => {
+                let alive = self.alive_ids();
+                let replication =
+                    replication_counts(pieces, alive.iter().map(|&id| &self.peer(id).have));
+                let weights: Vec<f64> = replication
+                    .iter()
+                    .map(|&d| d as f64 + seed_weight)
+                    .collect();
+                for id in empty {
+                    let p = bt_markov::chain::sample_index(&weights, &mut self.rng) as u32;
+                    let round = self.round;
+                    self.peer_mut(id).acquire(p, round);
+                }
+            }
+        }
+    }
+
+    /// The origin seed uploads `seed_uploads_per_round` pieces to random
+    /// leechers, swarm-rarest-first. Seeds do not enforce tit-for-tat, so
+    /// these pieces are free; this is what keeps every piece obtainable in
+    /// a live swarm and is the physical source of the model's `γ` channel.
+    fn seed_uploads(&mut self) {
+        let uploads = self.config.seed_uploads_per_round;
+        if uploads == 0 {
+            return;
+        }
+        let alive = self.alive_ids();
+        if alive.is_empty() {
+            return;
+        }
+        let pieces = self.config.pieces;
+        let mut replication =
+            replication_counts(pieces, alive.iter().map(|&id| &self.peer(id).have));
+        for _ in 0..uploads {
+            let target = alive[self.rng.gen_range(0..alive.len())];
+            if self.peers[target.0 as usize].is_none() {
+                continue;
+            }
+            let wanted: Vec<u32> = self.peer(target).have.iter_missing().collect();
+            let Some(&min_rep) = wanted.iter().map(|&p| &replication[p as usize]).min() else {
+                continue;
+            };
+            let rarest: Vec<u32> = wanted
+                .into_iter()
+                .filter(|&p| replication[p as usize] == min_rep)
+                .collect();
+            let piece = rarest[self.rng.gen_range(0..rarest.len())];
+            let round = self.round;
+            if self.peer_mut(target).acquire(piece, round) {
+                replication[piece as usize] += 1;
+            }
+        }
+    }
+
+    /// All current connections as canonical `(low, high)` pairs.
+    fn connection_pairs(&self) -> Vec<(PeerId, PeerId)> {
+        let mut pairs = Vec::new();
+        for id in self.alive_ids() {
+            for &other in &self.peer(id).connections {
+                if id < other {
+                    pairs.push((id, other));
+                }
+            }
+        }
+        pairs.sort();
+        pairs
+    }
+
+    /// Drop connections that lost mutual interest or fail the per-round
+    /// survival roll.
+    fn prune_connections(&mut self) {
+        for (a, b) in self.connection_pairs() {
+            let tradable = self.peer(a).have.can_trade_with(&self.peer(b).have);
+            let survives = self.rng.gen::<f64>() < self.config.p_reencounter;
+            if !tradable || !survives {
+                self.peer_mut(a).connections.retain(|&p| p != b);
+                self.peer_mut(b).connections.retain(|&p| p != a);
+            }
+        }
+    }
+
+    /// Fill free connection slots from the potential set: tit-for-tat
+    /// preference with an optimistic-unchoke slot, success `p_n`.
+    fn establish_connections(&mut self) {
+        let k = self.config.max_connections as usize;
+        let mut order = self.alive_ids();
+        // Randomized service order prevents low ids from monopolizing slots.
+        for i in (1..order.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let attempt_cap = self
+            .config
+            .new_connections_per_round
+            .map_or(usize::MAX, |c| c as usize);
+        for id in order {
+            let mut initiated = 0usize;
+            loop {
+                if initiated >= attempt_cap || self.peer(id).connections.len() >= k {
+                    break;
+                }
+                // Potential candidates; with blind encounters the remote
+                // slot occupancy is unknown at selection time.
+                let blind = self.config.blind_encounters;
+                let me = self.peer(id);
+                let mut candidates: Vec<PeerId> = me
+                    .neighbors
+                    .iter()
+                    .copied()
+                    .filter(|&other| {
+                        self.peers[other.0 as usize].as_ref().is_some_and(|o| {
+                            !me.is_connected(other)
+                                && (blind || o.connections.len() < k)
+                                && me.have.can_trade_with(&o.have)
+                        })
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    break;
+                }
+                // Optimistic unchoke or tit-for-tat preference.
+                let choice = if self.rng.gen::<f64>() < self.config.optimistic_prob {
+                    candidates[self.rng.gen_range(0..candidates.len())]
+                } else {
+                    candidates
+                        .sort_by_key(|&c| (std::cmp::Reverse(self.peer(id).credit_for(c)), c));
+                    candidates[0]
+                };
+                // A blind attempt against a fully busy target fails.
+                let target_busy = self.peer(choice).connections.len() >= k;
+                if !target_busy && self.rng.gen::<f64>() < self.config.p_new_connection {
+                    self.peer_mut(id).connections.push(choice);
+                    self.peer_mut(choice).connections.push(id);
+                    initiated += 1;
+                } else {
+                    // Failed attempt consumes the round's chance with this
+                    // candidate; stop trying to avoid infinite retries.
+                    break;
+                }
+            }
+        }
+    }
+
+    /// One piece per direction per connection, strict tit-for-tat.
+    fn exchange_pieces(&mut self) {
+        let pieces = self.config.pieces;
+        let strategy = self.config.piece_selection;
+        // Neighbor-local replication views, computed once per round.
+        let alive = self.alive_ids();
+        let mut replication: Vec<(PeerId, Vec<u64>)> = Vec::with_capacity(alive.len());
+        for &id in &alive {
+            let counts = replication_counts(
+                pieces,
+                self.peer(id)
+                    .neighbors
+                    .iter()
+                    .filter_map(|&n| self.peers[n.0 as usize].as_ref())
+                    .map(|p| &p.have),
+            );
+            replication.push((id, counts));
+        }
+        fn lookup<T>(table: &[(PeerId, T)], id: PeerId) -> &T {
+            table
+                .iter()
+                .find(|&&(p, _)| p == id)
+                .map(|(_, v)| v)
+                .expect("alive peer present in per-round table")
+        }
+        fn lookup_idx<T>(table: &[(PeerId, T)], id: PeerId) -> usize {
+            table
+                .iter()
+                .position(|&(p, _)| p == id)
+                .expect("alive peer present in per-round table")
+        }
+        let mut taken: Vec<(PeerId, Vec<u32>)> = alive.iter().map(|&id| (id, Vec::new())).collect();
+        // Heterogeneous bandwidth: slow peers can serve only a bounded
+        // number of block-transfers per round.
+        let mut budgets: Vec<(PeerId, u32)> = alive
+            .iter()
+            .map(|&id| {
+                let budget = if self.peer(id).slow {
+                    self.config.slow_upload_budget
+                } else {
+                    u32::MAX
+                };
+                (id, budget)
+            })
+            .collect();
+        for (a, b) in self.connection_pairs() {
+            // Strict tit-for-tat needs upload budget on both sides.
+            if *lookup(&budgets, a) == 0 || *lookup(&budgets, b) == 0 {
+                continue;
+            }
+            // Re-check tradability: earlier exchanges this round may have
+            // exhausted the novelty.
+            if !self.peer(a).have.can_trade_with(&self.peer(b).have) {
+                self.peer_mut(a).connections.retain(|&p| p != b);
+                self.peer_mut(b).connections.retain(|&p| p != a);
+                continue;
+            }
+            let have_a = self.peer(a).have.clone();
+            let have_b = self.peer(b).have.clone();
+            // Prefer finishing an in-flight partial piece the uploader has
+            // (block continuity); otherwise pick a fresh piece.
+            let continue_piece =
+                |downloader: &crate::peer::Peer, uploader_have: &crate::piece::Bitfield| {
+                    downloader
+                        .partial
+                        .keys()
+                        .copied()
+                        .filter(|&piece| uploader_have.contains(piece))
+                        .min()
+                };
+            let wanted_a = continue_piece(self.peer(a), &have_b).or_else(|| {
+                let rep_a: &Vec<u64> = lookup(&replication, a);
+                let taken_a: Vec<u32> = lookup(&taken, a).clone();
+                select_piece(strategy, &have_a, &have_b, rep_a, &taken_a, &mut self.rng)
+            });
+            let wanted_b = continue_piece(self.peer(b), &have_a).or_else(|| {
+                let rep_b: &Vec<u64> = lookup(&replication, b);
+                let taken_b: Vec<u32> = lookup(&taken, b).clone();
+                select_piece(strategy, &have_b, &have_a, rep_b, &taken_b, &mut self.rng)
+            });
+            // Strict tit-for-tat: the swap happens only if both directions
+            // carry a block.
+            let (Some(pa), Some(pb)) = (wanted_a, wanted_b) else {
+                continue;
+            };
+            let round = self.round;
+            let blocks = self.config.blocks_per_piece;
+            if self.peer_mut(a).receive_block(pa, blocks, round) {
+                self.peer_mut(a).record_credit(b);
+            }
+            if self.peer_mut(b).receive_block(pb, blocks, round) {
+                self.peer_mut(b).record_credit(a);
+            }
+            let ta = lookup_idx(&taken, a);
+            taken[ta].1.push(pa);
+            let tb = lookup_idx(&taken, b);
+            taken[tb].1.push(pb);
+            for id in [a, b] {
+                let idx = lookup_idx(&budgets, id);
+                budgets[idx].1 = budgets[idx].1.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Completed peers depart immediately (paper assumption).
+    fn handle_completions(&mut self) {
+        let done: Vec<PeerId> = self
+            .alive_ids()
+            .into_iter()
+            .filter(|&id| self.peer(id).have.is_complete())
+            .collect();
+        for id in done {
+            let peer = self.peers[id.0 as usize]
+                .take()
+                .expect("completing peer is alive");
+            self.tracker.deregister(id);
+            for &other in &peer.neighbors {
+                if let Some(o) = self.peers[other.0 as usize].as_mut() {
+                    o.remove_neighbor(id);
+                }
+            }
+            // Peers that joined during warm-up carry transient startup
+            // dynamics; they depart normally but leave no record.
+            if peer.joined_round >= self.config.metrics_warmup_rounds {
+                let mut acq: Vec<u64> = peer
+                    .piece_round
+                    .iter()
+                    .copied()
+                    .filter(|&r| r != u64::MAX)
+                    .collect();
+                acq.sort_unstable();
+                self.metrics.completions.push(CompletionRecord {
+                    id,
+                    joined_round: peer.joined_round,
+                    completed_round: self.round,
+                    acquisition_rounds: acq,
+                    slow: peer.slow,
+                });
+            }
+            self.metrics.departures += 1;
+        }
+    }
+
+    /// Peers crossing the shake threshold drop their whole neighbor set
+    /// (§7.1); the tracker refills them next round.
+    fn handle_shakes(&mut self) {
+        let Some(threshold) = self.config.shake_at else {
+            return;
+        };
+        for id in self.alive_ids() {
+            let peer = self.peer(id);
+            if peer.shaken || peer.completion() < threshold {
+                continue;
+            }
+            let ex_neighbors = self.peer(id).neighbors.clone();
+            self.peer_mut(id).shake();
+            for other in ex_neighbors {
+                if let Some(o) = self.peers[other.0 as usize].as_mut() {
+                    o.remove_neighbor(id);
+                }
+            }
+        }
+    }
+
+    /// The potential set of `id`: alive neighbors with mutual tradability.
+    #[must_use]
+    fn potential_size(&self, id: PeerId) -> u32 {
+        let me = self.peer(id);
+        me.neighbors
+            .iter()
+            .filter(|&&n| {
+                self.peers[n.0 as usize]
+                    .as_ref()
+                    .is_some_and(|o| me.have.can_trade_with(&o.have))
+            })
+            .count() as u32
+    }
+
+    fn sample_metrics(&mut self) {
+        let alive = self.alive_ids();
+        let round = self.round;
+        self.metrics.population.push((round, alive.len() as u64));
+        // Replication entropy over the leecher population.
+        let replication = replication_counts(
+            self.config.pieces,
+            alive.iter().map(|&id| &self.peer(id).have),
+        );
+        self.metrics.entropy.push((round, entropy_of(&replication)));
+        // Potential-set sizes bucketed by pieces held; utilization. Both
+        // are steady-state measurements, so they respect the warm-up.
+        let in_steady_state = round >= self.config.metrics_warmup_rounds;
+        let k = self.config.max_connections as f64;
+        let mut conn_total = 0usize;
+        for &id in &alive {
+            let potential = self.potential_size(id);
+            let held = self.peer(id).have.count() as usize;
+            if in_steady_state {
+                self.metrics.potential_sum_by_pieces[held] += f64::from(potential);
+                self.metrics.potential_count_by_pieces[held] += 1;
+            }
+            conn_total += self.peer(id).connections.len();
+            let obs_lo = u64::from(self.config.observe_from);
+            let obs_hi = obs_lo + u64::from(self.config.observers);
+            if (obs_lo..obs_hi).contains(&id.0) {
+                let connections = self.peer(id).connections.len() as u32;
+                let pieces = self.peer(id).have.count();
+                let log = self
+                    .metrics
+                    .observers
+                    .iter_mut()
+                    .find(|l| l.id == id)
+                    .expect("observer log pre-created at spawn");
+                log.rounds.push(round);
+                log.pieces.push(pieces);
+                log.potential.push(potential);
+                log.connections.push(connections);
+            }
+        }
+        if in_steady_state && !alive.is_empty() {
+            self.metrics.utilization_sum += conn_total as f64 / (alive.len() as f64 * k);
+            self.metrics.utilization_samples += 1;
+        }
+    }
+
+    /// Checks the symmetry invariants (neighbor and connection relations);
+    /// used by tests and debug assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation.
+    pub fn assert_invariants(&self) {
+        for id in self.alive_ids() {
+            let peer = self.peer(id);
+            assert!(
+                peer.connections.len() <= self.config.max_connections as usize,
+                "{id} exceeds k"
+            );
+            for &n in &peer.neighbors {
+                let other = self.peers[n.0 as usize]
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{id} lists departed neighbor {n}"));
+                assert!(
+                    other.is_neighbor(id),
+                    "neighbor relation asymmetric: {id} {n}"
+                );
+            }
+            for &c in &peer.connections {
+                assert!(peer.is_neighbor(c), "{id} connected to non-neighbor {c}");
+                let other = self.peers[c.0 as usize]
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{id} connected to departed {c}"));
+                assert!(other.is_connected(id), "connection asymmetric: {id} {c}");
+            }
+        }
+    }
+}
+
+/// Replication entropy `E = min(d)/max(d)` (§6). Zero for an empty system.
+#[must_use]
+pub fn entropy_of(replication: &[u64]) -> f64 {
+    match (replication.iter().min(), replication.iter().max()) {
+        (Some(&min), Some(&max)) if max > 0 => min as f64 / max as f64,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PieceSelection;
+
+    fn small_config(seed: u64) -> SwarmConfig {
+        SwarmConfig::builder()
+            .pieces(12)
+            .max_connections(3)
+            .neighbor_set_size(6)
+            .arrival_rate(0.5)
+            .initial_leechers(12)
+            .max_rounds(120)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn run_completes_downloads() {
+        let metrics = Swarm::new(small_config(1)).run();
+        assert!(metrics.departures > 0, "no peer completed in 120 rounds");
+        assert_eq!(metrics.departures as usize, metrics.completions.len());
+        for rec in &metrics.completions {
+            assert_eq!(rec.acquisition_rounds.len(), 12);
+            assert!(rec.completed_round >= rec.joined_round);
+            for w in rec.acquisition_rounds.windows(2) {
+                assert!(w[1] >= w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Swarm::new(small_config(7)).run();
+        let b = Swarm::new(small_config(7)).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Swarm::new(small_config(1)).run();
+        let b = Swarm::new(small_config(2)).run();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn invariants_hold_every_round() {
+        let mut swarm = Swarm::new(small_config(3));
+        for _ in 0..60 {
+            swarm.step_round();
+            swarm.assert_invariants();
+        }
+    }
+
+    #[test]
+    fn stop_after_completions_respected() {
+        let config = SwarmConfig::builder()
+            .pieces(8)
+            .max_connections(3)
+            .neighbor_set_size(6)
+            .arrival_rate(1.0)
+            .initial_leechers(16)
+            .max_rounds(500)
+            .stop_after_completions(5)
+            .seed(9)
+            .build()
+            .unwrap();
+        let metrics = Swarm::new(config).run();
+        assert!(metrics.departures >= 5);
+        assert!(metrics.rounds_run < 500, "should stop early");
+    }
+
+    #[test]
+    fn observers_record_trajectories() {
+        let config = SwarmConfig::builder()
+            .pieces(10)
+            .max_connections(3)
+            .neighbor_set_size(6)
+            .arrival_rate(0.0)
+            .initial_leechers(10)
+            .max_rounds(80)
+            .observers(3)
+            .seed(5)
+            .build()
+            .unwrap();
+        let metrics = Swarm::new(config).run();
+        assert_eq!(metrics.observers.len(), 3);
+        for log in &metrics.observers {
+            assert!(!log.is_empty(), "observer {} never sampled", log.id);
+            // Pieces monotone.
+            for w in log.pieces.windows(2) {
+                assert!(w[1] >= w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn entropy_of_cases() {
+        assert_eq!(entropy_of(&[]), 0.0);
+        assert_eq!(entropy_of(&[0, 5]), 0.0);
+        assert_eq!(entropy_of(&[4, 4]), 1.0);
+        assert_eq!(entropy_of(&[1, 4]), 0.25);
+    }
+
+    #[test]
+    fn no_arrivals_zero_rate() {
+        let config = SwarmConfig::builder()
+            .pieces(6)
+            .max_connections(2)
+            .neighbor_set_size(4)
+            .arrival_rate(0.0)
+            .initial_leechers(6)
+            .max_rounds(100)
+            .seed(11)
+            .build()
+            .unwrap();
+        let metrics = Swarm::new(config).run();
+        assert_eq!(metrics.arrivals, 6, "only the initial leechers");
+    }
+
+    #[test]
+    fn arrivals_accumulate_with_rate() {
+        let config = SwarmConfig::builder()
+            .pieces(6)
+            .max_connections(2)
+            .neighbor_set_size(4)
+            .arrival_rate(2.0)
+            .initial_leechers(0)
+            .max_rounds(100)
+            .seed(13)
+            .build()
+            .unwrap();
+        let metrics = Swarm::new(config).run();
+        // Poisson(2/round) over 100 rounds ≈ 200 arrivals.
+        assert!(
+            (100..320).contains(&metrics.arrivals),
+            "got {} arrivals",
+            metrics.arrivals
+        );
+    }
+
+    #[test]
+    fn rarest_first_beats_random_on_entropy() {
+        let run = |strategy| {
+            let config = SwarmConfig::builder()
+                .pieces(16)
+                .max_connections(3)
+                .neighbor_set_size(8)
+                .arrival_rate(1.0)
+                .initial_leechers(20)
+                .max_rounds(150)
+                .piece_selection(strategy)
+                .seed(17)
+                .build()
+                .unwrap();
+            let m = Swarm::new(config).run();
+            let tail = &m.entropy[m.entropy.len() / 2..];
+            tail.iter().map(|&(_, e)| e).sum::<f64>() / tail.len() as f64
+        };
+        let rarest = run(PieceSelection::RarestFirst);
+        let random = run(PieceSelection::RandomFirst);
+        assert!(
+            rarest >= random - 0.15,
+            "rarest-first entropy {rarest} should not trail random {random} badly"
+        );
+    }
+
+    #[test]
+    fn shake_marks_peers() {
+        let config = SwarmConfig::builder()
+            .pieces(10)
+            .max_connections(3)
+            .neighbor_set_size(5)
+            .arrival_rate(0.5)
+            .initial_leechers(10)
+            .max_rounds(100)
+            .shake_at(0.5)
+            .seed(19)
+            .build()
+            .unwrap();
+        let metrics = Swarm::new(config).run();
+        // Peers that completed necessarily crossed the 50% threshold and
+        // must have gone through a shake; the run still completes.
+        assert!(metrics.departures > 0);
+    }
+
+    #[test]
+    fn bootstrap_off_strands_empty_peers() {
+        let config = SwarmConfig::builder()
+            .pieces(6)
+            .max_connections(2)
+            .neighbor_set_size(4)
+            .arrival_rate(0.0)
+            .initial_leechers(8)
+            .bootstrap(BootstrapInjection::Off)
+            .seed_uploads_per_round(0)
+            .max_rounds(50)
+            .seed(23)
+            .build()
+            .unwrap();
+        let metrics = Swarm::new(config).run();
+        assert_eq!(metrics.departures, 0, "nobody can acquire a first piece");
+        assert_eq!(metrics.final_population(), 8);
+    }
+
+    #[test]
+    fn initial_skew_lowers_entropy() {
+        let entropy_with = |endowment| {
+            let config = SwarmConfig::builder()
+                .pieces(10)
+                .max_connections(2)
+                .neighbor_set_size(5)
+                .arrival_rate(0.0)
+                .initial_leechers(30)
+                .initial_pieces(endowment)
+                .bootstrap(BootstrapInjection::Off)
+                .seed_uploads_per_round(0)
+                .max_rounds(1)
+                .seed(29)
+                .build()
+                .unwrap();
+            Swarm::new(config).run().entropy[0].1
+        };
+        let skewed = entropy_with(InitialPieces::Skewed {
+            count: 3,
+            strength: 0.3,
+        });
+        let random = entropy_with(InitialPieces::Random { count: 3 });
+        assert!(
+            skewed < random,
+            "skewed start ({skewed}) must be more skewed than random ({random})"
+        );
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let metrics = Swarm::new(small_config(31)).run();
+        let u = metrics.mean_utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+}
+
+#[cfg(test)]
+mod mechanism_tests {
+    use super::*;
+    use crate::config::InitialPieces;
+    use crate::SwarmConfig;
+
+    #[test]
+    fn shake_clears_and_refills_neighbors() {
+        let config = SwarmConfig::builder()
+            .pieces(10)
+            .max_connections(2)
+            .neighbor_set_size(4)
+            .arrival_rate(0.0)
+            .initial_leechers(12)
+            .shake_at(0.5)
+            .seed(31)
+            .max_rounds(100)
+            .build()
+            .unwrap();
+        let mut swarm = Swarm::new(config);
+        let mut saw_shaken_with_neighbors = false;
+        for _ in 0..100 {
+            swarm.step_round();
+            swarm.assert_invariants();
+            for id in swarm.alive_ids() {
+                let peer = swarm.peer(id);
+                if peer.shaken && !peer.neighbors.is_empty() {
+                    saw_shaken_with_neighbors = true;
+                }
+            }
+        }
+        assert!(
+            saw_shaken_with_neighbors,
+            "a shaken peer must get a fresh neighbor set from the tracker"
+        );
+    }
+
+    #[test]
+    fn new_connections_per_round_caps_initiations() {
+        // With a cap of 1 and no prior connections, a peer can hold at most
+        // 1 + (targets initiated by others) connections after round one.
+        let config = SwarmConfig::builder()
+            .pieces(20)
+            .max_connections(5)
+            .neighbor_set_size(10)
+            .arrival_rate(0.0)
+            .initial_leechers(10)
+            .initial_pieces(InitialPieces::Random { count: 8 })
+            .new_connections_per_round(1)
+            .p_reencounter(1.0)
+            .seed(37)
+            .max_rounds(1)
+            .build()
+            .unwrap();
+        let mut swarm = Swarm::new(config);
+        swarm.step_round();
+        let total: usize = swarm
+            .alive_ids()
+            .iter()
+            .map(|&id| swarm.peer(id).connections.len())
+            .sum();
+        // Each of the 10 peers initiates at most once: at most 10 new
+        // connections, i.e. 20 endpoint slots.
+        assert!(total <= 20, "endpoints {total} exceed one initiation each");
+        assert!(total > 0, "someone should connect");
+    }
+
+    #[test]
+    fn blind_encounters_never_exceed_k() {
+        let config = SwarmConfig::builder()
+            .pieces(20)
+            .max_connections(2)
+            .neighbor_set_size(10)
+            .arrival_rate(0.5)
+            .initial_leechers(12)
+            .initial_pieces(InitialPieces::Random { count: 8 })
+            .blind_encounters(true)
+            .seed(41)
+            .max_rounds(40)
+            .build()
+            .unwrap();
+        let mut swarm = Swarm::new(config);
+        for _ in 0..40 {
+            swarm.step_round();
+            swarm.assert_invariants();
+        }
+    }
+
+    #[test]
+    fn bootstrap_relief_reduces_bootstrap_time() {
+        let run = |relief: bool| {
+            let config = SwarmConfig::builder()
+                .pieces(30)
+                .max_connections(3)
+                .neighbor_set_size(4)
+                .arrival_rate(0.5)
+                .initial_leechers(40)
+                .initial_pieces(InitialPieces::Skewed {
+                    count: 10,
+                    strength: 0.3,
+                })
+                .bootstrap(crate::BootstrapInjection::Weighted { seed_weight: 0.02 })
+                .seed_uploads_per_round(1)
+                .bootstrap_relief(relief)
+                .metrics_warmup_rounds(3)
+                .max_rounds(600)
+                .stop_after_completions(25)
+                .seed(43)
+                .build()
+                .unwrap();
+            Swarm::new(config).run().mean_bootstrap_rounds()
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(
+            with < without,
+            "relief should shorten bootstrap: {with:.2} vs {without:.2}"
+        );
+    }
+
+    #[test]
+    fn warmup_excludes_early_completions() {
+        let config = SwarmConfig::builder()
+            .pieces(8)
+            .max_connections(3)
+            .neighbor_set_size(6)
+            .arrival_rate(1.0)
+            .initial_leechers(10)
+            .metrics_warmup_rounds(5)
+            .max_rounds(80)
+            .seed(47)
+            .build()
+            .unwrap();
+        let metrics = Swarm::new(config).run();
+        // Records only from post-warm-up joiners; departures count all.
+        assert!(metrics.completions.len() as u64 <= metrics.departures);
+        for rec in &metrics.completions {
+            assert!(rec.joined_round >= 5, "{rec:?} joined during warm-up");
+        }
+    }
+
+    #[test]
+    fn seed_uploads_prefer_rarest() {
+        // One peer, B=4: the seed should deliver distinct pieces in
+        // sequence (each upload targets the rarest = an unheld piece).
+        let config = SwarmConfig::builder()
+            .pieces(4)
+            .max_connections(1)
+            .neighbor_set_size(1)
+            .arrival_rate(0.0)
+            .initial_leechers(1)
+            .bootstrap(crate::BootstrapInjection::Off)
+            .seed_uploads_per_round(1)
+            .max_rounds(4)
+            .seed(53)
+            .build()
+            .unwrap();
+        let metrics = Swarm::new(config).run();
+        assert_eq!(metrics.departures, 1, "4 uploads complete 4 pieces");
+        assert_eq!(metrics.completions[0].acquisition_rounds, vec![1, 2, 3, 4]);
+    }
+}
+
+#[cfg(test)]
+mod block_tests {
+    use super::*;
+    use crate::config::InitialPieces;
+    use crate::SwarmConfig;
+
+    fn block_config(blocks: u32, seed: u64) -> SwarmConfig {
+        SwarmConfig::builder()
+            .pieces(10)
+            .max_connections(3)
+            .neighbor_set_size(6)
+            .arrival_rate(0.5)
+            .initial_leechers(10)
+            .initial_pieces(InitialPieces::Random { count: 3 })
+            .blocks_per_piece(blocks)
+            .max_rounds(600)
+            .stop_after_completions(10)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_blocks_rejected() {
+        assert!(SwarmConfig::builder().blocks_per_piece(0).build().is_err());
+    }
+
+    #[test]
+    fn block_mode_completes_downloads() {
+        let metrics = Swarm::new(block_config(4, 1)).run();
+        assert!(metrics.departures >= 10);
+        for rec in &metrics.completions {
+            assert_eq!(rec.acquisition_rounds.len(), 10);
+        }
+    }
+
+    #[test]
+    fn more_blocks_mean_slower_downloads() {
+        let rounds = |blocks| {
+            Swarm::new(block_config(blocks, 2))
+                .run()
+                .mean_download_rounds()
+        };
+        let fast = rounds(1);
+        let slow = rounds(8);
+        assert!(
+            slow > fast * 2.0,
+            "8 blocks/piece ({slow:.1}) should be much slower than 1 ({fast:.1})"
+        );
+    }
+
+    #[test]
+    fn block_mode_keeps_invariants() {
+        let mut swarm = Swarm::new(block_config(4, 3));
+        for _ in 0..80 {
+            swarm.step_round();
+            swarm.assert_invariants();
+            for id in swarm.alive_ids() {
+                let peer = swarm.peer(id);
+                for (&piece, &progress) in &peer.partial {
+                    assert!(progress < 4, "partial progress must stay below completion");
+                    assert!(
+                        !peer.have.contains(piece),
+                        "held pieces must not linger in partial"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_block_matches_legacy_behavior() {
+        // blocks_per_piece = 1 must be byte-identical to the original
+        // piece-per-round semantics (same RNG consumption).
+        let metrics = Swarm::new(block_config(1, 4)).run();
+        assert!(metrics.departures >= 10);
+        // One piece per connection-round: a download of 10 pieces with up
+        // to 3 connections finishes within a handful of rounds.
+        assert!(metrics.mean_download_rounds() < 30.0);
+    }
+}
+
+#[cfg(test)]
+mod bandwidth_tests {
+    use super::*;
+    use crate::config::InitialPieces;
+    use crate::SwarmConfig;
+
+    #[test]
+    fn slow_fraction_validated() {
+        assert!(SwarmConfig::builder()
+            .slow_peer_fraction(1.5)
+            .build()
+            .is_err());
+        assert!(SwarmConfig::builder()
+            .slow_peer_fraction(-0.1)
+            .build()
+            .is_err());
+        assert!(SwarmConfig::builder()
+            .slow_peer_fraction(0.5)
+            .slow_upload_budget(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn slow_peers_download_slower() {
+        let config = SwarmConfig::builder()
+            .pieces(30)
+            .max_connections(4)
+            .neighbor_set_size(10)
+            .arrival_rate(1.5)
+            .initial_leechers(20)
+            .initial_pieces(InitialPieces::Random { count: 10 })
+            .slow_peer_fraction(0.4)
+            .slow_upload_budget(1)
+            .max_rounds(500)
+            .stop_after_completions(120)
+            .seed(61)
+            .build()
+            .unwrap();
+        let metrics = Swarm::new(config).run();
+        let (fast, slow) = metrics.mean_download_rounds_by_class();
+        assert!(
+            fast.is_finite() && slow.is_finite(),
+            "both classes complete"
+        );
+        assert!(
+            slow > fast,
+            "strict tit-for-tat makes slow peers slower: fast {fast:.1} vs slow {slow:.1}"
+        );
+    }
+
+    #[test]
+    fn homogeneous_default_has_no_slow_completions() {
+        let config = SwarmConfig::builder()
+            .pieces(10)
+            .max_connections(3)
+            .neighbor_set_size(6)
+            .arrival_rate(0.5)
+            .initial_leechers(10)
+            .max_rounds(100)
+            .seed(67)
+            .build()
+            .unwrap();
+        let metrics = Swarm::new(config).run();
+        assert!(metrics.completions.iter().all(|r| !r.slow));
+        let (_, slow_mean) = metrics.mean_download_rounds_by_class();
+        assert!(slow_mean.is_nan());
+    }
+}

@@ -1,0 +1,380 @@
+//! Measurement collection for swarm runs.
+//!
+//! Everything the paper's figures need: per-round population and entropy
+//! series (Fig. 4(b)/(c)), potential-set size aggregated by piece count
+//! (Fig. 1(a)), first-passage times to each piece count (Fig. 1(b)),
+//! per-acquisition-index inter-piece times (Fig. 4(d)), connection-slot
+//! utilization (Fig. 4(a)), and full per-round logs for designated
+//! observer peers (Fig. 2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::peer::PeerId;
+
+/// Outcome record of a completed download.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletionRecord {
+    /// The peer that completed.
+    pub id: PeerId,
+    /// Round it joined.
+    pub joined_round: u64,
+    /// Round it held the full file.
+    pub completed_round: u64,
+    /// Rounds (absolute) at which the 1st, 2nd, … piece was acquired,
+    /// sorted ascending.
+    pub acquisition_rounds: Vec<u64>,
+    /// Whether the peer belonged to the slow bandwidth class.
+    #[serde(default)]
+    pub slow: bool,
+}
+
+impl CompletionRecord {
+    /// Total download duration in rounds.
+    #[must_use]
+    pub fn duration(&self) -> u64 {
+        self.completed_round - self.joined_round
+    }
+
+    /// Rounds spent waiting for the `j`-th piece (1-based):
+    /// `acq[j] − acq[j−1]`, with the first piece measured from the join
+    /// round. Returns `None` if `j` is out of range.
+    #[must_use]
+    pub fn inter_piece_time(&self, j: usize) -> Option<u64> {
+        if j == 0 || j > self.acquisition_rounds.len() {
+            return None;
+        }
+        let prev = if j == 1 {
+            self.joined_round
+        } else {
+            self.acquisition_rounds[j - 2]
+        };
+        Some(self.acquisition_rounds[j - 1].saturating_sub(prev))
+    }
+}
+
+/// Per-round log of a designated observer peer — the raw material of the
+/// paper's Fig. 2 and of the trace toolkit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObserverLog {
+    /// The observed peer.
+    pub id: PeerId,
+    /// Sampled rounds (absolute).
+    pub rounds: Vec<u64>,
+    /// Pieces held at each sample.
+    pub pieces: Vec<u32>,
+    /// Potential-set size at each sample.
+    pub potential: Vec<u32>,
+    /// Active connections at each sample.
+    pub connections: Vec<u32>,
+}
+
+impl ObserverLog {
+    /// Creates an empty log for `id`.
+    #[must_use]
+    pub fn new(id: PeerId) -> Self {
+        ObserverLog {
+            id,
+            rounds: Vec::new(),
+            pieces: Vec::new(),
+            potential: Vec::new(),
+            connections: Vec::new(),
+        }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+}
+
+/// Aggregated metrics of a swarm run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SwarmMetrics {
+    /// `(round, leecher population)` samples.
+    pub population: Vec<(u64, u64)>,
+    /// `(round, entropy E = min(d)/max(d))` samples.
+    pub entropy: Vec<(u64, f64)>,
+    /// Completion records, in completion order.
+    pub completions: Vec<CompletionRecord>,
+    /// Σ potential-set sizes, bucketed by pieces held.
+    pub potential_sum_by_pieces: Vec<f64>,
+    /// Sample counts per bucket.
+    pub potential_count_by_pieces: Vec<u64>,
+    /// Σ per-round slot utilization samples.
+    pub utilization_sum: f64,
+    /// Number of utilization samples.
+    pub utilization_samples: u64,
+    /// Full logs of observer peers.
+    pub observers: Vec<ObserverLog>,
+    /// Total arrivals (including initial leechers).
+    pub arrivals: u64,
+    /// Total completed departures.
+    pub departures: u64,
+    /// Rounds executed.
+    pub rounds_run: u64,
+}
+
+impl SwarmMetrics {
+    /// Creates an empty collector for a file of `pieces` pieces.
+    #[must_use]
+    pub fn new(pieces: u32) -> Self {
+        SwarmMetrics {
+            potential_sum_by_pieces: vec![0.0; pieces as usize + 1],
+            potential_count_by_pieces: vec![0; pieces as usize + 1],
+            ..SwarmMetrics::default()
+        }
+    }
+
+    /// Mean potential-set size at each piece count (NaN where unobserved)
+    /// — the Fig. 1(a) series before normalization.
+    #[must_use]
+    pub fn mean_potential_by_pieces(&self) -> Vec<f64> {
+        self.potential_sum_by_pieces
+            .iter()
+            .zip(&self.potential_count_by_pieces)
+            .map(|(&sum, &n)| if n == 0 { f64::NAN } else { sum / n as f64 })
+            .collect()
+    }
+
+    /// Fig. 1(a): mean potential-set size divided by the neighbor-set size.
+    #[must_use]
+    pub fn potential_ratio_by_pieces(&self, neighbor_set_size: u32) -> Vec<f64> {
+        self.mean_potential_by_pieces()
+            .iter()
+            .map(|v| v / f64::from(neighbor_set_size))
+            .collect()
+    }
+
+    /// Fig. 1(b): mean round (relative to join) at which completed peers
+    /// first held `b` pieces, for `b = 0..=B` (NaN if no completions).
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // index b is the piece count itself
+    pub fn mean_time_to_pieces(&self, pieces: u32) -> Vec<f64> {
+        let mut out = vec![f64::NAN; pieces as usize + 1];
+        if self.completions.is_empty() {
+            return out;
+        }
+        out[0] = 0.0;
+        for b in 1..=pieces as usize {
+            let mut sum = 0.0;
+            let mut n = 0u64;
+            for rec in &self.completions {
+                if let Some(&round) = rec.acquisition_rounds.get(b - 1) {
+                    sum += (round - rec.joined_round) as f64;
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                out[b] = sum / n as f64;
+            }
+        }
+        out
+    }
+
+    /// Fig. 4(d): mean inter-piece time for each acquisition index
+    /// `1..=B` over completed peers (index 0 of the result is unused NaN).
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // index j is the acquisition index
+    pub fn mean_inter_piece_times(&self, pieces: u32) -> Vec<f64> {
+        let mut out = vec![f64::NAN; pieces as usize + 1];
+        for j in 1..=pieces as usize {
+            let mut sum = 0.0;
+            let mut n = 0u64;
+            for rec in &self.completions {
+                if let Some(t) = rec.inter_piece_time(j) {
+                    sum += t as f64;
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                out[j] = sum / n as f64;
+            }
+        }
+        out
+    }
+
+    /// Mean bootstrap duration over completions: rounds from joining to
+    /// holding a second piece (the paper's bootstrap-phase exit). NaN if
+    /// there are no completions with at least two pieces.
+    #[must_use]
+    pub fn mean_bootstrap_rounds(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for rec in &self.completions {
+            if let Some(&second) = rec.acquisition_rounds.get(1) {
+                sum += (second - rec.joined_round) as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            f64::NAN
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Mean download duration in rounds split by bandwidth class:
+    /// `(fast, slow)`; NaN entries where a class has no completions.
+    #[must_use]
+    pub fn mean_download_rounds_by_class(&self) -> (f64, f64) {
+        let mean_of = |slow: bool| {
+            let durations: Vec<f64> = self
+                .completions
+                .iter()
+                .filter(|r| r.slow == slow)
+                .map(|r| r.duration() as f64)
+                .collect();
+            if durations.is_empty() {
+                f64::NAN
+            } else {
+                durations.iter().sum::<f64>() / durations.len() as f64
+            }
+        };
+        (mean_of(false), mean_of(true))
+    }
+
+    /// Mean download duration in rounds over completions (NaN if none).
+    #[must_use]
+    pub fn mean_download_rounds(&self) -> f64 {
+        if self.completions.is_empty() {
+            return f64::NAN;
+        }
+        self.completions
+            .iter()
+            .map(|r| r.duration() as f64)
+            .sum::<f64>()
+            / self.completions.len() as f64
+    }
+
+    /// Average connection-slot utilization (the Fig. 4(a) "simulation"
+    /// series); NaN if never sampled.
+    #[must_use]
+    pub fn mean_utilization(&self) -> f64 {
+        if self.utilization_samples == 0 {
+            f64::NAN
+        } else {
+            self.utilization_sum / self.utilization_samples as f64
+        }
+    }
+
+    /// Final entropy sample, or NaN.
+    #[must_use]
+    pub fn final_entropy(&self) -> f64 {
+        self.entropy.last().map_or(f64::NAN, |&(_, e)| e)
+    }
+
+    /// Final population sample, or 0.
+    #[must_use]
+    pub fn final_population(&self) -> u64 {
+        self.population.last().map_or(0, |&(_, p)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(joined: u64, acq: &[u64]) -> CompletionRecord {
+        CompletionRecord {
+            id: PeerId(1),
+            joined_round: joined,
+            completed_round: *acq.last().unwrap(),
+            acquisition_rounds: acq.to_vec(),
+            slow: false,
+        }
+    }
+
+    #[test]
+    fn completion_duration_and_gaps() {
+        let rec = record(10, &[12, 13, 17]);
+        assert_eq!(rec.duration(), 7);
+        assert_eq!(rec.inter_piece_time(1), Some(2));
+        assert_eq!(rec.inter_piece_time(2), Some(1));
+        assert_eq!(rec.inter_piece_time(3), Some(4));
+        assert_eq!(rec.inter_piece_time(0), None);
+        assert_eq!(rec.inter_piece_time(4), None);
+    }
+
+    #[test]
+    fn mean_time_to_pieces_averages_over_completions() {
+        let mut m = SwarmMetrics::new(3);
+        m.completions.push(record(0, &[1, 2, 3]));
+        m.completions.push(record(10, &[13, 14, 15]));
+        let mean = m.mean_time_to_pieces(3);
+        assert_eq!(mean[0], 0.0);
+        assert!((mean[1] - 2.0).abs() < 1e-12); // (1 + 3) / 2
+        assert!((mean[3] - 4.0).abs() < 1e-12); // (3 + 5) / 2
+    }
+
+    #[test]
+    fn mean_time_to_pieces_empty_is_nan() {
+        let m = SwarmMetrics::new(3);
+        assert!(m.mean_time_to_pieces(3).iter().all(|v| v.is_nan()));
+        assert!(m.mean_download_rounds().is_nan());
+    }
+
+    #[test]
+    fn inter_piece_means() {
+        let mut m = SwarmMetrics::new(3);
+        m.completions.push(record(0, &[1, 2, 10]));
+        let gaps = m.mean_inter_piece_times(3);
+        assert!(gaps[0].is_nan());
+        assert!((gaps[3] - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn potential_ratio_normalizes() {
+        let mut m = SwarmMetrics::new(2);
+        m.potential_sum_by_pieces[1] = 30.0;
+        m.potential_count_by_pieces[1] = 10;
+        let ratio = m.potential_ratio_by_pieces(6);
+        assert!((ratio[1] - 0.5).abs() < 1e-12);
+        assert!(ratio[0].is_nan());
+    }
+
+    #[test]
+    fn utilization_mean() {
+        let mut m = SwarmMetrics::new(2);
+        assert!(m.mean_utilization().is_nan());
+        m.utilization_sum = 1.5;
+        m.utilization_samples = 3;
+        assert!((m.mean_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn final_series_accessors() {
+        let mut m = SwarmMetrics::new(2);
+        assert!(m.final_entropy().is_nan());
+        assert_eq!(m.final_population(), 0);
+        m.entropy.push((5, 0.7));
+        m.population.push((5, 42));
+        assert_eq!(m.final_entropy(), 0.7);
+        assert_eq!(m.final_population(), 42);
+    }
+
+    #[test]
+    fn observer_log_len() {
+        let mut log = ObserverLog::new(PeerId(0));
+        assert!(log.is_empty());
+        log.rounds.push(1);
+        log.pieces.push(0);
+        log.potential.push(2);
+        log.connections.push(0);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn metrics_serialize() {
+        let m = SwarmMetrics::new(4);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: SwarmMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,281 @@
+//! Pieces and piece-possession bitfields.
+
+use rand::Rng;
+
+/// Identifier of a piece: its index in `0..B`.
+pub type PieceId = u32;
+
+/// A fixed-size bitfield recording which of a file's `B` pieces a peer
+/// holds.
+///
+/// # Example
+///
+/// ```
+/// use bt_swarm::piece::Bitfield;
+///
+/// let mut have = Bitfield::new(10);
+/// have.set(3);
+/// have.set(7);
+/// assert_eq!(have.count(), 2);
+/// assert!(have.contains(3));
+/// assert!(!have.is_complete());
+/// let missing: Vec<u32> = have.iter_missing().collect();
+/// assert_eq!(missing.len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bitfield {
+    words: Vec<u64>,
+    len: u32,
+    count: u32,
+}
+
+impl Bitfield {
+    /// Creates an empty bitfield over `len` pieces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    #[must_use]
+    pub fn new(len: u32) -> Self {
+        assert!(len > 0, "a file has at least one piece");
+        Bitfield {
+            words: vec![0; (len as usize).div_ceil(64)],
+            len,
+            count: 0,
+        }
+    }
+
+    /// Creates a complete bitfield (a seed's possession map).
+    #[must_use]
+    pub fn full(len: u32) -> Self {
+        let mut bf = Bitfield::new(len);
+        for p in 0..len {
+            bf.set(p);
+        }
+        bf
+    }
+
+    /// Number of pieces in the file.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether the peer holds no pieces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of pieces held.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether all pieces are held.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.count == self.len
+    }
+
+    /// Whether piece `p` is held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= len`.
+    #[must_use]
+    pub fn contains(&self, p: PieceId) -> bool {
+        assert!(p < self.len, "piece {p} out of range {}", self.len);
+        self.words[(p / 64) as usize] & (1 << (p % 64)) != 0
+    }
+
+    /// Marks piece `p` as held. Returns `true` if it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= len`.
+    pub fn set(&mut self, p: PieceId) -> bool {
+        assert!(p < self.len, "piece {p} out of range {}", self.len);
+        let word = &mut self.words[(p / 64) as usize];
+        let mask = 1 << (p % 64);
+        if *word & mask != 0 {
+            return false;
+        }
+        *word |= mask;
+        self.count += 1;
+        true
+    }
+
+    /// Iterates over held pieces in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = PieceId> + '_ {
+        (0..self.len).filter(move |&p| self.contains(p))
+    }
+
+    /// Iterates over missing pieces in increasing order.
+    pub fn iter_missing(&self) -> impl Iterator<Item = PieceId> + '_ {
+        (0..self.len).filter(move |&p| !self.contains(p))
+    }
+
+    /// Whether `other` holds at least one piece that `self` lacks
+    /// (`self` is *interested in* `other`, in protocol terms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitfields cover different files.
+    #[must_use]
+    pub fn is_interested_in(&self, other: &Bitfield) -> bool {
+        assert_eq!(self.len, other.len, "bitfields cover different files");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(mine, theirs)| theirs & !mine != 0)
+    }
+
+    /// Whether `self` and `other` can trade under strict tit-for-tat:
+    /// each holds at least one piece the other lacks (the paper's
+    /// potential-set membership test).
+    #[must_use]
+    pub fn can_trade_with(&self, other: &Bitfield) -> bool {
+        self.is_interested_in(other) && other.is_interested_in(self)
+    }
+
+    /// Pieces `other` holds that `self` lacks, in increasing order.
+    #[must_use]
+    pub fn wanted_from(&self, other: &Bitfield) -> Vec<PieceId> {
+        assert_eq!(self.len, other.len, "bitfields cover different files");
+        (0..self.len)
+            .filter(|&p| other.contains(p) && !self.contains(p))
+            .collect()
+    }
+
+    /// A uniformly random missing piece, or `None` if complete.
+    pub fn random_missing<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<PieceId> {
+        let missing: Vec<PieceId> = self.iter_missing().collect();
+        if missing.is_empty() {
+            None
+        } else {
+            Some(missing[rng.gen_range(0..missing.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn new_is_empty_full_is_complete() {
+        let empty = Bitfield::new(100);
+        assert!(empty.is_empty());
+        assert_eq!(empty.count(), 0);
+        let full = Bitfield::full(100);
+        assert!(full.is_complete());
+        assert_eq!(full.count(), 100);
+    }
+
+    #[test]
+    fn set_is_idempotent() {
+        let mut bf = Bitfield::new(65);
+        assert!(bf.set(64));
+        assert!(!bf.set(64));
+        assert_eq!(bf.count(), 1);
+        assert!(bf.contains(64));
+        assert!(!bf.contains(63));
+    }
+
+    #[test]
+    fn iter_and_missing_partition() {
+        let mut bf = Bitfield::new(10);
+        bf.set(1);
+        bf.set(9);
+        let have: Vec<_> = bf.iter().collect();
+        let missing: Vec<_> = bf.iter_missing().collect();
+        assert_eq!(have, vec![1, 9]);
+        assert_eq!(have.len() + missing.len(), 10);
+        assert!(!missing.contains(&1));
+    }
+
+    #[test]
+    fn interest_is_directional() {
+        let mut a = Bitfield::new(4);
+        let mut b = Bitfield::new(4);
+        a.set(0);
+        b.set(0);
+        b.set(1);
+        assert!(a.is_interested_in(&b)); // b has piece 1
+        assert!(!b.is_interested_in(&a)); // a has nothing new
+        assert!(!a.can_trade_with(&b));
+    }
+
+    #[test]
+    fn trade_requires_mutual_novelty() {
+        let mut a = Bitfield::new(4);
+        let mut b = Bitfield::new(4);
+        a.set(0);
+        b.set(1);
+        assert!(a.can_trade_with(&b));
+        assert!(b.can_trade_with(&a));
+    }
+
+    #[test]
+    fn identical_sets_cannot_trade() {
+        let mut a = Bitfield::new(4);
+        let mut b = Bitfield::new(4);
+        for p in [0, 2] {
+            a.set(p);
+            b.set(p);
+        }
+        assert!(!a.can_trade_with(&b));
+    }
+
+    #[test]
+    fn wanted_from_lists_difference() {
+        let mut a = Bitfield::new(5);
+        let mut b = Bitfield::new(5);
+        a.set(0);
+        b.set(0);
+        b.set(2);
+        b.set(4);
+        assert_eq!(a.wanted_from(&b), vec![2, 4]);
+        assert!(b.wanted_from(&a).is_empty());
+    }
+
+    #[test]
+    fn random_missing_respects_support() {
+        let mut bf = Bitfield::new(6);
+        for p in [0, 1, 2, 4, 5] {
+            bf.set(p);
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            assert_eq!(bf.random_missing(&mut rng), Some(3));
+        }
+        bf.set(3);
+        assert_eq!(bf.random_missing(&mut rng), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn contains_bounds_checked() {
+        let _ = Bitfield::new(5).contains(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different files")]
+    fn interest_requires_same_len() {
+        let _ = Bitfield::new(5).is_interested_in(&Bitfield::new(6));
+    }
+
+    #[test]
+    fn word_boundary_cases() {
+        let mut bf = Bitfield::new(128);
+        bf.set(63);
+        bf.set(64);
+        bf.set(127);
+        assert_eq!(bf.iter().collect::<Vec<_>>(), vec![63, 64, 127]);
+        assert_eq!(bf.count(), 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! Canned scenario configurations for the paper's experiments.
+//!
+//! Each function returns a validated [`SwarmConfig`] matching one of the
+//! evaluation setups; the bench harness and examples build on these so the
+//! parameters live in exactly one place.
+
+use crate::config::{InitialPieces, SwarmConfig};
+use crate::Result;
+
+/// Fig. 1 setup: `B = 200`, `k = 7`, steady Poisson arrivals, sweepable
+/// peer-set size. Stops after `completions` downloads finish.
+///
+/// # Errors
+///
+/// Propagates config validation errors (only possible for `pss == 0`).
+pub fn download_evolution(pss: u32, completions: u64, seed: u64) -> Result<SwarmConfig> {
+    SwarmConfig::builder()
+        .pieces(200)
+        .max_connections(7)
+        .neighbor_set_size(pss)
+        .arrival_rate(2.0)
+        .initial_leechers(40)
+        .initial_pieces(InitialPieces::Random { count: 60 })
+        .metrics_warmup_rounds(100)
+        .max_rounds(3_000)
+        .stop_after_completions(completions)
+        .seed(seed)
+        .build()
+}
+
+/// Fig. 4(a) setup: efficiency measurement at a given connection cap `k`.
+/// A well-provisioned swarm (large `s`, steady arrivals) so the connection
+/// dynamics — not peer scarcity — bound the utilization.
+///
+/// # Errors
+///
+/// Propagates config validation errors (only possible for `k == 0`).
+pub fn efficiency(k: u32, p_r: f64, seed: u64) -> Result<SwarmConfig> {
+    SwarmConfig::builder()
+        .pieces(100)
+        .max_connections(k)
+        .neighbor_set_size(40)
+        .arrival_rate(3.0)
+        .initial_leechers(60)
+        .p_reencounter(p_r)
+        .new_connections_per_round(1)
+        .max_rounds(400)
+        .seed(seed)
+        .build()
+}
+
+/// Fig. 4(b)/(c) setup: stability under a skewed initial state with heavy
+/// arrivals, comparing piece counts `B` (the paper contrasts 3 vs 10).
+///
+/// # Errors
+///
+/// Propagates config validation errors (only possible for `pieces == 0`).
+pub fn stability(pieces: u32, seed: u64) -> Result<SwarmConfig> {
+    SwarmConfig::builder()
+        .pieces(pieces)
+        .max_connections(3)
+        .neighbor_set_size(15)
+        .arrival_rate(20.0)
+        .initial_leechers(300)
+        .initial_pieces(InitialPieces::Skewed {
+            count: (pieces / 3).max(1),
+            strength: 0.25,
+        })
+        .max_rounds(400)
+        .seed(seed)
+        .build()
+}
+
+/// Fig. 4(d) setup: last-piece study, `B = 200`, optionally with peer-set
+/// shaking at 90% (the paper's modification).
+///
+/// # Errors
+///
+/// Propagates config validation errors (infallible for these constants).
+pub fn shake_study(shake: bool, completions: u64, seed: u64) -> Result<SwarmConfig> {
+    let mut builder = SwarmConfig::builder();
+    builder
+        .pieces(200)
+        .max_connections(4)
+        .neighbor_set_size(4)
+        .arrival_rate(1.0)
+        .initial_leechers(30)
+        .seed_uploads_per_round(1)
+        .join_eviction(false)
+        .max_rounds(6_000)
+        .stop_after_completions(completions)
+        .seed(seed);
+    if shake {
+        builder.shake_at(0.9);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Swarm;
+
+    #[test]
+    fn presets_validate() {
+        assert!(download_evolution(40, 100, 0).is_ok());
+        assert!(efficiency(4, 0.9, 0).is_ok());
+        assert!(stability(10, 0).is_ok());
+        assert!(shake_study(true, 50, 0).is_ok());
+        assert!(shake_study(false, 50, 0).is_ok());
+    }
+
+    #[test]
+    fn preset_parameters_match_paper() {
+        let fig1 = download_evolution(25, 10, 1).unwrap();
+        assert_eq!(fig1.pieces, 200);
+        assert_eq!(fig1.max_connections, 7);
+        assert_eq!(fig1.neighbor_set_size, 25);
+        let shake = shake_study(true, 10, 1).unwrap();
+        assert_eq!(shake.shake_at, Some(0.9));
+        assert_eq!(shake.pieces, 200);
+        assert_eq!(shake.neighbor_set_size, 4);
+    }
+
+    #[test]
+    fn stability_preset_is_skewed() {
+        let c = stability(3, 0).unwrap();
+        assert!(matches!(c.initial_pieces, InitialPieces::Skewed { .. }));
+        assert_eq!(c.pieces, 3);
+    }
+
+    #[test]
+    fn small_scale_preset_runs() {
+        // A scaled-down variant of the efficiency preset actually executes.
+        let mut c = efficiency(2, 0.9, 3).unwrap();
+        c.max_rounds = 30;
+        c.initial_leechers = 15;
+        let metrics = Swarm::new(c).run();
+        assert_eq!(metrics.rounds_run, 30);
+        assert!(metrics.mean_utilization() > 0.0);
+    }
+}

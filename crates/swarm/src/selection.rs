@@ -1,0 +1,256 @@
+//! Piece-selection strategies (§2.1): rarest-first and random-first.
+
+use rand::Rng;
+
+use crate::config::PieceSelection;
+use crate::piece::{Bitfield, PieceId};
+
+/// Picks which piece to download from a connected peer.
+///
+/// * `mine` — the downloader's bitfield;
+/// * `theirs` — the uploader's bitfield;
+/// * `replication` — per-piece replication counts over the downloader's
+///   neighbor set (used by rarest-first; ties broken uniformly at random);
+/// * `taken` — pieces already claimed this round on other connections
+///   (avoids downloading the same piece twice in one round).
+///
+/// Returns `None` when the uploader has nothing new to offer.
+///
+/// # Example
+///
+/// ```
+/// use bt_swarm::config::PieceSelection;
+/// use bt_swarm::piece::Bitfield;
+/// use bt_swarm::selection::select_piece;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mine = Bitfield::new(4);
+/// let theirs = Bitfield::full(4);
+/// let replication = [5, 1, 5, 5]; // piece 1 is rare
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let picked = select_piece(
+///     PieceSelection::RarestFirst,
+///     &mine,
+///     &theirs,
+///     &replication,
+///     &[],
+///     &mut rng,
+/// );
+/// assert_eq!(picked, Some(1));
+/// ```
+pub fn select_piece<R: Rng + ?Sized>(
+    strategy: PieceSelection,
+    mine: &Bitfield,
+    theirs: &Bitfield,
+    replication: &[u64],
+    taken: &[PieceId],
+    rng: &mut R,
+) -> Option<PieceId> {
+    let mut wanted: Vec<PieceId> = mine
+        .wanted_from(theirs)
+        .into_iter()
+        .filter(|p| !taken.contains(p))
+        .collect();
+    if wanted.is_empty() {
+        // Fall back to pieces already claimed elsewhere rather than idling
+        // the connection — duplicates are deduplicated on receipt.
+        wanted = mine.wanted_from(theirs);
+    }
+    if wanted.is_empty() {
+        return None;
+    }
+    match strategy {
+        PieceSelection::RandomFirst => Some(wanted[rng.gen_range(0..wanted.len())]),
+        PieceSelection::RarestFirst => {
+            assert!(
+                replication.len() == mine.len() as usize,
+                "replication vector must cover all {} pieces",
+                mine.len()
+            );
+            let min_rep = wanted
+                .iter()
+                .map(|&p| replication[p as usize])
+                .min()
+                .expect("wanted is non-empty");
+            let rarest: Vec<PieceId> = wanted
+                .into_iter()
+                .filter(|&p| replication[p as usize] == min_rep)
+                .collect();
+            Some(rarest[rng.gen_range(0..rarest.len())])
+        }
+    }
+}
+
+/// Per-piece replication counts over a collection of bitfields (the view a
+/// peer has of its neighbor set, and the quantity whose skew defines the
+/// §6 entropy).
+#[must_use]
+pub fn replication_counts<'a, I>(pieces: u32, fields: I) -> Vec<u64>
+where
+    I: IntoIterator<Item = &'a Bitfield>,
+{
+    let mut counts = vec![0u64; pieces as usize];
+    for field in fields {
+        for p in field.iter() {
+            counts[p as usize] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bf(pieces: u32, have: &[u32]) -> Bitfield {
+        let mut b = Bitfield::new(pieces);
+        for &p in have {
+            b.set(p);
+        }
+        b
+    }
+
+    #[test]
+    fn rarest_first_picks_minimum_replication() {
+        let mine = bf(5, &[0]);
+        let theirs = bf(5, &[1, 2, 3]);
+        let replication = [9, 4, 1, 4, 9];
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            let p = select_piece(
+                PieceSelection::RarestFirst,
+                &mine,
+                &theirs,
+                &replication,
+                &[],
+                &mut rng,
+            );
+            assert_eq!(p, Some(2));
+        }
+    }
+
+    #[test]
+    fn rarest_first_breaks_ties_within_minimum() {
+        let mine = bf(4, &[]);
+        let theirs = bf(4, &[0, 1, 2, 3]);
+        let replication = [2, 2, 7, 7];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let p = select_piece(
+                PieceSelection::RarestFirst,
+                &mine,
+                &theirs,
+                &replication,
+                &[],
+                &mut rng,
+            )
+            .unwrap();
+            assert!(p < 2, "only pieces 0 and 1 are rarest, got {p}");
+            seen.insert(p);
+        }
+        assert_eq!(seen.len(), 2, "both ties should be hit eventually");
+    }
+
+    #[test]
+    fn random_first_covers_all_wanted() {
+        let mine = bf(6, &[0]);
+        let theirs = bf(6, &[1, 2, 3, 4, 5]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(
+                select_piece(
+                    PieceSelection::RandomFirst,
+                    &mine,
+                    &theirs,
+                    &[],
+                    &[],
+                    &mut rng,
+                )
+                .unwrap(),
+            );
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn nothing_to_offer_returns_none() {
+        let mine = bf(4, &[0, 1]);
+        let theirs = bf(4, &[0, 1]);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(
+            select_piece(
+                PieceSelection::RandomFirst,
+                &mine,
+                &theirs,
+                &[],
+                &[],
+                &mut rng
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn taken_pieces_avoided_when_alternatives_exist() {
+        let mine = bf(4, &[]);
+        let theirs = bf(4, &[0, 1]);
+        let replication = [1, 1, 1, 1];
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let p = select_piece(
+                PieceSelection::RarestFirst,
+                &mine,
+                &theirs,
+                &replication,
+                &[0],
+                &mut rng,
+            );
+            assert_eq!(p, Some(1));
+        }
+    }
+
+    #[test]
+    fn taken_fallback_when_everything_claimed() {
+        let mine = bf(4, &[]);
+        let theirs = bf(4, &[2]);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Piece 2 is already claimed, but it is all the uploader has.
+        let p = select_piece(
+            PieceSelection::RandomFirst,
+            &mine,
+            &theirs,
+            &[],
+            &[2],
+            &mut rng,
+        );
+        assert_eq!(p, Some(2));
+    }
+
+    #[test]
+    fn replication_counts_sum() {
+        let fields = [bf(4, &[0, 1]), bf(4, &[1, 2]), bf(4, &[1])];
+        let counts = replication_counts(4, fields.iter());
+        assert_eq!(counts, vec![1, 3, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication vector")]
+    fn rarest_first_checks_replication_length() {
+        let mine = bf(4, &[]);
+        let theirs = bf(4, &[0]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = select_piece(
+            PieceSelection::RarestFirst,
+            &mine,
+            &theirs,
+            &[1, 2],
+            &[],
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! The tracker: peer registry and random peer handout.
+//!
+//! Mirrors the paper's §2.1 description: a joining peer obtains a random
+//! peer list from the tracker, refreshes it on periodic contact, and — in
+//! the §7.1 *shake* extension — can request an entirely fresh random set.
+
+use rand::Rng;
+
+use crate::peer::PeerId;
+
+/// The swarm tracker. Keeps the set of alive peers in join order (which
+/// keeps handouts deterministic for a given RNG stream).
+#[derive(Debug, Clone, Default)]
+pub struct Tracker {
+    alive: Vec<PeerId>,
+}
+
+impl Tracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Tracker::default()
+    }
+
+    /// Number of registered peers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether no peers are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Registers a peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer is already registered (identifiers are unique).
+    pub fn register(&mut self, id: PeerId) {
+        assert!(
+            !self.alive.contains(&id),
+            "{id} registered twice with the tracker"
+        );
+        self.alive.push(id);
+    }
+
+    /// Deregisters a departing peer. Returns `true` if it was registered.
+    pub fn deregister(&mut self, id: PeerId) -> bool {
+        let before = self.alive.len();
+        self.alive.retain(|&p| p != id);
+        before != self.alive.len()
+    }
+
+    /// The alive peers in join order.
+    #[must_use]
+    pub fn peers(&self) -> &[PeerId] {
+        &self.alive
+    }
+
+    /// Hands out up to `count` distinct random peers, excluding `requester`
+    /// and anything in `exclude`.
+    ///
+    /// Sampling is a partial Fisher–Yates over a candidate list, so the
+    /// result is uniform without replacement.
+    pub fn handout<R: Rng + ?Sized>(
+        &self,
+        requester: PeerId,
+        exclude: &[PeerId],
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<PeerId> {
+        let mut candidates: Vec<PeerId> = self
+            .alive
+            .iter()
+            .copied()
+            .filter(|&p| p != requester && !exclude.contains(&p))
+            .collect();
+        let take = count.min(candidates.len());
+        for i in 0..take {
+            let j = rng.gen_range(i..candidates.len());
+            candidates.swap(i, j);
+        }
+        candidates.truncate(take);
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn register_and_deregister() {
+        let mut t = Tracker::new();
+        assert!(t.is_empty());
+        t.register(PeerId(1));
+        t.register(PeerId(2));
+        assert_eq!(t.len(), 2);
+        assert!(t.deregister(PeerId(1)));
+        assert!(!t.deregister(PeerId(1)));
+        assert_eq!(t.peers(), &[PeerId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut t = Tracker::new();
+        t.register(PeerId(1));
+        t.register(PeerId(1));
+    }
+
+    #[test]
+    fn handout_excludes_requester_and_existing() {
+        let mut t = Tracker::new();
+        for i in 0..10 {
+            t.register(PeerId(i));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let got = t.handout(PeerId(0), &[PeerId(1), PeerId(2)], 20, &mut rng);
+        assert_eq!(got.len(), 7, "10 minus requester minus 2 excluded");
+        assert!(!got.contains(&PeerId(0)));
+        assert!(!got.contains(&PeerId(1)));
+        assert!(!got.contains(&PeerId(2)));
+    }
+
+    #[test]
+    fn handout_is_without_replacement() {
+        let mut t = Tracker::new();
+        for i in 0..50 {
+            t.register(PeerId(i));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let got = t.handout(PeerId(0), &[], 49, &mut rng);
+        let mut sorted = got.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), got.len());
+    }
+
+    #[test]
+    fn handout_respects_count() {
+        let mut t = Tracker::new();
+        for i in 0..30 {
+            t.register(PeerId(i));
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(t.handout(PeerId(0), &[], 5, &mut rng).len(), 5);
+        assert_eq!(t.handout(PeerId(0), &[], 0, &mut rng).len(), 0);
+    }
+
+    #[test]
+    fn handout_covers_population_over_draws() {
+        // Every candidate is reachable (uniformity smoke test).
+        let mut t = Tracker::new();
+        for i in 0..6 {
+            t.register(PeerId(i));
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            for p in t.handout(PeerId(0), &[], 1, &mut rng) {
+                seen.insert(p);
+            }
+        }
+        assert_eq!(seen.len(), 5);
+    }
+}

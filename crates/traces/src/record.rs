@@ -1,0 +1,189 @@
+//! The trace schema.
+//!
+//! One trace is the log of one instrumented client's download: a header
+//! (client, swarm, piece size) plus timestamped samples of the two series
+//! the paper's Fig. 2 plots — cumulative bytes downloaded and the
+//! potential-set size.
+
+use serde::{Deserialize, Serialize};
+
+/// One timestamped measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Seconds since the client joined the swarm.
+    pub t: f64,
+    /// Cumulative bytes downloaded.
+    pub bytes: u64,
+    /// Potential-set size at this instant.
+    pub potential: u32,
+}
+
+/// A complete instrumented-client trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Client identifier (unique within a collection run).
+    pub client: String,
+    /// Name of the swarm the client was injected into.
+    pub swarm: String,
+    /// Piece size in bytes.
+    pub piece_bytes: u64,
+    /// Number of pieces in the file.
+    pub pieces: u32,
+    /// Whether the client finished the download before logging stopped.
+    pub completed: bool,
+    /// The samples, in time order.
+    pub samples: Vec<TraceSample>,
+}
+
+impl Trace {
+    /// Validates internal consistency: samples time-ordered, bytes
+    /// monotone, bytes within the file size.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::InvalidTrace`] describing the first violation.
+    pub fn validate(&self) -> crate::Result<()> {
+        let file_bytes = self.piece_bytes * u64::from(self.pieces);
+        let mut prev_t = f64::NEG_INFINITY;
+        let mut prev_bytes = 0u64;
+        for (i, s) in self.samples.iter().enumerate() {
+            if !s.t.is_finite() || s.t < prev_t {
+                return Err(crate::Error::InvalidTrace(format!(
+                    "sample {i}: time {} not monotone",
+                    s.t
+                )));
+            }
+            if s.bytes < prev_bytes {
+                return Err(crate::Error::InvalidTrace(format!(
+                    "sample {i}: bytes {} decreased",
+                    s.bytes
+                )));
+            }
+            if s.bytes > file_bytes {
+                return Err(crate::Error::InvalidTrace(format!(
+                    "sample {i}: bytes {} exceed file size {file_bytes}",
+                    s.bytes
+                )));
+            }
+            prev_t = s.t;
+            prev_bytes = s.bytes;
+        }
+        Ok(())
+    }
+
+    /// Total bytes at the last sample (0 if empty).
+    #[must_use]
+    pub fn final_bytes(&self) -> u64 {
+        self.samples.last().map_or(0, |s| s.bytes)
+    }
+
+    /// Duration covered by the trace in seconds (0 if fewer than two
+    /// samples).
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(a), Some(b)) => b.t - a.t,
+            _ => 0.0,
+        }
+    }
+
+    /// Approximate pieces held at each sample (`bytes / piece_bytes`).
+    #[must_use]
+    pub fn pieces_series(&self) -> Vec<u32> {
+        self.samples
+            .iter()
+            .map(|s| (s.bytes / self.piece_bytes.max(1)) as u32)
+            .collect()
+    }
+
+    /// Mean download rate in bytes/second over the whole trace (0 for
+    /// degenerate traces).
+    #[must_use]
+    pub fn mean_rate(&self) -> f64 {
+        let d = self.duration();
+        if d <= 0.0 {
+            0.0
+        } else {
+            self.final_bytes() as f64 / d
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, bytes: u64, potential: u32) -> TraceSample {
+        TraceSample {
+            t,
+            bytes,
+            potential,
+        }
+    }
+
+    fn trace(samples: Vec<TraceSample>) -> Trace {
+        Trace {
+            client: "c0".into(),
+            swarm: "s0".into(),
+            piece_bytes: 100,
+            pieces: 10,
+            completed: false,
+            samples,
+        }
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        let t = trace(vec![
+            sample(0.0, 0, 0),
+            sample(1.0, 100, 2),
+            sample(2.0, 300, 3),
+        ]);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.final_bytes(), 300);
+        assert_eq!(t.duration(), 2.0);
+        assert_eq!(t.pieces_series(), vec![0, 1, 3]);
+        assert_eq!(t.mean_rate(), 150.0);
+    }
+
+    #[test]
+    fn rejects_time_regression() {
+        let t = trace(vec![sample(2.0, 0, 0), sample(1.0, 0, 0)]);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_byte_regression() {
+        let t = trace(vec![sample(0.0, 100, 0), sample(1.0, 50, 0)]);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_overflow_bytes() {
+        let t = trace(vec![sample(0.0, 2_000, 0)]);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_nan_time() {
+        let t = trace(vec![sample(f64::NAN, 0, 0)]);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_degenerate_but_valid() {
+        let t = trace(vec![]);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.final_bytes(), 0);
+        assert_eq!(t.duration(), 0.0);
+        assert_eq!(t.mean_rate(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = trace(vec![sample(0.0, 0, 1), sample(1.5, 100, 2)]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,204 @@
+//! Synthetic tracker statistics and stable-swarm screening.
+//!
+//! The paper selected measurement swarms "based on manual inspection of the
+//! statistics provided by the tracker" — hourly peer counts — filtering out
+//! flash crowds and dying swarms (§4.2). This module synthesizes such
+//! hourly population series and automates the screening.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hourly tracker statistics of one swarm.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwarmStat {
+    /// Swarm name.
+    pub name: String,
+    /// Peer count at each hour.
+    pub hourly_peers: Vec<u64>,
+}
+
+/// The lifecycle class of a swarm, inferred from its population series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwarmClass {
+    /// Population fluctuates around a level — suitable for measurement.
+    Stable,
+    /// Population rising rapidly (the paper excludes these).
+    FlashCrowd,
+    /// Population collapsing (the paper excludes these).
+    Dying,
+}
+
+impl SwarmStat {
+    /// Classifies the swarm from its hourly series.
+    ///
+    /// Heuristics mirroring the paper's manual screening: compare the mean
+    /// of the first and last thirds of the series; a rise (fall) by more
+    /// than 50% is a flash crowd (dying swarm); otherwise the swarm is
+    /// stable. Series shorter than 3 samples are conservatively classified
+    /// from their endpoints.
+    #[must_use]
+    pub fn classify(&self) -> SwarmClass {
+        if self.hourly_peers.is_empty() {
+            return SwarmClass::Dying;
+        }
+        let n = self.hourly_peers.len();
+        let third = (n / 3).max(1);
+        let head: f64 = self.hourly_peers[..third].iter().sum::<u64>() as f64 / third as f64;
+        let tail: f64 = self.hourly_peers[n - third..].iter().sum::<u64>() as f64 / third as f64;
+        if head == 0.0 {
+            return if tail > 0.0 {
+                SwarmClass::FlashCrowd
+            } else {
+                SwarmClass::Dying
+            };
+        }
+        let ratio = tail / head;
+        if ratio > 1.5 {
+            SwarmClass::FlashCrowd
+        } else if ratio < 0.5 {
+            SwarmClass::Dying
+        } else {
+            SwarmClass::Stable
+        }
+    }
+
+    /// Mean population over the observation window (0 for empty series).
+    #[must_use]
+    pub fn mean_population(&self) -> f64 {
+        if self.hourly_peers.is_empty() {
+            0.0
+        } else {
+            self.hourly_peers.iter().sum::<u64>() as f64 / self.hourly_peers.len() as f64
+        }
+    }
+}
+
+/// Synthesizes an hourly series of the given class.
+///
+/// * `Stable` — a level around `base` with ±10% multiplicative noise;
+/// * `FlashCrowd` — exponential growth from `base / 10` to several times
+///   `base`;
+/// * `Dying` — exponential decay from `base` toward zero.
+///
+/// # Panics
+///
+/// Panics if `hours == 0` or `base == 0`.
+pub fn synthesize<R: Rng + ?Sized>(
+    class: SwarmClass,
+    name: &str,
+    base: u64,
+    hours: usize,
+    rng: &mut R,
+) -> SwarmStat {
+    assert!(hours > 0, "need at least one hour");
+    assert!(base > 0, "need a positive base population");
+    let series: Vec<u64> = (0..hours)
+        .map(|h| {
+            let frac = h as f64 / hours as f64;
+            let level = match class {
+                SwarmClass::Stable => base as f64,
+                SwarmClass::FlashCrowd => base as f64 / 10.0 * (30.0f64).powf(frac),
+                SwarmClass::Dying => base as f64 * (0.02f64).powf(frac),
+            };
+            let noise = 1.0 + rng.gen_range(-0.1..0.1);
+            (level * noise).round().max(0.0) as u64
+        })
+        .collect();
+    SwarmStat {
+        name: name.to_string(),
+        hourly_peers: series,
+    }
+}
+
+/// The screening step: keeps only stable swarms, as the paper did before
+/// injecting its instrumented client.
+#[must_use]
+pub fn filter_stable(stats: Vec<SwarmStat>) -> Vec<SwarmStat> {
+    stats
+        .into_iter()
+        .filter(|s| s.classify() == SwarmClass::Stable)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synthesized_classes_classify_back() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (class, name) in [
+            (SwarmClass::Stable, "s"),
+            (SwarmClass::FlashCrowd, "f"),
+            (SwarmClass::Dying, "d"),
+        ] {
+            let stat = synthesize(class, name, 1_000, 48, &mut rng);
+            assert_eq!(stat.classify(), class, "{name}: {:?}", stat.hourly_peers);
+        }
+    }
+
+    #[test]
+    fn filter_keeps_only_stable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let stats = vec![
+            synthesize(SwarmClass::Stable, "a", 500, 24, &mut rng),
+            synthesize(SwarmClass::FlashCrowd, "b", 500, 24, &mut rng),
+            synthesize(SwarmClass::Dying, "c", 500, 24, &mut rng),
+            synthesize(SwarmClass::Stable, "d", 2_000, 24, &mut rng),
+        ];
+        let stable = filter_stable(stats);
+        let names: Vec<&str> = stable.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "d"]);
+    }
+
+    #[test]
+    fn empty_series_is_dying() {
+        let stat = SwarmStat {
+            name: "empty".into(),
+            hourly_peers: vec![],
+        };
+        assert_eq!(stat.classify(), SwarmClass::Dying);
+        assert_eq!(stat.mean_population(), 0.0);
+    }
+
+    #[test]
+    fn zero_head_cases() {
+        let flash = SwarmStat {
+            name: "z".into(),
+            hourly_peers: vec![0, 0, 0, 50, 100, 200],
+        };
+        assert_eq!(flash.classify(), SwarmClass::FlashCrowd);
+        let dead = SwarmStat {
+            name: "zz".into(),
+            hourly_peers: vec![0, 0, 0],
+        };
+        assert_eq!(dead.classify(), SwarmClass::Dying);
+    }
+
+    #[test]
+    fn mean_population() {
+        let stat = SwarmStat {
+            name: "m".into(),
+            hourly_peers: vec![10, 20, 30],
+        };
+        assert!((stat.mean_population() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_series_classified() {
+        let stat = SwarmStat {
+            name: "short".into(),
+            hourly_peers: vec![100, 100],
+        };
+        assert_eq!(stat.classify(), SwarmClass::Stable);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hour")]
+    fn synthesize_rejects_zero_hours() {
+        let mut rng = StdRng::seed_from_u64(0);
+        synthesize(SwarmClass::Stable, "x", 100, 0, &mut rng);
+    }
+}

@@ -1,0 +1,39 @@
+//! Model-vs-simulation validation at the command line: the Fig. 1(b)
+//! comparison on a scaled-down configuration, plus the Fig. 4(a)
+//! efficiency sweep.
+//!
+//! Run with `cargo run --release --example model_vs_sim`.
+
+use bt_bench::{fig1, fig4a};
+
+fn main() {
+    println!("== download timeline: simulation vs model (scaled-down Fig. 1(b)) ==");
+    let pairs = fig1::fig1b(40, 150, 5);
+    for pair in &pairs {
+        let b_max = pair.sim.len() - 1;
+        println!(
+            "PSS={:<3} sim total = {:>7.1} rounds   model total = {:>7.1} rounds",
+            pair.pss, pair.sim[b_max], pair.model[b_max]
+        );
+        for checkpoint in [b_max / 4, b_max / 2, 3 * b_max / 4] {
+            println!(
+                "    at b={checkpoint:>3}: sim {:>7.1}  model {:>7.1}",
+                pair.sim[checkpoint], pair.model[checkpoint]
+            );
+        }
+    }
+
+    println!("\n== efficiency vs k: model vs simulation (Fig. 4(a)) ==");
+    let points = fig4a::fig4a(8, 0.5, 5);
+    println!("k   model  sim    protocol-sim");
+    for p in &points {
+        println!(
+            "{}   {:.3}  {:.3}  {:.3}",
+            p.k, p.model, p.simulation, p.protocol_sim
+        );
+    }
+    let gain12 = points[1].simulation - points[0].simulation;
+    let gain78 = points[7].simulation - points[6].simulation;
+    println!("\nsimulated gain k=1→2: {gain12:.3}; gain k=7→8: {gain78:.3}");
+    println!("(the paper: the gain in efficiency rapidly decreases beyond two connections)");
+}

@@ -1,0 +1,20 @@
+//! `btlab` — command-line laboratory for the multiphase-bt workspace.
+//!
+//! See `btlab help` for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match multiphase_bt::cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", multiphase_bt::cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    if let Err(msg) = multiphase_bt::cli::run(command, &mut stdout) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,554 @@
+//! Argument parsing and command execution for the `btlab` CLI.
+//!
+//! A deliberately small hand-rolled parser (no external dependency):
+//! `btlab <command> [--flag value]...`. Parsing is separated from
+//! execution so it can be unit-tested.
+
+use std::collections::BTreeMap;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run a swarm simulation and print a summary.
+    Swarm(SwarmArgs),
+    /// Run the analytical model and print a summary.
+    Model(ModelArgs),
+    /// Generate traces to a JSON-lines file.
+    Traces(TracesArgs),
+    /// Analyze a JSON-lines trace file.
+    Analyze(AnalyzeArgs),
+    /// Regenerate one of the paper's figures.
+    Figure(FigureArgs),
+    /// Print usage.
+    Help,
+}
+
+/// Arguments of `btlab swarm`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwarmArgs {
+    /// Number of pieces `B`.
+    pub pieces: u32,
+    /// Connection cap `k`.
+    pub k: u32,
+    /// Neighbor-set size `s`.
+    pub s: u32,
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Initial leechers.
+    pub initial: u32,
+    /// Round budget.
+    pub rounds: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional shake threshold.
+    pub shake: Option<f64>,
+    /// Emit full metrics as JSON instead of a summary.
+    pub json: bool,
+}
+
+impl Default for SwarmArgs {
+    fn default() -> Self {
+        SwarmArgs {
+            pieces: 100,
+            k: 5,
+            s: 20,
+            lambda: 1.5,
+            initial: 20,
+            rounds: 300,
+            seed: 0,
+            shake: None,
+            json: false,
+        }
+    }
+}
+
+/// Arguments of `btlab model`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArgs {
+    /// Number of pieces `B`.
+    pub pieces: u32,
+    /// Connection cap `k`.
+    pub k: u32,
+    /// Neighbor-set size `s`.
+    pub s: u32,
+    /// Bootstrap inflow α.
+    pub alpha: f64,
+    /// Last-phase inflow γ.
+    pub gamma: f64,
+    /// Monte-Carlo replications.
+    pub replications: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ModelArgs {
+    fn default() -> Self {
+        ModelArgs {
+            pieces: 100,
+            k: 5,
+            s: 20,
+            alpha: 0.25,
+            gamma: 0.15,
+            replications: 200,
+            seed: 0,
+        }
+    }
+}
+
+/// Arguments of `btlab traces`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracesArgs {
+    /// Scenario name: smooth, last-phase, or bootstrap-stall.
+    pub scenario: String,
+    /// Number of observer clients.
+    pub clients: u32,
+    /// Output path.
+    pub out: String,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Arguments of `btlab analyze`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeArgs {
+    /// Input path (JSON-lines traces).
+    pub input: String,
+}
+
+/// Arguments of `btlab figure`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureArgs {
+    /// Figure id: fig1a, fig1b, fig2, fig4a, fig4b, fig4c, or fig4d.
+    pub id: String,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+btlab — multiphase-bt laboratory
+
+USAGE:
+  btlab swarm   [--pieces N] [--k N] [--s N] [--lambda F] [--initial N]
+                [--rounds N] [--seed N] [--shake F] [--json]
+  btlab model   [--pieces N] [--k N] [--s N] [--alpha F] [--gamma F]
+                [--replications N] [--seed N]
+  btlab traces  --out FILE [--scenario smooth|last-phase|bootstrap-stall]
+                [--clients N] [--seed N]
+  btlab analyze --input FILE
+  btlab figure  --id fig1a|fig1b|fig2|fig4a|fig4b|fig4c|fig4d
+  btlab help
+";
+
+/// Parses a command line (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, unknown flags,
+/// missing values, or unparsable numbers.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    let flags = parse_flags(rest)?;
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "swarm" => {
+            let mut a = SwarmArgs::default();
+            for (key, value) in &flags {
+                match key.as_str() {
+                    "pieces" => a.pieces = num(key, value)?,
+                    "k" => a.k = num(key, value)?,
+                    "s" => a.s = num(key, value)?,
+                    "lambda" => a.lambda = num(key, value)?,
+                    "initial" => a.initial = num(key, value)?,
+                    "rounds" => a.rounds = num(key, value)?,
+                    "seed" => a.seed = num(key, value)?,
+                    "shake" => a.shake = Some(num(key, value)?),
+                    "json" => a.json = flag(key, value)?,
+                    _ => return Err(format!("unknown flag --{key} for swarm")),
+                }
+            }
+            Ok(Command::Swarm(a))
+        }
+        "model" => {
+            let mut a = ModelArgs::default();
+            for (key, value) in &flags {
+                match key.as_str() {
+                    "pieces" => a.pieces = num(key, value)?,
+                    "k" => a.k = num(key, value)?,
+                    "s" => a.s = num(key, value)?,
+                    "alpha" => a.alpha = num(key, value)?,
+                    "gamma" => a.gamma = num(key, value)?,
+                    "replications" => a.replications = num(key, value)?,
+                    "seed" => a.seed = num(key, value)?,
+                    _ => return Err(format!("unknown flag --{key} for model")),
+                }
+            }
+            Ok(Command::Model(a))
+        }
+        "traces" => {
+            let mut scenario = "smooth".to_string();
+            let mut clients = 3;
+            let mut out = None;
+            let mut seed = 0;
+            for (key, value) in &flags {
+                match key.as_str() {
+                    "scenario" => scenario = required(key, value)?,
+                    "clients" => clients = num(key, value)?,
+                    "out" => out = Some(required(key, value)?),
+                    "seed" => seed = num(key, value)?,
+                    _ => return Err(format!("unknown flag --{key} for traces")),
+                }
+            }
+            let out = out.ok_or("traces requires --out FILE")?;
+            Ok(Command::Traces(TracesArgs {
+                scenario,
+                clients,
+                out,
+                seed,
+            }))
+        }
+        "analyze" => {
+            let mut input = None;
+            for (key, value) in &flags {
+                match key.as_str() {
+                    "input" => input = Some(required(key, value)?),
+                    _ => return Err(format!("unknown flag --{key} for analyze")),
+                }
+            }
+            let input = input.ok_or("analyze requires --input FILE")?;
+            Ok(Command::Analyze(AnalyzeArgs { input }))
+        }
+        "figure" => {
+            let mut id = None;
+            for (key, value) in &flags {
+                match key.as_str() {
+                    "id" => id = Some(required(key, value)?),
+                    _ => return Err(format!("unknown flag --{key} for figure")),
+                }
+            }
+            let id = id.ok_or("figure requires --id FIG")?;
+            Ok(Command::Figure(FigureArgs { id }))
+        }
+        other => Err(format!("unknown command `{other}`; try `btlab help`")),
+    }
+}
+
+/// Splits `--key value` pairs; a trailing `--key` with no value maps to an
+/// empty string (boolean flags).
+fn parse_flags(rest: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut flags = BTreeMap::new();
+    let mut iter = rest.iter().peekable();
+    while let Some(arg) = iter.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{arg}`"));
+        };
+        let value = match iter.peek() {
+            Some(next) if !next.starts_with("--") => {
+                iter.next().expect("peeked value exists").clone()
+            }
+            _ => String::new(),
+        };
+        flags.insert(key.to_string(), value);
+    }
+    Ok(flags)
+}
+
+fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("--{key} needs a number, got `{value}`"))
+}
+
+fn flag(key: &str, value: &str) -> Result<bool, String> {
+    match value {
+        "" | "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("--{key} is boolean, got `{other}`")),
+    }
+}
+
+fn required(key: &str, value: &str) -> Result<String, String> {
+    if value.is_empty() {
+        Err(format!("--{key} needs a value"))
+    } else {
+        Ok(value.to_string())
+    }
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns a message for configuration or I/O failures.
+pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), String> {
+    let io_err = |e: std::io::Error| format!("i/o error: {e}");
+    match command {
+        Command::Help => write!(out, "{USAGE}").map_err(io_err),
+        Command::Swarm(a) => {
+            let mut builder = bt_swarm::SwarmConfig::builder();
+            builder
+                .pieces(a.pieces)
+                .max_connections(a.k)
+                .neighbor_set_size(a.s)
+                .arrival_rate(a.lambda)
+                .initial_leechers(a.initial)
+                .max_rounds(a.rounds)
+                .seed(a.seed);
+            if let Some(f) = a.shake {
+                builder.shake_at(f);
+            }
+            let config = builder.build().map_err(|e| e.to_string())?;
+            let metrics = bt_swarm::Swarm::new(config).run();
+            if a.json {
+                let json = serde_json::to_string_pretty(&metrics)
+                    .map_err(|e| format!("serialization error: {e}"))?;
+                writeln!(out, "{json}").map_err(io_err)
+            } else {
+                writeln!(
+                    out,
+                    "rounds={} arrivals={} completions={} mean_download_rounds={:.2}\n\
+                     mean_bootstrap_rounds={:.2} final_entropy={:.3} final_population={} utilization={:.3}",
+                    metrics.rounds_run,
+                    metrics.arrivals,
+                    metrics.completions.len(),
+                    metrics.mean_download_rounds(),
+                    metrics.mean_bootstrap_rounds(),
+                    metrics.final_entropy(),
+                    metrics.final_population(),
+                    metrics.mean_utilization(),
+                )
+                .map_err(io_err)
+            }
+        }
+        Command::Model(a) => {
+            let params = bt_model::ModelParams::builder()
+                .pieces(a.pieces)
+                .max_connections(a.k)
+                .neighbor_set_size(a.s)
+                .alpha(a.alpha)
+                .gamma(a.gamma)
+                .build()
+                .map_err(|e| e.to_string())?;
+            let timeline = bt_model::evolution::expected_timeline(
+                &params,
+                a.replications,
+                bt_des::SeedStream::new(a.seed).rng("btlab-model", 0),
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "expected_download_rounds={:.2} completed={}/{}\n\
+                 mean_sojourns: bootstrap={:.2} efficient={:.2} last={:.2}",
+                timeline.mean_step[a.pieces as usize],
+                timeline.completed,
+                timeline.replications,
+                timeline.mean_sojourns[0],
+                timeline.mean_sojourns[1],
+                timeline.mean_sojourns[2],
+            )
+            .map_err(io_err)
+        }
+        Command::Traces(a) => {
+            let scenario = match a.scenario.as_str() {
+                "smooth" => bt_traces::generator::TraceScenario::Smooth,
+                "last-phase" => bt_traces::generator::TraceScenario::LastPhase,
+                "bootstrap-stall" => bt_traces::generator::TraceScenario::BootstrapStall,
+                other => return Err(format!("unknown scenario `{other}`")),
+            };
+            let traces = bt_traces::generator::generate(scenario, a.clients, a.seed)
+                .map_err(|e| e.to_string())?;
+            bt_traces::io::write_traces_to_path(&a.out, &traces).map_err(|e| e.to_string())?;
+            writeln!(out, "wrote {} traces to {}", traces.len(), a.out).map_err(io_err)
+        }
+        Command::Figure(a) => {
+            // Scaled-down figure runs for interactive use; the bt-bench
+            // binaries produce the full-size series.
+            match a.id.as_str() {
+                "fig1a" => bt_bench::fig1::print_fig1a(&bt_bench::fig1::fig1a(30, 1)),
+                "fig1b" => bt_bench::fig1::print_fig1b(&bt_bench::fig1::fig1b(30, 100, 2)),
+                "fig2" => bt_bench::fig2::print_fig2(&bt_bench::fig2::fig2(4, 7)),
+                "fig4a" => bt_bench::fig4a::print_fig4a(&bt_bench::fig4a::fig4a(8, 0.5, 4)),
+                "fig4b" => bt_bench::fig4bc::print_fig4b(&bt_bench::fig4bc::fig4bc(5)),
+                "fig4c" => bt_bench::fig4bc::print_fig4c(&bt_bench::fig4bc::fig4bc(5)),
+                "fig4d" => bt_bench::fig4d::print_fig4d(&bt_bench::fig4d::fig4d(30, 6)),
+                other => return Err(format!("unknown figure id `{other}`")),
+            }
+            Ok(())
+        }
+        Command::Analyze(a) => {
+            let traces =
+                bt_traces::io::read_traces_from_path(&a.input).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "{:<30} {:>10} {:>10} {:>10}  completed",
+                "client", "bootstrap", "efficient", "last"
+            )
+            .map_err(io_err)?;
+            for trace in &traces {
+                let phases = bt_traces::analyzer::segment(trace);
+                writeln!(
+                    out,
+                    "{:<30} {:>9.0}s {:>9.0}s {:>9.0}s  {}",
+                    trace.client,
+                    phases.bootstrap_secs,
+                    phases.efficient_secs,
+                    phases.last_secs,
+                    trace.completed
+                )
+                .map_err(io_err)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn swarm_defaults_and_overrides() {
+        let cmd = parse(&args(&[
+            "swarm", "--pieces", "50", "--shake", "0.9", "--json",
+        ]))
+        .unwrap();
+        let Command::Swarm(a) = cmd else {
+            panic!("expected swarm");
+        };
+        assert_eq!(a.pieces, 50);
+        assert_eq!(a.k, SwarmArgs::default().k);
+        assert_eq!(a.shake, Some(0.9));
+        assert!(a.json);
+    }
+
+    #[test]
+    fn model_parses() {
+        let cmd = parse(&args(&["model", "--alpha", "0.5", "--replications", "10"])).unwrap();
+        let Command::Model(a) = cmd else {
+            panic!("expected model");
+        };
+        assert_eq!(a.alpha, 0.5);
+        assert_eq!(a.replications, 10);
+    }
+
+    #[test]
+    fn traces_requires_out() {
+        assert!(parse(&args(&["traces"])).is_err());
+        let cmd = parse(&args(&[
+            "traces",
+            "--out",
+            "x.jsonl",
+            "--scenario",
+            "last-phase",
+        ]))
+        .unwrap();
+        let Command::Traces(a) = cmd else {
+            panic!("expected traces");
+        };
+        assert_eq!(a.out, "x.jsonl");
+        assert_eq!(a.scenario, "last-phase");
+    }
+
+    #[test]
+    fn analyze_requires_input() {
+        assert!(parse(&args(&["analyze"])).is_err());
+        assert!(parse(&args(&["analyze", "--input", "f.jsonl"])).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_flags() {
+        assert!(parse(&args(&["frobnicate"])).is_err());
+        assert!(parse(&args(&["swarm", "--warp", "9"])).is_err());
+        assert!(parse(&args(&["swarm", "oops"])).is_err());
+        assert!(parse(&args(&["swarm", "--pieces", "NaNery"])).is_err());
+    }
+
+    #[test]
+    fn run_swarm_prints_summary() {
+        let cmd = parse(&args(&[
+            "swarm",
+            "--pieces",
+            "10",
+            "--rounds",
+            "60",
+            "--initial",
+            "8",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("completions="), "{text}");
+        assert!(text.contains("final_entropy="), "{text}");
+    }
+
+    #[test]
+    fn run_model_prints_summary() {
+        let cmd = parse(&args(&[
+            "model",
+            "--pieces",
+            "15",
+            "--replications",
+            "20",
+            "--seed",
+            "2",
+        ]))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("expected_download_rounds="), "{text}");
+    }
+
+    #[test]
+    fn run_traces_then_analyze() {
+        let path = std::env::temp_dir().join("btlab-cli-test.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let mut buf = Vec::new();
+        run(
+            Command::Traces(TracesArgs {
+                scenario: "smooth".into(),
+                clients: 2,
+                out: path_str.clone(),
+                seed: 1,
+            }),
+            &mut buf,
+        )
+        .unwrap();
+        let mut buf2 = Vec::new();
+        run(Command::Analyze(AnalyzeArgs { input: path_str }), &mut buf2).unwrap();
+        let text = String::from_utf8(buf2).unwrap();
+        assert!(text.contains("smooth-"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn figure_parses_and_validates() {
+        assert!(parse(&args(&["figure"])).is_err());
+        let cmd = parse(&args(&["figure", "--id", "fig4a"])).unwrap();
+        assert_eq!(cmd, Command::Figure(FigureArgs { id: "fig4a".into() }));
+        let mut buf = Vec::new();
+        let err = run(Command::Figure(FigureArgs { id: "nope".into() }), &mut buf).unwrap_err();
+        assert!(err.contains("unknown figure id"));
+    }
+
+    #[test]
+    fn run_help_prints_usage() {
+        let mut buf = Vec::new();
+        run(Command::Help, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
+    }
+}

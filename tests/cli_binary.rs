@@ -1,0 +1,95 @@
+//! End-to-end tests of the `btlab` binary itself.
+
+use std::process::Command;
+
+fn btlab() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_btlab"))
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = btlab().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_usage() {
+    let out = btlab().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"));
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn swarm_summary_runs() {
+    let out = btlab()
+        .args([
+            "swarm",
+            "--pieces",
+            "12",
+            "--rounds",
+            "60",
+            "--initial",
+            "10",
+            "--seed",
+            "1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("completions="), "{stdout}");
+}
+
+#[test]
+fn swarm_json_is_parseable() {
+    let out = btlab()
+        .args([
+            "swarm",
+            "--pieces",
+            "8",
+            "--rounds",
+            "40",
+            "--initial",
+            "8",
+            "--seed",
+            "2",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let metrics: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON metrics");
+    assert!(metrics.get("completions").is_some());
+    assert!(metrics.get("entropy").is_some());
+}
+
+#[test]
+fn traces_then_analyze_pipeline() {
+    let path = std::env::temp_dir().join("btlab-binary-test.jsonl");
+    let path_str = path.to_str().unwrap();
+    let out = btlab()
+        .args(["traces", "--out", path_str, "--clients", "2", "--seed", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = btlab()
+        .args(["analyze", "--input", path_str])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bootstrap"), "{stdout}");
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,53 @@
+//! Reproducibility across the whole stack: same seed, same results.
+
+use multiphase_bt::model::evolution::Walker;
+use multiphase_bt::model::ModelParams;
+use multiphase_bt::swarm::{Swarm, SwarmConfig};
+use multiphase_bt::traces::generator::{generate, TraceScenario};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn swarm_runs_are_bitwise_reproducible() {
+    let config = SwarmConfig::builder()
+        .pieces(30)
+        .max_connections(3)
+        .neighbor_set_size(8)
+        .arrival_rate(1.0)
+        .initial_leechers(15)
+        .observers(3)
+        .max_rounds(120)
+        .seed(99)
+        .build()
+        .expect("valid config");
+    let a = Swarm::new(config.clone()).run();
+    let b = Swarm::new(config).run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn model_walks_are_reproducible() {
+    let params = ModelParams::builder().pieces(25).build().expect("valid");
+    let run = |seed| {
+        Walker::new(&params, StdRng::seed_from_u64(seed))
+            .run()
+            .states()
+            .to_vec()
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6), "different seeds should explore differently");
+}
+
+#[test]
+fn trace_generation_is_reproducible() {
+    let a = generate(TraceScenario::LastPhase, 2, 123).expect("generation succeeds");
+    let b = generate(TraceScenario::LastPhase, 2, 123).expect("generation succeeds");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn figure_functions_are_reproducible() {
+    let a = bt_bench::fig4a::fig4a(2, 0.5, 55);
+    let b = bt_bench::fig4a::fig4a(2, 0.5, 55);
+    assert_eq!(a, b);
+}
