@@ -35,6 +35,7 @@ pub fn piece_selection(seed: u64) -> Vec<SelectionRow> {
     [PieceSelection::RarestFirst, PieceSelection::RandomFirst]
         .into_iter()
         .map(|strategy| {
+            tracing::info!(target: "bt_bench::ablation", strategy = format!("{strategy:?}"); "piece-selection run");
             let config = SwarmConfig::builder()
                 .pieces(60)
                 .max_connections(4)
@@ -83,6 +84,7 @@ pub fn alpha_sojourns(alphas: &[f64], replications: usize, seed: u64) -> Vec<Soj
     alphas
         .iter()
         .map(|&alpha| {
+            tracing::info!(target: "bt_bench::ablation", alpha = alpha, replications = replications; "alpha-sojourn run");
             let params = ModelParams::builder()
                 .pieces(20)
                 .max_connections(3)
@@ -132,6 +134,7 @@ pub fn seeding(uploads_sweep: &[u32], seed: u64) -> Vec<SeedingRow> {
     uploads_sweep
         .iter()
         .map(|&uploads| {
+            tracing::info!(target: "bt_bench::ablation", uploads = uploads; "seeding run");
             let mut config =
                 scenario::shake_study(false, 40, seed).expect("scenario preset is valid");
             config.seed_uploads_per_round = uploads;
@@ -193,6 +196,7 @@ pub fn shake_threshold(thresholds: &[f64], completions: u64, seed: u64) -> Vec<S
         tail_ttd: tail_of(&metrics),
     });
     for &threshold in thresholds {
+        tracing::info!(target: "bt_bench::ablation", threshold = threshold; "shake-threshold run");
         let mut config = scenario::shake_study(true, completions, seed).expect("valid preset");
         config.shake_at = Some(threshold);
         let metrics = Swarm::new(config).run();
@@ -256,6 +260,7 @@ pub fn bootstrap_relief(seed: u64) -> Vec<ReliefRow> {
     [false, true]
         .into_iter()
         .map(|relief| {
+            tracing::info!(target: "bt_bench::ablation", relief = relief; "bootstrap-relief run");
             let config = SwarmConfig::builder()
                 .pieces(60)
                 .max_connections(4)
@@ -302,6 +307,7 @@ pub fn gamma_sojourns(gammas: &[f64], replications: usize, seed: u64) -> Vec<Soj
     gammas
         .iter()
         .map(|&gamma| {
+            tracing::info!(target: "bt_bench::ablation", gamma = gamma, replications = replications; "gamma-sojourn run");
             let mut probs = vec![0.0; pieces as usize + 1];
             probs[pieces as usize] = 1.0;
             let phi = bt_markov::dist::Empirical::from_probs(probs)
@@ -392,6 +398,7 @@ pub fn stability_boundary(
     let mut rows = Vec::with_capacity(piece_counts.len() * arrival_rates.len());
     for &pieces in piece_counts {
         for &arrival_rate in arrival_rates {
+            tracing::info!(target: "bt_bench::ablation", pieces = pieces, lambda = arrival_rate; "stability-boundary run");
             let mut config = scenario::stability(pieces, seed).expect("valid preset");
             config.arrival_rate = arrival_rate;
             config.max_rounds = rounds;
@@ -457,6 +464,7 @@ pub fn model_sensitivity(s_values: &[u32], k_values: &[u32]) -> Vec<SensitivityR
     let mut rows = Vec::with_capacity(s_values.len() * k_values.len());
     for &s in s_values {
         for &k in k_values {
+            tracing::info!(target: "bt_bench::ablation", s = s, k = k; "model-sensitivity point");
             let params = ModelParams::builder()
                 .pieces(10)
                 .max_connections(k)
@@ -534,6 +542,7 @@ pub fn block_granularity(blocks_sweep: &[u32], seed: u64) -> Vec<BlockRow> {
     blocks_sweep
         .iter()
         .map(|&blocks| {
+            tracing::info!(target: "bt_bench::ablation", blocks = blocks; "block-granularity run");
             let config = SwarmConfig::builder()
                 .pieces(30)
                 .max_connections(4)
@@ -581,6 +590,7 @@ pub fn heterogeneous_bandwidth(fractions: &[f64], seed: u64) -> Vec<BandwidthRow
     fractions
         .iter()
         .map(|&slow_fraction| {
+            tracing::info!(target: "bt_bench::ablation", slow_fraction = slow_fraction; "heterogeneous-bandwidth run");
             let config = SwarmConfig::builder()
                 .pieces(30)
                 .max_connections(4)

@@ -2,6 +2,7 @@
 //! 1/gamma laws.
 
 fn main() {
+    bt_bench::init_obs();
     println!("alpha\tmeasured_bootstrap_steps\texpected");
     for row in bt_bench::ablations::alpha_sojourns(&[0.1, 0.2, 0.3, 0.5, 0.8], 2_000, 1) {
         println!(

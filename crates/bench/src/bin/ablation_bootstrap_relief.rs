@@ -1,6 +1,7 @@
 //! Ablation: §4.3 tracker bootstrap-relief bias.
 
 fn main() {
+    bt_bench::init_obs();
     println!("relief\tmean_bootstrap_rounds\tcompletions");
     for row in bt_bench::ablations::bootstrap_relief(8) {
         println!(

@@ -2,6 +2,7 @@
 //! heterogeneous bandwidth.
 
 fn main() {
+    bt_bench::init_obs();
     println!("== block granularity (§2.1 blocks per piece) ==");
     println!("blocks\tmean_rounds\tnormalized");
     for row in bt_bench::ablations::block_granularity(&[1, 2, 4, 8, 16], 3) {

@@ -1,6 +1,7 @@
 //! Ablation: rarest-first vs random-first piece selection.
 
 fn main() {
+    bt_bench::init_obs();
     println!("strategy\tmean_entropy\tmean_download_rounds");
     for row in bt_bench::ablations::piece_selection(1) {
         println!(

@@ -1,6 +1,7 @@
 //! Ablation: origin-seed capacity vs last-phase severity (§7.2).
 
 fn main() {
+    bt_bench::init_obs();
     println!("seed_uploads_per_round\ttail_ttd\tcompletions");
     for row in bt_bench::ablations::seeding(&[0, 1, 2, 4, 8], 9) {
         println!(

@@ -1,6 +1,7 @@
 //! Ablation: shake trigger fraction sweep (§7.1).
 
 fn main() {
+    bt_bench::init_obs();
     println!("threshold\ttail_ttd");
     for row in bt_bench::ablations::shake_threshold(&[0.8, 0.85, 0.9, 0.95, 0.98], 50, 6) {
         let label = if row.threshold.is_nan() {

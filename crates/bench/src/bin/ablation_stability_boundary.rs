@@ -1,6 +1,7 @@
 //! Ablation: the §6 stability boundary as a (B, λ) phase diagram.
 
 fn main() {
+    bt_bench::init_obs();
     let piece_counts = [2, 3, 5, 8, 12, 20];
     let rates = [2.0, 5.0, 10.0, 20.0, 40.0];
     println!("pieces\tlambda\tgrowth\ttail_entropy\tstable");

@@ -1,6 +1,7 @@
 //! Regenerates every figure of the paper in one run.
 
 fn main() {
+    bt_bench::init_obs();
     println!("==== Fig. 1(a): potential-set ratio vs pieces (PSS sweep) ====");
     bt_bench::fig1::print_fig1a(&bt_bench::fig1::fig1a(120, 1));
     println!("\n==== Fig. 1(b): download timeline, sim vs model ====");

@@ -1,6 +1,7 @@
 //! Regenerates Fig. 1(a): potential-set ratio vs pieces downloaded.
 
 fn main() {
+    bt_bench::init_obs();
     let series = bt_bench::fig1::fig1a(120, 1);
     bt_bench::fig1::print_fig1a(&series);
 }

@@ -1,6 +1,7 @@
 //! Regenerates Fig. 1(b): download timeline, simulation vs model.
 
 fn main() {
+    bt_bench::init_obs();
     let pairs = bt_bench::fig1::fig1b(120, 400, 2);
     bt_bench::fig1::print_fig1b(&pairs);
 }

@@ -1,6 +1,7 @@
 //! Regenerates Fig. 2: per-client traces for the three archetypes.
 
 fn main() {
+    bt_bench::init_obs();
     let exemplars = bt_bench::fig2::fig2(10, 7);
     bt_bench::fig2::print_fig2(&exemplars);
 }

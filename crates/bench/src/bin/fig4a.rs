@@ -1,6 +1,7 @@
 //! Regenerates Fig. 4(a): efficiency vs max connections, model vs sim.
 
 fn main() {
+    bt_bench::init_obs();
     let points = bt_bench::fig4a::fig4a(8, 0.5, 4);
     bt_bench::fig4a::print_fig4a(&points);
 }

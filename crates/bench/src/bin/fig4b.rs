@@ -1,6 +1,7 @@
 //! Regenerates Fig. 4(b): population vs time, B = 3 vs B = 10.
 
 fn main() {
+    bt_bench::init_obs();
     let runs = bt_bench::fig4bc::fig4bc(5);
     bt_bench::fig4bc::print_fig4b(&runs);
 }

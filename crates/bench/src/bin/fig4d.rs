@@ -1,6 +1,7 @@
 //! Regenerates Fig. 4(d): last-pieces download time, normal vs shake.
 
 fn main() {
+    bt_bench::init_obs();
     let cmp = bt_bench::fig4d::fig4d(60, 6);
     bt_bench::fig4d::print_fig4d(&cmp);
 }

@@ -1,6 +1,7 @@
 //! Exact design-space sweep of the download model over (s, k).
 
 fn main() {
+    bt_bench::init_obs();
     println!("s\tk\texpected_time\tlast_phase_prob\tlast_phase_steps");
     for row in bt_bench::ablations::model_sensitivity(&[1, 2, 3, 4, 6, 8], &[1, 2, 3, 4]) {
         println!(

@@ -5,6 +5,7 @@ use bt_model::exact::transient_phase_occupancy;
 use bt_model::ModelParams;
 
 fn main() {
+    bt_bench::init_obs();
     for s in [2u32, 6] {
         let params = ModelParams::builder()
             .pieces(10)

@@ -28,6 +28,19 @@ pub mod fig4a;
 pub mod fig4bc;
 pub mod fig4d;
 
+/// Installs the environment-driven tracing subscriber (`BT_LOG` selects
+/// the mode, `RUST_LOG` the filter) for a figure binary. The TSV data
+/// itself always goes to stdout; diagnostics go to stderr.
+///
+/// Exits with status 2 on a malformed environment, matching the CLI's
+/// usage-error convention.
+pub fn init_obs() {
+    if let Err(msg) = bt_obs::init_from_env() {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    }
+}
+
 /// Formats an `f64` for TSV output (NaN → `-`).
 #[must_use]
 pub fn cell(v: f64) -> String {

@@ -129,26 +129,41 @@ impl<E> Simulator<E> {
     where
         F: FnMut(&mut Simulator<E>, SimTime, E),
     {
+        let _span = tracing::debug_span!(target: "bt_des", "sim.run").entered();
         self.stop_requested = false;
-        loop {
+        let reason = loop {
             if self.stop_requested {
-                return StopReason::Stopped;
+                break StopReason::Stopped;
             }
             if self.processed >= max_events {
-                return StopReason::EventBudgetExhausted;
+                break StopReason::EventBudgetExhausted;
             }
             let Some(next_time) = self.queue.peek_time() else {
-                return StopReason::QueueEmpty;
+                break StopReason::QueueEmpty;
             };
             if next_time > horizon {
                 self.now = horizon;
-                return StopReason::HorizonReached;
+                break StopReason::HorizonReached;
             }
             let (time, event) = self.queue.pop().expect("peeked entry must pop");
             self.now = time;
             self.processed += 1;
+            tracing::trace!(
+                target: "bt_des::event",
+                time = time.as_secs(),
+                pending = self.queue.len();
+                "dispatch"
+            );
             handler(self, time, event);
-        }
+        };
+        tracing::debug!(
+            target: "bt_des",
+            processed = self.processed,
+            pending = self.queue.len(),
+            reason = format!("{reason:?}");
+            "run finished"
+        );
+        reason
     }
 }
 

@@ -1,0 +1,36 @@
+//! Observability for the multiphase BitTorrent laboratory.
+//!
+//! Three pieces, designed to be cheap enough to leave compiled into
+//! release binaries:
+//!
+//! 1. **Structured logging** ([`init`], [`LogMode`], [`EnvFilter`]):
+//!    installs a global `tracing` subscriber that renders events either
+//!    for humans or as JSON lines. Diagnostics always go to **stderr**
+//!    so figure/result output on stdout stays byte-identical whatever
+//!    the log mode.
+//! 2. **Metrics registry** ([`Registry`], [`Counter`], [`Timer`],
+//!    [`Histogram`]): named atomic counters and monotonic timers with
+//!    log-bucketed histograms, used by the swarm round loop to count
+//!    per-round events and time hot phases.
+//! 3. **Run manifests** ([`RunManifest`]): a small JSON document written
+//!    next to result files recording what ran (config hash, seed, git
+//!    revision), how long each phase took, and final counter totals.
+//!
+//! # Span hierarchy
+//!
+//! ```text
+//! sim.run                  (bt-des)   one DES drive to the horizon
+//! └─ per-event dispatch    TRACE events, target "bt_des::event"
+//! swarm.run                (bt-swarm) one swarm simulation
+//! └─ swarm.round           DEBUG span per simulated round
+//! ```
+
+mod filter;
+mod manifest;
+mod registry;
+mod subscriber;
+
+pub use filter::EnvFilter;
+pub use manifest::{fnv1a_hex, git_describe, RunManifest};
+pub use registry::{Counter, Histogram, Registry, Timer, TimerGuard, TimerSnapshot};
+pub use subscriber::{init, init_from_env, LogMode};

@@ -1,0 +1,219 @@
+//! Run manifests: what ran, how long, and what it counted.
+
+use std::path::Path;
+use std::time::Duration;
+
+use crate::registry::{Registry, TimerSnapshot};
+
+/// Schema version stamped into every manifest.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// A JSON document written next to result files at the end of a run,
+/// recording enough to reproduce and sanity-check it: the command and
+/// configuration hash, RNG seed, source revision, wall-clock per phase,
+/// and final counter totals.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunManifest {
+    /// Manifest schema version ([`MANIFEST_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The subcommand or binary that produced the run.
+    pub command: String,
+    /// FNV-1a hash of the serialized configuration, as hex.
+    pub config_hash: String,
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// `git describe --always --dirty`, or `"unknown"` outside a repo.
+    pub git_describe: String,
+    /// Total wall-clock time of the run, in seconds.
+    pub wall_clock_secs: f64,
+    /// Wall-clock seconds per named phase, in phase order.
+    pub phase_secs: Vec<(String, f64)>,
+    /// Timer percentile snapshots per named phase.
+    #[serde(default)]
+    pub phase_timers: Vec<(String, TimerSnapshot)>,
+    /// Final counter totals, sorted by counter name.
+    pub counters: Vec<(String, u64)>,
+    /// Largest simultaneous peer population observed.
+    pub peak_population: u64,
+}
+
+impl RunManifest {
+    /// A manifest skeleton for `command`; phases, counters, and totals
+    /// are filled in by [`RunManifest::finish`].
+    #[must_use]
+    pub fn new(command: &str, config_hash: String, seed: u64) -> RunManifest {
+        RunManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
+            command: command.to_string(),
+            config_hash,
+            seed,
+            git_describe: git_describe(),
+            wall_clock_secs: 0.0,
+            phase_secs: Vec::new(),
+            phase_timers: Vec::new(),
+            counters: Vec::new(),
+            peak_population: 0,
+        }
+    }
+
+    /// Copies totals out of `registry` and stamps the wall clock.
+    pub fn finish(&mut self, registry: &Registry, wall_clock: Duration) {
+        self.wall_clock_secs = wall_clock.as_secs_f64();
+        self.counters = registry.counter_totals();
+        self.phase_timers = registry.timer_snapshots();
+        self.phase_secs = self
+            .phase_timers
+            .iter()
+            .map(|(name, snapshot)| (name.clone(), snapshot.total_secs))
+            .collect();
+    }
+
+    /// Value of the counter named `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(counter, _)| counter == name)
+            .map(|(_, total)| *total)
+    }
+
+    /// Serializes to pretty JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serialization is infallible")
+    }
+
+    /// Writes pretty JSON to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut text = self.to_json();
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+}
+
+/// FNV-1a hash of `bytes`, rendered as 16 hex digits. Used to
+/// fingerprint run configurations in manifests and filenames.
+#[must_use]
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// `git describe --always --dirty` of the working tree, or `"unknown"`
+/// when git or a repository is unavailable.
+#[must_use]
+pub fn git_describe() -> String {
+    let output = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output();
+    match output {
+        Ok(output) if output.status.success() => {
+            let text = String::from_utf8_lossy(&output.stdout).trim().to_string();
+            if text.is_empty() {
+                "unknown".to_string()
+            } else {
+                text
+            }
+        }
+        _ => "unknown".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> RunManifest {
+        let registry = Registry::new();
+        registry.counter("arrivals").add(10);
+        registry.counter("completions").add(7);
+        registry
+            .timer("exchange")
+            .record(Duration::from_millis(12));
+        let mut manifest = RunManifest::new("swarm", fnv1a_hex(b"config"), 42);
+        manifest.peak_population = 55;
+        manifest.finish(&registry, Duration::from_secs(2));
+        manifest
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let manifest = sample_manifest();
+        let text = manifest.to_json();
+        let back: RunManifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, manifest);
+    }
+
+    #[test]
+    fn manifest_collects_registry_totals() {
+        let manifest = sample_manifest();
+        assert_eq!(manifest.schema_version, MANIFEST_SCHEMA_VERSION);
+        assert_eq!(manifest.counter("arrivals"), Some(10));
+        assert_eq!(manifest.counter("completions"), Some(7));
+        assert_eq!(manifest.counter("missing"), None);
+        assert_eq!(manifest.phase_secs.len(), 1);
+        assert_eq!(manifest.phase_secs[0].0, "exchange");
+        assert!(manifest.phase_secs[0].1 >= 0.012);
+        assert!((manifest.wall_clock_secs - 2.0).abs() < 1e-9);
+    }
+
+    // Manifests written before `phase_timers` existed must still load.
+    #[test]
+    fn manifest_tolerates_missing_phase_timers() {
+        let manifest = sample_manifest();
+        let text = manifest.to_json();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let trimmed = match value {
+            serde_json::Value::Object(entries) => serde_json::Value::Object(
+                entries
+                    .into_iter()
+                    .filter(|(key, _)| key != "phase_timers")
+                    .collect(),
+            ),
+            other => other,
+        };
+        let back: RunManifest =
+            serde_json::from_str(&serde_json::to_string(&trimmed).unwrap()).unwrap();
+        assert!(back.phase_timers.is_empty());
+        assert_eq!(back.counter("arrivals"), Some(10));
+    }
+
+    #[test]
+    fn manifest_writes_to_disk() {
+        let manifest = sample_manifest();
+        let dir = std::env::temp_dir().join("bt-obs-manifest-test");
+        let path = dir.join("nested").join("manifest.json");
+        manifest.write_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: RunManifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, manifest);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv_hash_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a_hex(b""), "cbf29ce484222325");
+        assert_eq!(fnv1a_hex(b"a"), "af63dc4c8601ec8c");
+        assert_ne!(fnv1a_hex(b"config-a"), fnv1a_hex(b"config-b"));
+        assert_eq!(fnv1a_hex(b"config-a").len(), 16);
+    }
+
+    #[test]
+    fn git_describe_never_panics() {
+        let described = git_describe();
+        assert!(!described.is_empty());
+    }
+}

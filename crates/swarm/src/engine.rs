@@ -29,6 +29,7 @@ use bt_markov::dist::sample_exponential;
 
 use crate::config::{BootstrapInjection, InitialPieces, SwarmConfig};
 use crate::metrics::{CompletionRecord, ObserverLog, SwarmMetrics};
+use crate::obs::SwarmObs;
 use crate::peer::{Peer, PeerId};
 use crate::selection::{replication_counts, select_piece};
 use crate::tracker::Tracker;
@@ -72,12 +73,22 @@ pub struct Swarm {
     round: u64,
     rng: StdRng,
     metrics: SwarmMetrics,
+    obs: SwarmObs,
 }
 
 impl Swarm {
-    /// Creates a swarm with its initial leechers in place.
+    /// Creates a swarm with its initial leechers in place, counting into
+    /// the process-global [`bt_obs::Registry`].
     #[must_use]
     pub fn new(config: SwarmConfig) -> Self {
+        Swarm::with_registry(config, bt_obs::Registry::global())
+    }
+
+    /// Like [`Swarm::new`], but counters and phase timers accumulate in
+    /// the given registry — used by tests and harnesses that need
+    /// isolated totals.
+    #[must_use]
+    pub fn with_registry(config: SwarmConfig, registry: bt_obs::Registry) -> Self {
         let rng = SeedStream::new(config.seed).rng("swarm", 0);
         let mut swarm = Swarm {
             metrics: SwarmMetrics::new(config.pieces),
@@ -85,6 +96,7 @@ impl Swarm {
             tracker: Tracker::new(),
             round: 0,
             rng,
+            obs: SwarmObs::new(registry),
             config,
         };
         for _ in 0..swarm.config.initial_leechers {
@@ -147,6 +159,17 @@ impl Swarm {
     /// Runs the simulation to its stop condition and returns the metrics.
     #[must_use]
     pub fn run(mut self) -> SwarmMetrics {
+        let _span = tracing::info_span!(target: "bt_swarm", "swarm.run").entered();
+        tracing::info!(
+            target: "bt_swarm",
+            pieces = self.config.pieces,
+            k = self.config.max_connections,
+            s = self.config.neighbor_set_size,
+            lambda = self.config.arrival_rate,
+            initial = self.config.initial_leechers,
+            seed = self.config.seed;
+            "swarm run starting"
+        );
         let mut sim: Simulator<Event> = Simulator::new();
         if self.config.arrival_rate > 0.0 {
             let gap = sample_exponential(self.config.arrival_rate, &mut self.rng);
@@ -176,6 +199,15 @@ impl Swarm {
             }
         });
         self.metrics.rounds_run = self.round;
+        tracing::info!(
+            target: "bt_swarm",
+            rounds = self.metrics.rounds_run,
+            arrivals = self.metrics.arrivals,
+            departures = self.metrics.departures,
+            completions = self.metrics.completions.len(),
+            final_population = self.metrics.final_population();
+            "swarm run finished"
+        );
         self.metrics
     }
 
@@ -235,6 +267,8 @@ impl Swarm {
         }
         self.tracker.register(id);
         self.metrics.arrivals += 1;
+        self.obs.arrivals.incr();
+        self.obs.peak_population.record_max(self.tracker.len() as u64);
         let obs_lo = u64::from(self.config.observe_from);
         let obs_hi = obs_lo + u64::from(self.config.observers);
         if (obs_lo..obs_hi).contains(&id.0) {
@@ -335,15 +369,42 @@ impl Swarm {
     }
 
     fn execute_round(&mut self) {
-        self.maintain_neighbors();
-        self.bootstrap_injection();
-        self.seed_uploads();
-        self.prune_connections();
-        self.establish_connections();
-        self.exchange_pieces();
-        self.handle_completions();
-        self.handle_shakes();
-        self.sample_metrics();
+        let _span = tracing::debug_span!(target: "bt_swarm::round", "swarm.round").entered();
+        self.obs.rounds.incr();
+        {
+            let _g = self.obs.t_maintain.start();
+            self.maintain_neighbors();
+        }
+        {
+            let _g = self.obs.t_bootstrap.start();
+            self.bootstrap_injection();
+            self.seed_uploads();
+        }
+        {
+            let _g = self.obs.t_prune.start();
+            self.prune_connections();
+        }
+        {
+            let _g = self.obs.t_establish.start();
+            self.establish_connections();
+        }
+        {
+            let _g = self.obs.t_exchange.start();
+            self.exchange_pieces();
+            self.handle_completions();
+            self.handle_shakes();
+        }
+        {
+            let _g = self.obs.t_sample.start();
+            self.sample_metrics();
+        }
+        tracing::debug!(
+            target: "bt_swarm::round",
+            round = self.round,
+            population = self.tracker.len(),
+            departures = self.metrics.departures;
+            "round complete"
+        );
     }
 
     /// Symmetric neighbor-set top-up from the tracker.
@@ -381,7 +442,9 @@ impl Swarm {
                 for id in empty {
                     let p = self.rng.gen_range(0..pieces);
                     let round = self.round;
-                    self.peer_mut(id).acquire(p, round);
+                    if self.peer_mut(id).acquire(p, round) {
+                        self.obs.bootstrap_injections.incr();
+                    }
                 }
             }
             BootstrapInjection::Weighted { seed_weight } => {
@@ -395,7 +458,9 @@ impl Swarm {
                 for id in empty {
                     let p = bt_markov::chain::sample_index(&weights, &mut self.rng) as u32;
                     let round = self.round;
-                    self.peer_mut(id).acquire(p, round);
+                    if self.peer_mut(id).acquire(p, round) {
+                        self.obs.bootstrap_injections.incr();
+                    }
                 }
             }
         }
@@ -513,10 +578,12 @@ impl Swarm {
                     candidates[0]
                 };
                 // A blind attempt against a fully busy target fails.
+                self.obs.conn_attempts.incr();
                 let target_busy = self.peer(choice).connections.len() >= k;
                 if !target_busy && self.rng.gen::<f64>() < self.config.p_new_connection {
                     self.peer_mut(id).connections.push(choice);
                     self.peer_mut(choice).connections.push(id);
+                    self.obs.conn_successes.incr();
                     initiated += 1;
                 } else {
                     // Failed attempt consumes the round's chance with this
@@ -620,6 +687,8 @@ impl Swarm {
             if self.peer_mut(b).receive_block(pb, blocks, round) {
                 self.peer_mut(b).record_credit(a);
             }
+            // One block moved in each direction.
+            self.obs.pieces_exchanged.add(2);
             let ta = lookup_idx(&taken, a);
             taken[ta].1.push(pa);
             let tb = lookup_idx(&taken, b);
@@ -665,8 +734,10 @@ impl Swarm {
                     acquisition_rounds: acq,
                     slow: peer.slow,
                 });
+                self.obs.completions.incr();
             }
             self.metrics.departures += 1;
+            self.obs.departures.incr();
         }
     }
 
@@ -683,6 +754,7 @@ impl Swarm {
             }
             let ex_neighbors = self.peer(id).neighbors.clone();
             self.peer_mut(id).shake();
+            self.obs.shakes.incr();
             for other in ex_neighbors {
                 if let Some(o) = self.peers[other.0 as usize].as_mut() {
                     o.remove_neighbor(id);

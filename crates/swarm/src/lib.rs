@@ -43,6 +43,7 @@
 pub mod config;
 pub mod engine;
 pub mod metrics;
+mod obs;
 pub mod peer;
 pub mod piece;
 pub mod scenario;

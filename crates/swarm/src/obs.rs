@@ -1,0 +1,77 @@
+//! Cached observability handles for the swarm engine.
+//!
+//! All counter and timer lookups happen once, at swarm construction;
+//! the round loop then touches pre-resolved atomic handles only. See
+//! DESIGN.md ("Observability") for the counter and timer name schema.
+
+use bt_obs::{Counter, Registry, Timer};
+
+/// Counter and timer handles used by the round loop.
+///
+/// Counter names are prefixed `swarm.`, phase timers `round.`; the
+/// names are part of the manifest schema and must stay stable.
+#[derive(Clone)]
+pub(crate) struct SwarmObs {
+    /// Peers that joined (`swarm.arrivals`).
+    pub arrivals: Counter,
+    /// Peers that departed on completion (`swarm.departures`).
+    pub departures: Counter,
+    /// Completion records kept after warm-up (`swarm.completions`).
+    pub completions: Counter,
+    /// Connection attempts rolled (`swarm.conn_attempts`).
+    pub conn_attempts: Counter,
+    /// Connections established (`swarm.conn_successes`).
+    pub conn_successes: Counter,
+    /// Block transfers, one per direction (`swarm.pieces_exchanged`).
+    pub pieces_exchanged: Counter,
+    /// Neighbor-set shakes (`swarm.shakes`).
+    pub shakes: Counter,
+    /// First pieces injected into empty peers (`swarm.bootstrap_injections`).
+    pub bootstrap_injections: Counter,
+    /// Peak simultaneous population, max-gauge (`swarm.peak_population`).
+    pub peak_population: Counter,
+    /// Rounds executed (`swarm.rounds`).
+    pub rounds: Counter,
+    /// Neighbor-maintenance phase timer (`round.maintain`).
+    pub t_maintain: Timer,
+    /// Bootstrap-injection + seed-upload phase timer (`round.bootstrap`).
+    pub t_bootstrap: Timer,
+    /// Connection-pruning phase timer (`round.prune`).
+    pub t_prune: Timer,
+    /// Connection-establishment phase timer (`round.establish`).
+    pub t_establish: Timer,
+    /// Piece-exchange phase timer (`round.exchange`).
+    pub t_exchange: Timer,
+    /// Metrics-sampling phase timer (`round.sample`).
+    pub t_sample: Timer,
+}
+
+impl SwarmObs {
+    /// Resolves all handles in `registry`.
+    pub fn new(registry: Registry) -> SwarmObs {
+        SwarmObs {
+            arrivals: registry.counter("swarm.arrivals"),
+            departures: registry.counter("swarm.departures"),
+            completions: registry.counter("swarm.completions"),
+            conn_attempts: registry.counter("swarm.conn_attempts"),
+            conn_successes: registry.counter("swarm.conn_successes"),
+            pieces_exchanged: registry.counter("swarm.pieces_exchanged"),
+            shakes: registry.counter("swarm.shakes"),
+            bootstrap_injections: registry.counter("swarm.bootstrap_injections"),
+            peak_population: registry.counter("swarm.peak_population"),
+            rounds: registry.counter("swarm.rounds"),
+            t_maintain: registry.timer("round.maintain"),
+            t_bootstrap: registry.timer("round.bootstrap"),
+            t_prune: registry.timer("round.prune"),
+            t_establish: registry.timer("round.establish"),
+            t_exchange: registry.timer("round.exchange"),
+            t_sample: registry.timer("round.sample"),
+        }
+    }
+}
+
+impl std::fmt::Debug for SwarmObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwarmObs").finish_non_exhaustive()
+    }
+}

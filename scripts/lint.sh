@@ -1,0 +1,6 @@
+#!/usr/bin/env sh
+# Lint gate: the whole workspace (vendor stubs included) must be
+# clippy-clean across every target with warnings denied.
+set -eu
+cd "$(dirname "$0")/.."
+cargo clippy --workspace --all-targets -- -D warnings

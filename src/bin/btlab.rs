@@ -1,20 +1,63 @@
 //! `btlab` — command-line laboratory for the multiphase-bt workspace.
 //!
-//! See `btlab help` for usage.
+//! See `btlab help` for usage. Results print to stdout; diagnostics go
+//! to stderr under the `--log` / `--log-filter` global flags. Every
+//! run except `help` writes a JSON manifest (config hash, seed, counter
+//! totals, per-phase wall clock) to `results/manifest-<command>.json`,
+//! or `$BT_MANIFEST_DIR` when set.
+
+use std::path::PathBuf;
+
+use multiphase_bt::cli;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let command = match multiphase_bt::cli::parse(&args) {
-        Ok(cmd) => cmd,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("{}", multiphase_bt::cli::USAGE);
-            std::process::exit(2);
-        }
+    let (log_options, rest) = match cli::extract_log_options(&args) {
+        Ok(pair) => pair,
+        Err(msg) => usage_error(&msg),
     };
+    if let Err(msg) = log_options.install() {
+        usage_error(&msg);
+    }
+    let command = match cli::parse(&rest) {
+        Ok(cmd) => cmd,
+        Err(msg) => usage_error(&msg),
+    };
+
+    let mut manifest = bt_obs::RunManifest::new(
+        command.name(),
+        bt_obs::fnv1a_hex(format!("{command:?}").as_bytes()),
+        command.seed().unwrap_or(0),
+    );
+    let wants_manifest = !matches!(command, cli::Command::Help);
+    let start = std::time::Instant::now();
+
     let mut stdout = std::io::stdout().lock();
-    if let Err(msg) = multiphase_bt::cli::run(command, &mut stdout) {
+    if let Err(msg) = cli::run(command, &mut stdout) {
         eprintln!("error: {msg}");
         std::process::exit(1);
     }
+    drop(stdout);
+
+    if wants_manifest {
+        let registry = bt_obs::Registry::global();
+        manifest.finish(&registry, start.elapsed());
+        manifest.peak_population = registry.counter("swarm.peak_population").get();
+        let dir = std::env::var("BT_MANIFEST_DIR").unwrap_or_else(|_| "results".to_string());
+        let path = PathBuf::from(dir).join(format!("manifest-{}.json", manifest.command));
+        match manifest.write_to(&path) {
+            Ok(()) => {
+                tracing::info!(target: "btlab", path = path.display().to_string(); "run manifest written");
+            }
+            Err(e) => {
+                tracing::warn!(target: "btlab", path = path.display().to_string(), error = e.to_string(); "failed to write run manifest");
+            }
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{}", cli::USAGE);
+    std::process::exit(2);
 }

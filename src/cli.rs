@@ -3,8 +3,14 @@
 //! A deliberately small hand-rolled parser (no external dependency):
 //! `btlab <command> [--flag value]...`. Parsing is separated from
 //! execution so it can be unit-tested.
+//!
+//! The global `--log` / `--log-filter` flags are position-independent and
+//! stripped by [`extract_log_options`] before command parsing, so every
+//! subcommand accepts them without having to declare them.
 
 use std::collections::BTreeMap;
+
+use bt_obs::LogMode;
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +27,93 @@ pub enum Command {
     Figure(FigureArgs),
     /// Print usage.
     Help,
+}
+
+impl Command {
+    /// Stable command name, used for log events and manifest file names.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Swarm(_) => "swarm",
+            Command::Model(_) => "model",
+            Command::Traces(_) => "traces",
+            Command::Analyze(_) => "analyze",
+            Command::Figure(_) => "figure",
+            Command::Help => "help",
+        }
+    }
+
+    /// The RNG seed the command will run with, where it has one.
+    #[must_use]
+    pub fn seed(&self) -> Option<u64> {
+        match self {
+            Command::Swarm(a) => Some(a.seed),
+            Command::Model(a) => Some(a.seed),
+            Command::Traces(a) => Some(a.seed),
+            Command::Analyze(_) | Command::Figure(_) | Command::Help => None,
+        }
+    }
+}
+
+/// Global logging options, valid before or after the subcommand.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LogOptions {
+    /// Diagnostics rendering; `None` falls back to `BT_LOG`, then human.
+    pub mode: Option<LogMode>,
+    /// Filter directives; `None` falls back to `RUST_LOG`, then `info`.
+    pub filter: Option<String>,
+}
+
+impl LogOptions {
+    /// Installs the global subscriber for these options, resolving the
+    /// environment fallbacks (`BT_LOG` for the mode, `RUST_LOG` for the
+    /// filter).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `BT_LOG` or the filter text is malformed.
+    pub fn install(&self) -> Result<(), String> {
+        let mode = match self.mode {
+            Some(mode) => mode,
+            None => match std::env::var("BT_LOG") {
+                Ok(text) => text.parse()?,
+                Err(_) => LogMode::default(),
+            },
+        };
+        bt_obs::init(mode, self.filter.as_deref())
+    }
+}
+
+/// Strips `--log MODE` and `--log-filter SPEC` from anywhere in `args`,
+/// returning them alongside the remaining arguments for [`parse`].
+///
+/// # Errors
+///
+/// Returns a message for a missing value, an unknown mode, or a filter
+/// spec that fails to parse.
+pub fn extract_log_options(args: &[String]) -> Result<(LogOptions, Vec<String>), String> {
+    let mut options = LogOptions::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--log" => {
+                let value = iter
+                    .next()
+                    .ok_or("--log needs a mode: human, json, or quiet")?;
+                options.mode = Some(value.parse()?);
+            }
+            "--log-filter" => {
+                let value = iter.next().ok_or("--log-filter needs a filter spec")?;
+                // Validate eagerly so a typo fails the command instead of
+                // silently logging nothing.
+                bt_obs::EnvFilter::parse(value, None)?;
+                options.filter = Some(value.clone());
+            }
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((options, rest))
 }
 
 /// Arguments of `btlab swarm`.
@@ -136,6 +229,17 @@ USAGE:
   btlab analyze --input FILE
   btlab figure  --id fig1a|fig1b|fig2|fig4a|fig4b|fig4c|fig4d
   btlab help
+
+GLOBAL OPTIONS (any position):
+  --log human|json|quiet   diagnostics format on stderr (default: human,
+                           or the BT_LOG environment variable)
+  --log-filter SPEC        level filter, e.g. `debug` or
+                           `info,bt_swarm::round=debug` (default: RUST_LOG,
+                           then `info`)
+
+Results and figures print to stdout; diagnostics go to stderr. Each run
+writes a JSON manifest (counters, phase timings, config hash) under
+results/ or $BT_MANIFEST_DIR.
 ";
 
 /// Parses a command line (excluding the program name).
@@ -298,6 +402,7 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), Strin
                 builder.shake_at(f);
             }
             let config = builder.build().map_err(|e| e.to_string())?;
+            tracing::info!(target: "btlab", pieces = a.pieces, rounds = a.rounds, seed = a.seed; "running swarm simulation");
             let metrics = bt_swarm::Swarm::new(config).run();
             if a.json {
                 let json = serde_json::to_string_pretty(&metrics)
@@ -329,6 +434,7 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), Strin
                 .gamma(a.gamma)
                 .build()
                 .map_err(|e| e.to_string())?;
+            tracing::info!(target: "btlab", pieces = a.pieces, replications = a.replications, seed = a.seed; "running analytical model");
             let timeline = bt_model::evolution::expected_timeline(
                 &params,
                 a.replications,
@@ -355,6 +461,7 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), Strin
                 "bootstrap-stall" => bt_traces::generator::TraceScenario::BootstrapStall,
                 other => return Err(format!("unknown scenario `{other}`")),
             };
+            tracing::info!(target: "btlab", scenario = a.scenario.as_str(), clients = a.clients, seed = a.seed; "generating traces");
             let traces = bt_traces::generator::generate(scenario, a.clients, a.seed)
                 .map_err(|e| e.to_string())?;
             bt_traces::io::write_traces_to_path(&a.out, &traces).map_err(|e| e.to_string())?;
@@ -363,6 +470,7 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), Strin
         Command::Figure(a) => {
             // Scaled-down figure runs for interactive use; the bt-bench
             // binaries produce the full-size series.
+            tracing::info!(target: "btlab", id = a.id.as_str(); "regenerating figure");
             match a.id.as_str() {
                 "fig1a" => bt_bench::fig1::print_fig1a(&bt_bench::fig1::fig1a(30, 1)),
                 "fig1b" => bt_bench::fig1::print_fig1b(&bt_bench::fig1::fig1b(30, 100, 2)),
@@ -376,6 +484,7 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), Strin
             Ok(())
         }
         Command::Analyze(a) => {
+            tracing::info!(target: "btlab", input = a.input.as_str(); "analyzing traces");
             let traces =
                 bt_traces::io::read_traces_from_path(&a.input).map_err(|e| e.to_string())?;
             writeln!(
@@ -543,6 +652,51 @@ mod tests {
         let mut buf = Vec::new();
         let err = run(Command::Figure(FigureArgs { id: "nope".into() }), &mut buf).unwrap_err();
         assert!(err.contains("unknown figure id"));
+    }
+
+    #[test]
+    fn log_options_strip_anywhere() {
+        let (opts, rest) = extract_log_options(&args(&[
+            "swarm",
+            "--pieces",
+            "10",
+            "--log",
+            "json",
+            "--seed",
+            "4",
+            "--log-filter",
+            "info,bt_swarm=debug",
+        ]))
+        .unwrap();
+        assert_eq!(opts.mode, Some(LogMode::Json));
+        assert_eq!(opts.filter.as_deref(), Some("info,bt_swarm=debug"));
+        assert_eq!(rest, args(&["swarm", "--pieces", "10", "--seed", "4"]));
+
+        // Leading position works too, and absence leaves defaults.
+        let (opts, rest) = extract_log_options(&args(&["--log", "quiet", "help"])).unwrap();
+        assert_eq!(opts.mode, Some(LogMode::Quiet));
+        assert_eq!(rest, args(&["help"]));
+        let (opts, _) = extract_log_options(&args(&["help"])).unwrap();
+        assert_eq!(opts, LogOptions::default());
+    }
+
+    #[test]
+    fn log_options_reject_bad_input() {
+        assert!(extract_log_options(&args(&["--log"])).is_err());
+        assert!(extract_log_options(&args(&["--log", "loud"])).is_err());
+        assert!(extract_log_options(&args(&["--log-filter"])).is_err());
+        assert!(extract_log_options(&args(&["--log-filter", "bt_swarm=shouty"])).is_err());
+    }
+
+    #[test]
+    fn command_name_and_seed() {
+        let cmd = parse(&args(&["swarm", "--seed", "9"])).unwrap();
+        assert_eq!(cmd.name(), "swarm");
+        assert_eq!(cmd.seed(), Some(9));
+        assert_eq!(Command::Help.name(), "help");
+        assert_eq!(Command::Help.seed(), None);
+        let cmd = parse(&args(&["figure", "--id", "fig2"])).unwrap();
+        assert_eq!(cmd.seed(), None);
     }
 
     #[test]

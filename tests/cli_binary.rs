@@ -93,3 +93,117 @@ fn traces_then_analyze_pipeline() {
     assert!(stdout.contains("bootstrap"), "{stdout}");
     std::fs::remove_file(&path).ok();
 }
+
+const LOG_TEST_SWARM: [&str; 9] = [
+    "swarm", "--pieces", "10", "--rounds", "60", "--initial", "8", "--seed", "3",
+];
+
+#[test]
+fn json_log_mode_emits_json_lines_and_manifest() {
+    let dir = std::env::temp_dir().join("btlab-e2e-json-manifest");
+    std::fs::remove_dir_all(&dir).ok();
+    let out = btlab()
+        .args(LOG_TEST_SWARM)
+        .args(["--log", "json"])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    // Every stderr line is a standalone JSON object carrying the event
+    // schema, and the progress events we expect are among them.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let mut messages = Vec::new();
+    for line in stderr.lines().filter(|l| !l.is_empty()) {
+        let event: serde_json::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("stderr line is not JSON ({e}): {line}"));
+        assert!(event.get("level").is_some(), "{line}");
+        assert!(event.get("target").is_some(), "{line}");
+        if let Some(msg) = event.get("message").and_then(|m| m.as_str()) {
+            messages.push(msg.to_string());
+        }
+    }
+    assert!(messages.iter().any(|m| m == "swarm run finished"), "{messages:?}");
+
+    // The manifest landed next to the (redirected) results with live
+    // counter totals and per-phase wall clock.
+    let manifest_path = dir.join("manifest-swarm.json");
+    let text = std::fs::read_to_string(&manifest_path).expect("manifest written");
+    let manifest: serde_json::Value = serde_json::from_str(&text).expect("manifest is JSON");
+    assert_eq!(manifest.get("command").and_then(|v| v.as_str()), Some("swarm"));
+    assert_eq!(manifest.get("seed").and_then(|v| v.as_u64()), Some(3));
+    let counters: std::collections::BTreeMap<String, u64> = manifest
+        .get("counters")
+        .and_then(|v| v.as_array())
+        .expect("counters array")
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array().expect("pair");
+            (
+                pair[0].as_str().expect("name").to_string(),
+                pair[1].as_u64().expect("value"),
+            )
+        })
+        .collect();
+    assert!(counters["swarm.arrivals"] > 0, "{counters:?}");
+    assert!(counters["swarm.pieces_exchanged"] > 0, "{counters:?}");
+    assert!(counters["swarm.completions"] > 0, "{counters:?}");
+    assert!(manifest.get("peak_population").and_then(|v| v.as_u64()).expect("peak") > 0);
+    let phases = manifest
+        .get("phase_secs")
+        .and_then(|v| v.as_array())
+        .expect("phase_secs");
+    assert_eq!(phases.len(), 6, "{phases:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quiet_log_mode_keeps_stdout_identical_and_stderr_empty() {
+    let dir = std::env::temp_dir().join("btlab-e2e-quiet");
+    std::fs::remove_dir_all(&dir).ok();
+    let quiet = btlab()
+        .args(LOG_TEST_SWARM)
+        .args(["--log", "quiet"])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    let json = btlab()
+        .args(LOG_TEST_SWARM)
+        .args(["--log", "json"])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(quiet.status.success() && json.status.success());
+    assert!(
+        quiet.stderr.is_empty(),
+        "quiet mode must not write diagnostics: {}",
+        String::from_utf8_lossy(&quiet.stderr)
+    );
+    assert_eq!(
+        quiet.stdout, json.stdout,
+        "result output must not depend on the log mode"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn log_flags_are_position_independent_and_validated() {
+    let dir = std::env::temp_dir().join("btlab-e2e-logflags");
+    std::fs::remove_dir_all(&dir).ok();
+    let out = btlab()
+        .args(["--log", "human", "help", "--log-filter", "warn"])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    let out = btlab()
+        .args(["help", "--log", "loud"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown log mode"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+

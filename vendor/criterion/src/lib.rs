@@ -1,0 +1,149 @@
+//! Minimal, offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-definition API this repository's benches use
+//! (`Criterion::benchmark_group`, `bench_function`, `sample_size`,
+//! `iter`, and the `criterion_group!`/`criterion_main!` macros) with a
+//! simple timing harness: each benchmark is warmed up once, then run for
+//! `samples` batches whose per-iteration mean and minimum are printed.
+//! There is no statistical analysis, HTML report, or saved baseline —
+//! the point is that `cargo bench` builds, runs, and prints comparable
+//! per-iteration numbers without network access.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark context, handed to each `criterion_group!` target.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Times `f` and prints per-iteration statistics.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut bencher = Bencher {
+            samples: self.samples,
+            total: Duration::ZERO,
+            iters: 0,
+            best: Duration::MAX,
+        };
+        f(&mut bencher);
+        let mean_ns = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.total.as_secs_f64() * 1e9 / bencher.iters as f64
+        };
+        let best_ns = if bencher.best == Duration::MAX {
+            0.0
+        } else {
+            bencher.best.as_secs_f64() * 1e9
+        };
+        println!(
+            "bench {group}/{name}: mean {mean_ns:.1} ns/iter (best {best_ns:.1} ns, {iters} iters)",
+            group = self.name,
+            iters = bencher.iters,
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the measured closure and accumulates timing.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+    best: Duration,
+}
+
+impl Bencher {
+    /// Measures `f`, called once per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (untimed) and a cheap calibration of how many
+        // iterations fit a sample.
+        let warmup_start = Instant::now();
+        std::hint::black_box(f());
+        let once = warmup_start.elapsed();
+        let per_sample = if once >= Duration::from_millis(10) {
+            1
+        } else {
+            // Aim for ~2ms of work per sample.
+            (2_000_000 / once.as_nanos().max(50)).clamp(1, 10_000) as u64
+        };
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.iters += per_sample;
+            let per_iter = elapsed / u32::try_from(per_sample).unwrap_or(u32::MAX);
+            if per_iter < self.best {
+                self.best = per_iter;
+            }
+        }
+    }
+}
+
+/// Collects benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produces `main` from one or more `criterion_group!` names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Opaque value sink (re-exported by upstream; benches here use
+/// `std::hint::black_box` directly, but the symbol is kept for
+/// compatibility).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}

@@ -1,0 +1,19 @@
+//! Boolean strategies.
+
+use crate::strategy::{Strategy, TestRng};
+use rand::Rng;
+
+/// Strategy producing a fair coin flip.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+/// Generates `true` or `false` with equal probability.
+pub const ANY: BoolAny = BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}

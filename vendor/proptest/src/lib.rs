@@ -1,0 +1,135 @@
+//! Minimal, offline stand-in for `proptest`.
+//!
+//! Supports the subset this repository's property tests use: range and
+//! `any::<T>()` strategies, tuples of strategies, `prop_map` /
+//! `prop_flat_map`, `prop::collection::{vec, btree_set}`,
+//! `prop::bool::ANY`, the `proptest!` macro with an optional
+//! `#![proptest_config(...)]` header, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Unlike upstream there is **no shrinking**: a failing case panics with
+//! the test name and case number. Case generation is deterministic — the
+//! RNG is seeded from the test name, so failures reproduce exactly across
+//! runs.
+
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, FlatMap, Just, Map, Strategy, TestRng};
+
+/// The body of `proptest! { ... }` blocks. Each test function's
+/// parameters (`pat in strategy`) become one tuple strategy; the body
+/// runs once per generated case inside a closure returning
+/// `Result<(), TestCaseError>` so `prop_assert!`/`prop_assume!` can
+/// early-return.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    (config = $config:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config = $config;
+                $crate::test_runner::run(
+                    &config,
+                    stringify!($name),
+                    ($($strat,)+),
+                    |($($pat,)+)| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case (with early return) if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discards the current case (without failing) if the condition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(concat!(
+                    "assumption failed: ",
+                    stringify!($cond)
+                )),
+            );
+        }
+    };
+}

@@ -1,0 +1,6 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate as prop;
+pub use crate::strategy::{any, Any, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

@@ -1,0 +1,162 @@
+//! The [`Strategy`] trait and primitive strategies.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, SampleRange, Standard};
+
+/// The RNG handed to strategies (the vendored `StdRng`).
+pub type TestRng = rand::rngs::StdRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream there is no value tree / shrinking: `generate`
+/// produces a finished value directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            strategy: self,
+            func: f,
+        }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// from it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap {
+            strategy: self,
+            func: f,
+        }
+    }
+}
+
+/// Strategy yielding values from `T`'s standard distribution.
+pub struct Any<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+/// Generates any value of `T` (uniform over the full domain for
+/// integers).
+#[must_use]
+pub fn any<T: Standard>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    func: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.func)(self.strategy.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    strategy: S,
+    func: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.func)(self.strategy.generate(rng)).generate(rng)
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(S0.0);
+impl_strategy_tuple!(S0.0, S1.1);
+impl_strategy_tuple!(S0.0, S1.1, S2.2);
+impl_strategy_tuple!(S0.0, S1.1, S2.2, S3.3);
+impl_strategy_tuple!(S0.0, S1.1, S2.2, S3.3, S4.4);
+impl_strategy_tuple!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+impl_strategy_tuple!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6);
+impl_strategy_tuple!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7);
+impl_strategy_tuple!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8);
+impl_strategy_tuple!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8, S9.9);

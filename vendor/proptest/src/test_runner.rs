@@ -1,0 +1,142 @@
+//! Case generation and the pass/fail/reject bookkeeping behind
+//! `proptest!`.
+
+use crate::strategy::{Strategy, TestRng};
+use rand::SeedableRng;
+
+/// Runner configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration requiring `cases` passing cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps debug-mode suites snappy
+        // while still exercising varied inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed — the whole test fails.
+    Fail(String),
+    /// An assumption failed — the case is discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing-case error.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A discarded-case marker.
+    #[must_use]
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Runs `test` against `config.cases` generated inputs, panicking on the
+/// first failure. Deterministic: the RNG seed derives from `name`.
+///
+/// # Panics
+///
+/// On the first failing case, or when the reject budget is exhausted.
+pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: S, mut test: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::seed_from_u64(fnv1a(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let reject_budget = 4096 + config.cases.saturating_mul(16);
+    while passed < config.cases {
+        let value = strategy.generate(&mut rng);
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "proptest `{name}` failed after {passed} passing case(s): {message}"
+                );
+            }
+            Err(TestCaseError::Reject(message)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_budget,
+                    "proptest `{name}`: too many rejected cases ({rejected}); last: {message}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut count = 0;
+        run(
+            &ProptestConfig::with_cases(10),
+            "count",
+            0u32..5,
+            |x| {
+                count += 1;
+                assert!(x < 5);
+                Ok(())
+            },
+        );
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn rejects_do_not_count() {
+        let mut passed = 0;
+        run(
+            &ProptestConfig::with_cases(8),
+            "rejects",
+            0u32..10,
+            |x| {
+                if x < 5 {
+                    return Err(TestCaseError::reject("x < 5"));
+                }
+                passed += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(passed, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic() {
+        run(&ProptestConfig::with_cases(4), "fails", 0u32..10, |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

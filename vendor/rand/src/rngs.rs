@@ -1,0 +1,62 @@
+//! Concrete generators. Only [`StdRng`] is provided: a xoshiro256++
+//! generator, which is what this repository's simulations need.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// The workspace's standard PRNG (xoshiro256++).
+///
+/// API-compatible with `rand::rngs::StdRng` for the subset this
+/// repository uses; the output stream differs from upstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    fn from_state(mut seed_state: u64) -> Self {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = splitmix64(&mut seed_state);
+        }
+        // All-zero state is a fixed point for xoshiro; splitmix64 cannot
+        // produce four zero outputs in a row, so `s` is already valid.
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        // Mix all 32 bytes into one state word, then expand; keeps every
+        // seed byte significant without requiring full-entropy handling.
+        let mut acc = 0x6A09_E667_F3BC_C909u64;
+        for chunk in seed.chunks_exact(8) {
+            let word = u64::from_le_bytes(chunk.try_into().unwrap());
+            acc = splitmix64(&mut acc) ^ word;
+        }
+        StdRng::from_state(acc)
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        StdRng::from_state(state)
+    }
+}

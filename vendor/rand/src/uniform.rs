@@ -1,0 +1,125 @@
+//! Range sampling for `Rng::gen_range`, mirroring the shape (not the
+//! internals) of `rand::distributions::uniform`.
+//!
+//! `SampleRange` has exactly one blanket impl per range shape over a
+//! `SampleUniform` element trait — the same structure upstream uses.
+//! This matters for inference: with per-type impls, an unsuffixed
+//! literal range like `-0.1..0.1` would match several candidates and
+//! the `{float}` inference variable could not flow outward.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Ranges that `Rng::gen_range` accepts (`a..b` and `a..=b`).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types uniform-samplable over a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)` (`inclusive = false`) or
+    /// `[low, high]` (`inclusive = true`). The range is non-empty.
+    fn sample_uniform<R: RngCore + ?Sized>(low: Self, high: Self, inclusive: bool, rng: &mut R)
+        -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_uniform(start, end, true, rng)
+    }
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                low: $t,
+                high: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                if inclusive {
+                    if low == 0 && high as u64 == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let span = (high - low) as u64 + 1;
+                    low + (sample_below(rng, span) as $t)
+                } else {
+                    let span = (high - low) as u64;
+                    low + (sample_below(rng, span) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                low: $t,
+                high: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                let span_minus_one = (high as i128 - low as i128) as u64 - u64::from(!inclusive);
+                if inclusive && span_minus_one == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (low as i128 + sample_below(rng, span_minus_one + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                low: $t,
+                high: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                let unit = <$t as crate::Standard>::sample_standard(rng);
+                let x = low + unit * (high - low);
+                if inclusive || x < high {
+                    x
+                } else {
+                    // Guard against rounding up to the excluded endpoint.
+                    <$t>::from_bits(high.to_bits() - 1)
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Uniform draw from `[0, span)` via Lemire-style widening multiply with
+/// rejection, avoiding modulo bias.
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let wide = u128::from(rng.next_u64()) * u128::from(span);
+        let low = wide as u64;
+        if low >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! Minimal, offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde` crate's simplified
+//! `Serialize`/`Deserialize` traits (which convert through a `Value`
+//! tree) for the type shapes this repository actually uses:
+//!
+//! * structs with named fields (`#[serde(default)]` honored per field);
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! * enums with unit, named-field, and tuple variants, using serde's
+//!   externally-tagged representation.
+//!
+//! Generics, lifetimes, and the rest of serde's attribute language are
+//! unsupported and rejected with a compile error. The parser walks raw
+//! `TokenTree`s (no `syn`/`quote`, which are unavailable offline) and the
+//! generated impl is produced as a string and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            _ => panic!("serde_derive stub: unit struct `{name}` is not supported"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            _ => panic!("serde_derive stub: malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        *i += 1; // [...]
+    }
+}
+
+/// Skips attributes, returning whether any was `#[serde(default)]`.
+fn scan_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(attr)) = tokens.get(*i) {
+            default |= attr_is_serde_default(attr.stream());
+        }
+        *i += 1;
+    }
+    default
+}
+
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stub: expected identifier, found {other:?}"),
+    }
+}
+
+/// Advances past a type (and an optional trailing comma). Commas nested in
+/// angle brackets or groups do not terminate the type.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let default = scan_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut arity = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip any discriminant up to the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn string_lit(s: &str) -> String {
+    format!("\"{s}\"")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({key}), ::serde::Serialize::to_value(&self.{field})),",
+                        key = string_lit(&f.name),
+                        field = f.name
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items = (0..*arity)
+                .map(|idx| format!("::serde::Serialize::to_value(&self.{idx}),"))
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v))
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn serialize_variant_arm(enum_name: &str, variant: &Variant) -> String {
+    let tag = string_lit(&variant.name);
+    let vname = &variant.name;
+    match &variant.kind {
+        VariantKind::Unit => format!(
+            "{enum_name}::{vname} => \
+                 ::serde::Value::Str(::std::string::String::from({tag})),\n"
+        ),
+        VariantKind::Named(fields) => {
+            let bindings = fields
+                .iter()
+                .map(|f| format!("{},", f.name))
+                .collect::<String>();
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({key}), ::serde::Serialize::to_value({field})),",
+                        key = string_lit(&f.name),
+                        field = f.name
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "{enum_name}::{vname} {{ {bindings} }} => ::serde::Value::Object(::std::vec![(\
+                     ::std::string::String::from({tag}), \
+                     ::serde::Value::Object(::std::vec![{entries}])\
+                 )]),\n"
+            )
+        }
+        VariantKind::Tuple(arity) => {
+            let bindings = (0..*arity)
+                .map(|idx| format!("__f{idx},"))
+                .collect::<String>();
+            let inner = if *arity == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let items = (0..*arity)
+                    .map(|idx| format!("::serde::Serialize::to_value(__f{idx}),"))
+                    .collect::<String>();
+                format!("::serde::Value::Array(::std::vec![{items}])")
+            };
+            format!(
+                "{enum_name}::{vname}({bindings}) => ::serde::Value::Object(::std::vec![(\
+                     ::std::string::String::from({tag}), {inner}\
+                 )]),\n"
+            )
+        }
+    }
+}
+
+/// Generates the struct-literal field initializers reading from
+/// `__entries` (a `&[(String, Value)]`).
+fn named_field_inits(fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let key = string_lit(&f.name);
+            let missing = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!("::serde::Deserialize::from_missing({key})?")
+            };
+            format!(
+                "{field}: match ::serde::obj_get(__entries, {key}) {{\n\
+                     ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                     ::std::option::Option::None => {missing},\n\
+                 }},\n",
+                field = f.name
+            )
+        })
+        .collect()
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::NamedStruct { name, fields } => {
+            let inits = named_field_inits(fields);
+            format!(
+                "let __entries = match __value {{\n\
+                     ::serde::Value::Object(__entries) => __entries.as_slice(),\n\
+                     _ => return ::std::result::Result::Err(\
+                         ::serde::DeError::invalid_type({expected}, __value)),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})",
+                expected = string_lit(&format!("struct {name}"))
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Item::TupleStruct { name, arity } => {
+            let items = (0..*arity)
+                .map(|idx| format!("::serde::Deserialize::from_value(&__items[{idx}])?,"))
+                .collect::<String>();
+            format!(
+                "let __items = match __value {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {arity} => __items,\n\
+                     _ => return ::std::result::Result::Err(\
+                         ::serde::DeError::invalid_type({expected}, __value)),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                expected = string_lit(&format!("{arity}-element array for struct {name}"))
+            )
+        }
+        Item::Enum { name, variants } => gen_deserialize_enum(name, variants),
+    };
+    let name = match item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "{tag} => ::std::result::Result::Ok({name}::{vname}),\n",
+                tag = string_lit(&v.name),
+                vname = v.name
+            )
+        })
+        .collect::<String>();
+    let tagged_arms = variants
+        .iter()
+        .map(|v| deserialize_tagged_arm(name, v))
+        .collect::<String>();
+    let expected = string_lit(&format!("enum {name}"));
+    let enum_lit = string_lit(name);
+    format!(
+        "match __value {{\n\
+             ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(\
+                     ::serde::DeError::unknown_variant({enum_lit}, __other)),\n\
+             }},\n\
+             ::serde::Value::Object(__outer) if __outer.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__outer[0];\n\
+                 match __tag.as_str() {{\n\
+                     {tagged_arms}\
+                     __other => ::std::result::Result::Err(\
+                         ::serde::DeError::unknown_variant({enum_lit}, __other)),\n\
+                 }}\n\
+             }}\n\
+             _ => ::std::result::Result::Err(\
+                 ::serde::DeError::invalid_type({expected}, __value)),\n\
+         }}"
+    )
+}
+
+fn deserialize_tagged_arm(enum_name: &str, variant: &Variant) -> String {
+    let tag = string_lit(&variant.name);
+    let vname = &variant.name;
+    match &variant.kind {
+        VariantKind::Unit => {
+            format!("{tag} => ::std::result::Result::Ok({enum_name}::{vname}),\n")
+        }
+        VariantKind::Named(fields) => {
+            let inits = named_field_inits(fields);
+            let expected = string_lit(&format!("fields of variant {vname}"));
+            format!(
+                "{tag} => {{\n\
+                     let __entries = match __inner {{\n\
+                         ::serde::Value::Object(__entries) => __entries.as_slice(),\n\
+                         _ => return ::std::result::Result::Err(\
+                             ::serde::DeError::invalid_type({expected}, __inner)),\n\
+                     }};\n\
+                     ::std::result::Result::Ok({enum_name}::{vname} {{ {inits} }})\n\
+                 }}\n"
+            )
+        }
+        VariantKind::Tuple(1) => format!(
+            "{tag} => ::std::result::Result::Ok(\
+                 {enum_name}::{vname}(::serde::Deserialize::from_value(__inner)?)),\n"
+        ),
+        VariantKind::Tuple(arity) => {
+            let items = (0..*arity)
+                .map(|idx| format!("::serde::Deserialize::from_value(&__items[{idx}])?,"))
+                .collect::<String>();
+            let expected = string_lit(&format!("{arity}-element array for variant {vname}"));
+            format!(
+                "{tag} => {{\n\
+                     let __items = match __inner {{\n\
+                         ::serde::Value::Array(__items) if __items.len() == {arity} => __items,\n\
+                         _ => return ::std::result::Result::Err(\
+                             ::serde::DeError::invalid_type({expected}, __inner)),\n\
+                     }};\n\
+                     ::std::result::Result::Ok({enum_name}::{vname}({items}))\n\
+                 }}\n"
+            )
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Minimal, offline stand-in for `serde_json` over the vendored `serde`
+//! stub's [`Value`] data model.
+//!
+//! Provides the entry points this repository uses — [`to_string`],
+//! [`to_string_pretty`], [`to_writer`], [`from_str`], [`from_slice`] —
+//! plus the [`Value`] re-export for schema-free inspection. Formatting
+//! matches real `serde_json` closely enough for line-oriented tooling:
+//! two-space pretty indentation, `{:?}`-shortest float rendering (which
+//! round-trips), and non-finite floats serialized as `null`.
+
+mod read;
+mod write;
+
+pub use serde::Value;
+
+use serde::{DeError, Deserialize, Serialize};
+
+/// Errors from serialization, deserialization, or the underlying writer.
+#[derive(Debug)]
+pub enum Error {
+    /// The input text was not valid JSON.
+    Syntax {
+        /// Description of the problem.
+        message: String,
+        /// Byte offset where it was detected.
+        offset: usize,
+    },
+    /// The JSON was valid but did not match the target type.
+    Data(DeError),
+    /// The destination writer failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Syntax { message, offset } => {
+                write!(f, "JSON syntax error at byte {offset}: {message}")
+            }
+            Error::Data(e) => write!(f, "JSON data error: {e}"),
+            Error::Io(e) => write!(f, "JSON i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Syntax { .. } => None,
+            Error::Data(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::Data(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Currently infallible (the `Result` mirrors upstream's signature).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write::compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to a two-space-indented JSON string.
+///
+/// # Errors
+///
+/// Currently infallible (the `Result` mirrors upstream's signature).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write::pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON into `writer`.
+///
+/// # Errors
+///
+/// [`Error::Io`] if the writer fails.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let text = to_string(value)?;
+    writer.write_all(text.as_bytes())?;
+    Ok(())
+}
+
+/// Parses a value of type `T` from JSON text.
+///
+/// # Errors
+///
+/// [`Error::Syntax`] for malformed JSON, [`Error::Data`] when the JSON
+/// does not match `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let value = read::parse(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses a value of type `T` from JSON bytes (must be UTF-8).
+///
+/// # Errors
+///
+/// Same conditions as [`from_str`], plus a syntax error for invalid
+/// UTF-8.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::Syntax {
+        message: format!("invalid UTF-8: {e}"),
+        offset: e.valid_up_to(),
+    })?;
+    from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("1.5e2").unwrap(), 150.0);
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+        assert!(!from_str::<bool>("false").unwrap());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u64, 0.5f64), (2, 1.5)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[[1,0.5],[2,1.5]]");
+        assert_eq!(from_str::<Vec<(u64, f64)>>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\nquote\"back\\slash\ttab\u{1f600}\u{1}";
+        let json = to_string(&s.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn unicode_escape_parses() {
+        assert_eq!(from_str::<String>("\"\\u0041\\u00e9\"").unwrap(), "Aé");
+        // Surrogate pair.
+        assert_eq!(
+            from_str::<String>("\"\\ud83d\\ude00\"").unwrap(),
+            "\u{1f600}"
+        );
+    }
+
+    #[test]
+    fn value_inspection() {
+        let v: Value = from_str("{\"a\": [1, 2], \"b\": {\"c\": null}}").unwrap();
+        assert!(v.get("a").is_some());
+        assert!(v.get("b").and_then(|b| b.get("c")).is_some());
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let v: Value = from_str("{\"a\":1,\"b\":[true]}").unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let v: Value = from_str("{\"a\":[],\"b\":{}}").unwrap();
+        assert_eq!(to_string(&v).unwrap(), "{\"a\":[],\"b\":{}}");
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": [],\n  \"b\": {}\n}");
+    }
+
+    #[test]
+    fn syntax_errors_reported() {
+        assert!(from_str::<Value>("{not json}").is_err());
+        assert!(from_str::<Value>("[1, 2,]").is_err());
+        assert!(from_str::<Value>("[1] trailing").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn data_errors_reported() {
+        assert!(matches!(from_str::<u32>("\"nope\""), Err(Error::Data(_))));
+        assert!(matches!(from_str::<u32>("-3"), Err(Error::Data(_))));
+    }
+
+    #[test]
+    fn large_integers_preserved() {
+        let big = u64::MAX;
+        let json = to_string(&big).unwrap();
+        assert_eq!(from_str::<u64>(&json).unwrap(), big);
+        let neg = i64::MIN;
+        let json = to_string(&neg).unwrap();
+        assert_eq!(from_str::<i64>(&json).unwrap(), neg);
+    }
+
+    #[test]
+    fn float_shortest_repr_round_trips() {
+        for &x in &[0.1f64, 1.0 / 3.0, 1e300, 5e-324, 123456.789] {
+            let json = to_string(&x).unwrap();
+            assert_eq!(from_str::<f64>(&json).unwrap(), x, "{json}");
+        }
+    }
+
+    #[test]
+    fn to_writer_writes_bytes() {
+        let mut buf = Vec::new();
+        to_writer(&mut buf, &vec![1u32, 2]).unwrap();
+        assert_eq!(buf, b"[1,2]");
+    }
+}

@@ -1,0 +1,490 @@
+//! Minimal, offline stand-in for the `tracing` facade.
+//!
+//! A single global [`Subscriber`] receives structured events and span
+//! closures. The design goal is the same as upstream's: **disabled
+//! instrumentation must cost almost nothing**. Every macro first checks
+//! one relaxed atomic (the maximum enabled level); only when that passes
+//! are field values converted and the message formatted.
+//!
+//! Syntax differences from upstream (all call sites live in this
+//! workspace): structured fields are separated from the message by `;`
+//! rather than `,` —
+//!
+//! ```ignore
+//! info!(target: "bt_swarm::round", round = r, peers = n; "round done");
+//! ```
+//!
+//! Spans are plain RAII timers: `let _g = info_span!("run").entered();`
+//! reports its wall-clock duration to the subscriber on drop. There is
+//! no span context propagation or per-span field storage.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Event/span severity, ordered from most to least urgent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or clearly wrong conditions.
+    Error = 1,
+    /// Suspicious conditions worth surfacing by default.
+    Warn = 2,
+    /// High-level progress of a run.
+    Info = 3,
+    /// Per-phase and per-decision detail.
+    Debug = 4,
+    /// Per-event firehose (e.g. every DES dispatch).
+    Trace = 5,
+}
+
+impl Level {
+    /// Uppercase name, as conventionally logged.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    /// Parses a (case-insensitive) level name, `"off"` as `None`.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Option<Level>> {
+        match text.to_ascii_lowercase().as_str() {
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            "off" | "none" => Some(None),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed structured-field value, converted only for enabled events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Boolean field.
+    Bool(bool),
+    /// Signed integer field.
+    I64(i64),
+    /// Unsigned integer field.
+    U64(u64),
+    /// Floating-point field.
+    F64(f64),
+    /// String field.
+    Str(String),
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+macro_rules! impl_field_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::U64(v as u64)
+            }
+        }
+    )*};
+}
+
+impl_field_from_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_field_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::I64(v as i64)
+            }
+        }
+    )*};
+}
+
+impl_field_from_int!(i8, i16, i32, i64, isize);
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<f32> for FieldValue {
+    fn from(v: f32) -> Self {
+        FieldValue::F64(f64::from(v))
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<&String> for FieldValue {
+    fn from(v: &String) -> Self {
+        FieldValue::Str(v.clone())
+    }
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Receiver of events and span closures. Implementations must be
+/// thread-safe; one global instance serves the whole process.
+pub trait Subscriber: Send + Sync {
+    /// Fine-grained filter, consulted after the global max-level gate.
+    fn enabled(&self, level: Level, target: &str) -> bool;
+
+    /// One structured log event.
+    fn event(&self, level: Level, target: &str, message: &str, fields: &[(&'static str, FieldValue)]);
+
+    /// A span closed after running for `elapsed`.
+    fn span_close(&self, level: Level, target: &str, name: &str, elapsed: Duration) {
+        let _ = (level, target, name, elapsed);
+    }
+}
+
+static SUBSCRIBER: OnceLock<Box<dyn Subscriber>> = OnceLock::new();
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// Installs the process-global subscriber. `max_level` is the coarse
+/// gate checked by every macro before anything else happens; `None`
+/// disables all instrumentation. Returns `false` (and changes nothing)
+/// if a subscriber was already installed.
+pub fn set_global_subscriber(subscriber: Box<dyn Subscriber>, max_level: Option<Level>) -> bool {
+    if SUBSCRIBER.set(subscriber).is_err() {
+        return false;
+    }
+    MAX_LEVEL.store(max_level.map_or(0, |l| l as u8), Ordering::Relaxed);
+    true
+}
+
+/// Whether any subscriber wants events at `level` (the fast path).
+#[inline]
+#[must_use]
+pub fn level_enabled(level: Level) -> bool {
+    (level as u8) <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Delivers an event to the subscriber. Called by the macros after
+/// [`level_enabled`] passed; not intended for direct use.
+#[doc(hidden)]
+pub fn dispatch_event(
+    level: Level,
+    target: &str,
+    message: std::fmt::Arguments<'_>,
+    fields: &[(&'static str, FieldValue)],
+) {
+    if let Some(subscriber) = SUBSCRIBER.get() {
+        if subscriber.enabled(level, target) {
+            let rendered;
+            let text = match message.as_str() {
+                Some(static_text) => static_text,
+                None => {
+                    rendered = message.to_string();
+                    &rendered
+                }
+            };
+            subscriber.event(level, target, text, fields);
+        }
+    }
+}
+
+/// An inert or pending span handle produced by the `*_span!` macros.
+#[must_use = "a span does nothing unless `.entered()`"]
+pub struct Span {
+    data: Option<(Level, &'static str, &'static str)>,
+}
+
+impl Span {
+    /// Creates a span handle; inert when `level` is disabled.
+    #[doc(hidden)]
+    pub fn new(level: Level, target: &'static str, name: &'static str) -> Self {
+        let enabled = level_enabled(level)
+            && SUBSCRIBER
+                .get()
+                .is_some_and(|s| s.enabled(level, target));
+        Span {
+            data: enabled.then_some((level, target, name)),
+        }
+    }
+
+    /// Starts timing; the returned guard reports on drop.
+    pub fn entered(self) -> EnteredSpan {
+        EnteredSpan {
+            data: self.data.map(|d| (d, Instant::now())),
+        }
+    }
+}
+
+/// RAII guard: reports the span's wall-clock duration when dropped.
+pub struct EnteredSpan {
+    data: Option<((Level, &'static str, &'static str), Instant)>,
+}
+
+impl Drop for EnteredSpan {
+    fn drop(&mut self) {
+        if let Some(((level, target, name), start)) = self.data.take() {
+            if let Some(subscriber) = SUBSCRIBER.get() {
+                subscriber.span_close(level, target, name, start.elapsed());
+            }
+        }
+    }
+}
+
+/// Emits an event at an explicit level. Prefer the level-named macros.
+#[macro_export]
+macro_rules! event {
+    ($lvl:expr, $target:expr, $($key:ident = $value:expr),+ ; $($fmt:tt)+) => {{
+        if $crate::level_enabled($lvl) {
+            $crate::dispatch_event(
+                $lvl,
+                $target,
+                ::core::format_args!($($fmt)+),
+                &[$((stringify!($key), $crate::FieldValue::from($value)),)+],
+            );
+        }
+    }};
+    ($lvl:expr, $target:expr, $($fmt:tt)+) => {{
+        if $crate::level_enabled($lvl) {
+            $crate::dispatch_event($lvl, $target, ::core::format_args!($($fmt)+), &[]);
+        }
+    }};
+}
+
+/// Emits an [`Level::Error`] event.
+#[macro_export]
+macro_rules! error {
+    (target: $target:expr, $($rest:tt)+) => {
+        $crate::event!($crate::Level::Error, $target, $($rest)+)
+    };
+    ($($rest:tt)+) => {
+        $crate::event!($crate::Level::Error, ::core::module_path!(), $($rest)+)
+    };
+}
+
+/// Emits a [`Level::Warn`] event.
+#[macro_export]
+macro_rules! warn {
+    (target: $target:expr, $($rest:tt)+) => {
+        $crate::event!($crate::Level::Warn, $target, $($rest)+)
+    };
+    ($($rest:tt)+) => {
+        $crate::event!($crate::Level::Warn, ::core::module_path!(), $($rest)+)
+    };
+}
+
+/// Emits an [`Level::Info`] event.
+#[macro_export]
+macro_rules! info {
+    (target: $target:expr, $($rest:tt)+) => {
+        $crate::event!($crate::Level::Info, $target, $($rest)+)
+    };
+    ($($rest:tt)+) => {
+        $crate::event!($crate::Level::Info, ::core::module_path!(), $($rest)+)
+    };
+}
+
+/// Emits a [`Level::Debug`] event.
+#[macro_export]
+macro_rules! debug {
+    (target: $target:expr, $($rest:tt)+) => {
+        $crate::event!($crate::Level::Debug, $target, $($rest)+)
+    };
+    ($($rest:tt)+) => {
+        $crate::event!($crate::Level::Debug, ::core::module_path!(), $($rest)+)
+    };
+}
+
+/// Emits a [`Level::Trace`] event.
+#[macro_export]
+macro_rules! trace {
+    (target: $target:expr, $($rest:tt)+) => {
+        $crate::event!($crate::Level::Trace, $target, $($rest)+)
+    };
+    ($($rest:tt)+) => {
+        $crate::event!($crate::Level::Trace, ::core::module_path!(), $($rest)+)
+    };
+}
+
+/// Creates a [`Span`] at an explicit level.
+#[macro_export]
+macro_rules! span {
+    ($lvl:expr, target: $target:expr, $name:expr) => {
+        $crate::Span::new($lvl, $target, $name)
+    };
+    ($lvl:expr, $name:expr) => {
+        $crate::Span::new($lvl, ::core::module_path!(), $name)
+    };
+}
+
+/// Creates an [`Level::Info`] span.
+#[macro_export]
+macro_rules! info_span {
+    ($($rest:tt)+) => { $crate::span!($crate::Level::Info, $($rest)+) };
+}
+
+/// Creates a [`Level::Debug`] span.
+#[macro_export]
+macro_rules! debug_span {
+    ($($rest:tt)+) => { $crate::span!($crate::Level::Debug, $($rest)+) };
+}
+
+/// Creates a [`Level::Trace`] span.
+#[macro_export]
+macro_rules! trace_span {
+    ($($rest:tt)+) => { $crate::span!($crate::Level::Trace, $($rest)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct Capture {
+        events: Mutex<Vec<(Level, String, String, usize)>>,
+        spans: Mutex<Vec<String>>,
+    }
+
+    impl Subscriber for Capture {
+        fn enabled(&self, _level: Level, target: &str) -> bool {
+            target != "muted"
+        }
+
+        fn event(
+            &self,
+            level: Level,
+            target: &str,
+            message: &str,
+            fields: &[(&'static str, FieldValue)],
+        ) {
+            self.events.lock().unwrap().push((
+                level,
+                target.to_string(),
+                message.to_string(),
+                fields.len(),
+            ));
+        }
+
+        fn span_close(&self, _level: Level, _target: &str, name: &str, _elapsed: Duration) {
+            self.spans.lock().unwrap().push(name.to_string());
+        }
+    }
+
+    // One process-global subscriber, so everything is exercised in a
+    // single test.
+    #[test]
+    fn facade_end_to_end() {
+        assert!(!level_enabled(Level::Error), "quiet before install");
+        info!(target: "pre", "dropped before install");
+
+        static CAPTURE: OnceLock<&'static Capture> = OnceLock::new();
+        let capture: &'static Capture = Box::leak(Box::new(Capture {
+            events: Mutex::new(Vec::new()),
+            spans: Mutex::new(Vec::new()),
+        }));
+        assert!(CAPTURE.set(capture).is_ok());
+
+        struct Forward;
+        impl Subscriber for Forward {
+            fn enabled(&self, level: Level, target: &str) -> bool {
+                CAPTURE.get().unwrap().enabled(level, target)
+            }
+            fn event(
+                &self,
+                level: Level,
+                target: &str,
+                message: &str,
+                fields: &[(&'static str, FieldValue)],
+            ) {
+                CAPTURE.get().unwrap().event(level, target, message, fields);
+            }
+            fn span_close(&self, level: Level, target: &str, name: &str, elapsed: Duration) {
+                CAPTURE.get().unwrap().span_close(level, target, name, elapsed);
+            }
+        }
+
+        assert!(set_global_subscriber(Box::new(Forward), Some(Level::Debug)));
+        assert!(
+            !set_global_subscriber(Box::new(Forward), Some(Level::Trace)),
+            "second install rejected"
+        );
+
+        assert!(level_enabled(Level::Debug));
+        assert!(!level_enabled(Level::Trace));
+
+        info!(target: "t1", count = 3u64, rate = 0.5; "formatted {}", 42);
+        debug!("no fields, default target");
+        trace!(target: "t1", "below max level, dropped");
+        info!(target: "muted", "subscriber filter drops this");
+
+        {
+            let _guard = debug_span!(target: "t1", "phase").entered();
+        }
+        {
+            // Inert: trace is above the max level.
+            let _guard = trace_span!("quiet_span").entered();
+        }
+
+        let events = capture.events.lock().unwrap();
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert_eq!(events[0].0, Level::Info);
+        assert_eq!(events[0].1, "t1");
+        assert_eq!(events[0].2, "formatted 42");
+        assert_eq!(events[0].3, 2);
+        assert_eq!(events[1].2, "no fields, default target");
+        assert!(events[1].1.contains("tracing"), "module path target");
+
+        let spans = capture.spans.lock().unwrap();
+        assert_eq!(spans.as_slice(), ["phase"]);
+    }
+
+    #[test]
+    fn field_value_conversions() {
+        assert_eq!(FieldValue::from(3u32), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(-3i64), FieldValue::I64(-3));
+        assert_eq!(FieldValue::from(0.5f64), FieldValue::F64(0.5));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".into()));
+        assert_eq!(FieldValue::from(true), FieldValue::Bool(true));
+        assert_eq!(FieldValue::U64(7).to_string(), "7");
+    }
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("info"), Some(Some(Level::Info)));
+        assert_eq!(Level::parse("WARN"), Some(Some(Level::Warn)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("bogus"), None);
+        assert!(Level::Error < Level::Trace);
+    }
+}
