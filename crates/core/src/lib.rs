@@ -57,7 +57,7 @@ pub mod trading;
 pub mod transitions;
 
 pub use params::{ModelParams, ModelParamsBuilder};
-pub use phase::Phase;
+pub use phase::{Phase, PhaseBoundaries};
 pub use state::DownloadState;
 
 /// Errors produced by this crate.

@@ -110,6 +110,50 @@ impl PhaseSojourns {
     }
 }
 
+/// Cumulative phase-boundary predictions for an average peer, in rounds
+/// from joining: the rounds at which the bootstrap phase ends, the
+/// efficient phase ends, and the download completes.
+///
+/// Built from a [`crate::evolution::Timeline`]'s mean per-phase sojourns,
+/// this is the analytical series `btlab report` compares measured
+/// observer boundaries against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBoundaries {
+    /// Mean round at which the bootstrap phase ends.
+    pub bootstrap_end: f64,
+    /// Mean round at which the efficient phase ends.
+    pub efficient_end: f64,
+    /// Mean round at which the download completes.
+    pub completion: f64,
+}
+
+impl PhaseBoundaries {
+    /// Accumulates mean per-phase sojourns (bootstrap, efficient, last
+    /// download — the layout of `Timeline::mean_sojourns`) into
+    /// cumulative boundaries.
+    #[must_use]
+    pub fn from_mean_sojourns(sojourns: [f64; 3]) -> Self {
+        let bootstrap_end = sojourns[0];
+        let efficient_end = bootstrap_end + sojourns[1];
+        PhaseBoundaries {
+            bootstrap_end,
+            efficient_end,
+            completion: efficient_end + sojourns[2],
+        }
+    }
+
+    /// The per-phase durations `[bootstrap, efficient, last]` implied by
+    /// the boundaries.
+    #[must_use]
+    pub fn durations(&self) -> [f64; 3] {
+        [
+            self.bootstrap_end,
+            self.efficient_end - self.bootstrap_end,
+            self.completion - self.efficient_end,
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +229,15 @@ mod tests {
     #[test]
     fn empty_sojourns_fraction_zero() {
         assert_eq!(PhaseSojourns::default().efficient_fraction(), 0.0);
+    }
+
+    #[test]
+    fn boundaries_accumulate_and_invert() {
+        let b = PhaseBoundaries::from_mean_sojourns([3.0, 40.0, 7.0]);
+        assert_eq!(b.bootstrap_end, 3.0);
+        assert_eq!(b.efficient_end, 43.0);
+        assert_eq!(b.completion, 50.0);
+        assert_eq!(b.durations(), [3.0, 40.0, 7.0]);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! A flight recorder: a fixed-capacity ring of recent events that can be
+//! dumped when an anomaly trigger fires.
+//!
+//! The recorder is deliberately generic and serialization-free — the
+//! simulation layer decides what an "event" is and how a dump reaches
+//! disk. The kernel provides the two properties anomaly capture needs:
+//!
+//! * **bounded memory** — only the last `capacity` events are retained,
+//!   so recording in the hot loop is O(1) and a long healthy run costs
+//!   nothing at dump time;
+//! * **one-shot triggering** — once a trigger fires the recorder disarms,
+//!   so a persistent anomaly (entropy pinned below its floor for the rest
+//!   of a run, say) produces exactly one dump, not one per round. Call
+//!   [`FlightRecorder::rearm`] to capture a later, distinct anomaly.
+//!
+//! # Example
+//!
+//! ```
+//! use bt_des::flight::FlightRecorder;
+//!
+//! let mut recorder = FlightRecorder::new(3);
+//! for round in 0..5u64 {
+//!     recorder.record(round);
+//! }
+//! let dump = recorder.trigger(5, "entropy below floor").unwrap();
+//! assert_eq!(dump.events, vec![2, 3, 4]); // the last 3 events
+//! assert!(recorder.trigger(6, "still low").is_none(), "one-shot");
+//! ```
+
+use std::collections::VecDeque;
+
+/// A bounded ring of recent events with one-shot anomaly dumping.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder<T> {
+    capacity: usize,
+    ring: VecDeque<T>,
+    armed: bool,
+    recorded: u64,
+    dumps: u64,
+}
+
+/// The contents of the ring at the moment a trigger fired.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump<T> {
+    /// Why the trigger fired, as reported by the caller.
+    pub reason: String,
+    /// The tick (round, step, …) at which it fired.
+    pub tick: u64,
+    /// The retained events, oldest first.
+    pub events: Vec<T>,
+    /// Events recorded over the recorder's lifetime, including those
+    /// that had already rotated out of the ring.
+    pub recorded: u64,
+}
+
+impl<T: Clone> FlightRecorder<T> {
+    /// Creates an armed recorder retaining the last `capacity` events
+    /// (zero is normalized to 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            ring: VecDeque::with_capacity(capacity.min(1024)),
+            armed: true,
+            recorded: 0,
+            dumps: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest once the ring is full.
+    pub fn record(&mut self, event: T) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(event);
+        self.recorded += 1;
+    }
+
+    /// Fires the trigger: returns a snapshot of the retained events and
+    /// disarms the recorder. Returns `None` if already disarmed, so a
+    /// sustained anomaly yields exactly one dump per arming.
+    pub fn trigger(&mut self, tick: u64, reason: &str) -> Option<FlightDump<T>> {
+        if !self.armed {
+            return None;
+        }
+        self.armed = false;
+        self.dumps += 1;
+        Some(FlightDump {
+            reason: reason.to_string(),
+            tick,
+            events: self.ring.iter().cloned().collect(),
+            recorded: self.recorded,
+        })
+    }
+
+    /// Re-arms the recorder so a later anomaly can produce another dump.
+    /// Retained events are kept.
+    pub fn rearm(&mut self) {
+        self.armed = true;
+    }
+
+    /// Whether a trigger would currently produce a dump.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Number of events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events recorded over the recorder's lifetime.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Dumps produced so far.
+    #[must_use]
+    pub fn dumps(&self) -> u64 {
+        self.dumps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_retains_last_capacity_events() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..10u32 {
+            r.record(i);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.recorded(), 10);
+        let dump = r.trigger(10, "test").unwrap();
+        assert_eq!(dump.events, vec![6, 7, 8, 9]);
+        assert_eq!(dump.recorded, 10);
+        assert_eq!(dump.tick, 10);
+        assert_eq!(dump.reason, "test");
+    }
+
+    #[test]
+    fn trigger_is_one_shot_until_rearmed() {
+        let mut r = FlightRecorder::new(2);
+        r.record(1u8);
+        assert!(r.is_armed());
+        assert!(r.trigger(1, "a").is_some());
+        assert!(!r.is_armed());
+        assert!(r.trigger(2, "b").is_none());
+        assert_eq!(r.dumps(), 1);
+        r.rearm();
+        r.record(2);
+        let dump = r.trigger(3, "c").unwrap();
+        assert_eq!(dump.events, vec![1, 2], "events survive re-arming");
+        assert_eq!(r.dumps(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_normalized() {
+        let mut r = FlightRecorder::new(0);
+        r.record(7u64);
+        r.record(8);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.trigger(0, "t").unwrap().events, vec![8]);
+    }
+
+    #[test]
+    fn empty_recorder_dumps_empty() {
+        let mut r: FlightRecorder<u32> = FlightRecorder::new(8);
+        assert!(r.is_empty());
+        let dump = r.trigger(0, "early").unwrap();
+        assert!(dump.events.is_empty());
+        assert_eq!(dump.recorded, 0);
+    }
+}

@@ -37,12 +37,14 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod queue;
 pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod time;
 
+pub use flight::{FlightDump, FlightRecorder};
 pub use queue::EventQueue;
 pub use rng::SeedStream;
 pub use sim::{Simulator, StopReason};

@@ -117,7 +117,10 @@ impl TimeSeries {
                 let frac = i as f64 / (points - 1) as f64;
                 let ticks = start + ((end - start) as f64 * frac).round() as u64;
                 let t = SimTime::from_ticks(ticks);
-                (t, self.value_at(t).expect("t >= first sample"))
+                // Every grid point is at or after the first sample, so
+                // value_at always resolves; fall back to the first value
+                // rather than panicking if that invariant ever shifts.
+                (t, self.value_at(t).unwrap_or(self.values[0]))
             })
             .collect()
     }

@@ -15,6 +15,10 @@
 //! 3. **Run manifests** ([`RunManifest`]): a small JSON document written
 //!    next to result files recording what ran (config hash, seed, git
 //!    revision), how long each phase took, and final counter totals.
+//! 4. **Time series** ([`SeriesStore`], [`RingSeries`]): ring-buffer
+//!    backed per-signal sample stores with a configurable sampling
+//!    stride and bounded memory, exportable as JSON lines or CSV — the
+//!    storage layer of the swarm telemetry pipeline.
 //!
 //! # Span hierarchy
 //!
@@ -29,8 +33,10 @@ mod filter;
 mod manifest;
 mod registry;
 mod subscriber;
+mod timeseries;
 
 pub use filter::EnvFilter;
 pub use manifest::{fnv1a_hex, git_describe, RunManifest};
 pub use registry::{Counter, Histogram, Registry, Timer, TimerGuard, TimerSnapshot};
 pub use subscriber::{init, init_from_env, LogMode};
+pub use timeseries::{RingSeries, SeriesError, SeriesPoint, SeriesStore};

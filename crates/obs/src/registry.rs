@@ -2,8 +2,16 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Locks `mutex`, recovering from poisoning: these mutexes only guard
+/// map insertions and histogram bumps, which cannot be left in a
+/// half-updated state observable through this API, so a panic on
+/// another thread must not cascade into every later metrics call.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A shared registry of named [`Counter`]s and [`Timer`]s.
 ///
@@ -40,7 +48,7 @@ impl Registry {
     /// The counter named `name`, created at zero on first use.
     #[must_use]
     pub fn counter(&self, name: &str) -> Counter {
-        let mut counters = self.inner.counters.lock().unwrap();
+        let mut counters = lock(&self.inner.counters);
         let cell = counters
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(AtomicU64::new(0)));
@@ -50,7 +58,7 @@ impl Registry {
     /// The timer named `name`, created empty on first use.
     #[must_use]
     pub fn timer(&self, name: &str) -> Timer {
-        let mut timers = self.inner.timers.lock().unwrap();
+        let mut timers = lock(&self.inner.timers);
         let cell = timers
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(TimerCell::default()));
@@ -60,10 +68,7 @@ impl Registry {
     /// All counter totals, sorted by name.
     #[must_use]
     pub fn counter_totals(&self) -> Vec<(String, u64)> {
-        self.inner
-            .counters
-            .lock()
-            .unwrap()
+        lock(&self.inner.counters)
             .iter()
             .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
             .collect()
@@ -72,10 +77,7 @@ impl Registry {
     /// All timer snapshots, sorted by name.
     #[must_use]
     pub fn timer_snapshots(&self) -> Vec<(String, TimerSnapshot)> {
-        self.inner
-            .timers
-            .lock()
-            .unwrap()
+        lock(&self.inner.timers)
             .iter()
             .map(|(name, cell)| (name.clone(), cell.snapshot()))
             .collect()
@@ -122,11 +124,11 @@ impl TimerCell {
     fn record(&self, elapsed: Duration) {
         let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         self.total_ns.fetch_add(nanos, Ordering::Relaxed);
-        self.histogram.lock().unwrap().record(nanos);
+        lock(&self.histogram).record(nanos);
     }
 
     fn snapshot(&self) -> TimerSnapshot {
-        let histogram = self.histogram.lock().unwrap();
+        let histogram = lock(&self.histogram);
         TimerSnapshot {
             total_secs: self.total_ns.load(Ordering::Relaxed) as f64 / 1e9,
             count: histogram.count(),

@@ -32,6 +32,8 @@ use crate::metrics::{CompletionRecord, ObserverLog, SwarmMetrics};
 use crate::obs::SwarmObs;
 use crate::peer::{Peer, PeerId};
 use crate::selection::{replication_counts, select_piece};
+use crate::snapshot::Snapshot;
+use crate::telemetry::{ObserverSample, TelemetryRecorder};
 use crate::tracker::Tracker;
 
 /// Events driving the simulation.
@@ -74,6 +76,7 @@ pub struct Swarm {
     rng: StdRng,
     metrics: SwarmMetrics,
     obs: SwarmObs,
+    telemetry: Option<TelemetryRecorder>,
 }
 
 impl Swarm {
@@ -97,6 +100,7 @@ impl Swarm {
             round: 0,
             rng,
             obs: SwarmObs::new(registry),
+            telemetry: None,
             config,
         };
         for _ in 0..swarm.config.initial_leechers {
@@ -156,6 +160,30 @@ impl Swarm {
         self.peer(id).connections.len() as u32
     }
 
+    /// Attaches a per-round telemetry recorder, binding it to this run's
+    /// configuration. Subsequent rounds feed it samples, phase-detector
+    /// observations, and flight-recorder events.
+    pub fn attach_telemetry(&mut self, mut recorder: TelemetryRecorder) {
+        recorder.bind(&self.config);
+        self.telemetry = Some(recorder);
+    }
+
+    /// The attached telemetry recorder, if any.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&TelemetryRecorder> {
+        self.telemetry.as_ref()
+    }
+
+    /// Detaches and returns the telemetry recorder (flushing its stream),
+    /// e.g. to inspect it after driving rounds with [`Swarm::step_round`].
+    pub fn take_telemetry(&mut self) -> Option<TelemetryRecorder> {
+        let mut recorder = self.telemetry.take();
+        if let Some(r) = recorder.as_mut() {
+            r.finish();
+        }
+        recorder
+    }
+
     /// Runs the simulation to its stop condition and returns the metrics.
     #[must_use]
     pub fn run(mut self) -> SwarmMetrics {
@@ -199,6 +227,9 @@ impl Swarm {
             }
         });
         self.metrics.rounds_run = self.round;
+        if let Some(recorder) = self.telemetry.as_mut() {
+            recorder.finish();
+        }
         tracing::info!(
             target: "bt_swarm",
             rounds = self.metrics.rounds_run,
@@ -397,6 +428,9 @@ impl Swarm {
         {
             let _g = self.obs.t_sample.start();
             self.sample_metrics();
+        }
+        if self.telemetry.is_some() {
+            self.record_telemetry();
         }
         tracing::debug!(
             target: "bt_swarm::round",
@@ -775,6 +809,30 @@ impl Swarm {
                     .is_some_and(|o| me.have.can_trade_with(&o.have))
             })
             .count() as u32
+    }
+
+    /// Feeds the attached telemetry recorder one round: the full
+    /// distributional snapshot plus the per-observer `(pieces, potential,
+    /// connections)` states driving online phase detection.
+    fn record_telemetry(&mut self) {
+        let snapshot = Snapshot::capture(self);
+        let obs_lo = u64::from(self.config.observe_from);
+        let obs_hi = obs_lo + u64::from(self.config.observers);
+        let observers: Vec<ObserverSample> = self
+            .alive_ids()
+            .into_iter()
+            .filter(|id| (obs_lo..obs_hi).contains(&id.0))
+            .map(|id| ObserverSample {
+                peer: id.0,
+                pieces: self.peer(id).have.count(),
+                potential: self.potential_size(id),
+                connections: self.peer(id).connections.len() as u32,
+            })
+            .collect();
+        let k = self.config.max_connections;
+        if let Some(recorder) = self.telemetry.as_mut() {
+            recorder.record_round(&snapshot, k, &observers);
+        }
     }
 
     fn sample_metrics(&mut self) {

@@ -49,12 +49,17 @@ pub mod piece;
 pub mod scenario;
 pub mod selection;
 pub mod snapshot;
+pub mod telemetry;
 pub mod tracker;
 
 pub use config::{BootstrapInjection, InitialPieces, PieceSelection, SwarmConfig};
 pub use engine::Swarm;
 pub use metrics::SwarmMetrics;
 pub use peer::PeerId;
+pub use telemetry::{
+    FlightOptions, ObserverBoundaries, ObserverSample, PhaseDetector, PhaseEvent, TelemetryFormat,
+    TelemetryOptions, TelemetryRecord, TelemetryRecorder,
+};
 
 /// Errors produced by this crate.
 #[derive(Debug, Clone, PartialEq, Eq)]

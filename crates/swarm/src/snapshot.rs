@@ -41,9 +41,10 @@ impl Snapshot {
         let ids = swarm.alive_peer_ids();
         let replication = replication_counts(pieces, ids.iter().map(|&id| swarm.peer_bitfield(id)));
         let max_rep = replication.iter().max().copied().unwrap_or(0);
-        let mut availability =
-            Histogram::new(0.0, (max_rep + 1) as f64, (max_rep as usize + 1).min(64))
-                .expect("bounds are valid");
+        // One unit-width bucket per replication count 0..=max_rep, so the
+        // profile is exact even in high-replication swarms (no clamping).
+        let mut availability = Histogram::new(0.0, (max_rep + 1) as f64, max_rep as usize + 1)
+            .expect("0 < max_rep + 1 and at least one bucket");
         for &d in &replication {
             availability.record(d as f64);
         }
@@ -144,6 +145,34 @@ mod tests {
         assert!(snap.median_pieces() >= 1, "endowed peers hold pieces");
         assert!(snap.mean_degree() >= 0.0);
         assert!(snap.extinct_pieces() <= 12);
+    }
+
+    #[test]
+    fn high_replication_is_not_clamped() {
+        // 100 peers all holding every piece: replication 100 everywhere,
+        // which the old 64-bucket clamp misfiled into coarse bins.
+        let config = SwarmConfig::builder()
+            .pieces(4)
+            .max_connections(2)
+            .neighbor_set_size(4)
+            .arrival_rate(0.0)
+            .initial_leechers(100)
+            .initial_pieces(InitialPieces::Random { count: 4 })
+            .bootstrap(crate::config::BootstrapInjection::Off)
+            .seed_uploads_per_round(0)
+            .max_rounds(5)
+            .seed(5)
+            .build()
+            .unwrap();
+        let swarm = Swarm::new(config);
+        let snap = Snapshot::capture(&swarm);
+        let max_rep = *snap.replication.iter().max().unwrap();
+        assert!(max_rep > 64, "scenario must exceed the old clamp");
+        assert_eq!(snap.availability.n_bins() as u64, max_rep + 1);
+        // Every count lands in its own unit-width bucket.
+        assert_eq!(snap.availability.bin_count(max_rep as usize), 4);
+        assert_eq!(snap.availability.overflow(), 0);
+        assert_eq!(snap.availability.bin_bounds(max_rep as usize).0, max_rep as f64);
     }
 
     #[test]

@@ -1,0 +1,977 @@
+//! Per-round telemetry: time-series recording, online phase detection,
+//! and anomaly flight recording.
+//!
+//! A [`TelemetryRecorder`] attached to a [`Swarm`](crate::Swarm) turns the
+//! point-in-time [`Snapshot`] into a first-class per-round time-series
+//! layer:
+//!
+//! * every `stride`-th round it captures a [`TelemetrySample`] —
+//!   population, replication entropy, the availability histogram,
+//!   per-peer piece-count quantiles, and connection-slot utilization —
+//!   retaining a bounded window in a [`bt_obs::SeriesStore`] and
+//!   streaming the full run as JSON lines or CSV;
+//! * an online [`PhaseDetector`] per observer peer tags rounds as
+//!   bootstrap / efficient / last-download using the §3 potential-set
+//!   criteria ([`bt_model::Phase::classify`]) and emits each transition
+//!   as a [`PhaseEvent`] through the stream and the `tracing` layer
+//!   (target `bt_swarm::phase`);
+//! * an optional flight recorder ([`bt_des::FlightRecorder`]) keeps the
+//!   last `capacity` per-round [`FlightEvent`]s and dumps them exactly
+//!   once when an anomaly trigger fires — entropy below a floor, or an
+//!   observer stalled (no piece progress, e.g. on an empty potential
+//!   set) for a configured number of rounds.
+//!
+//! The JSON-lines stream is a sequence of [`TelemetryRecord`]s, one per
+//! line: a leading `Meta`, then `Sample` / `Phase` / `Flight` records in
+//! round order. `btlab report` reads this stream back with
+//! [`read_records_from_path`].
+
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+use bt_des::FlightRecorder;
+use bt_model::{DownloadState, Phase};
+use bt_obs::SeriesStore;
+
+use crate::config::SwarmConfig;
+use crate::snapshot::Snapshot;
+
+/// Version of the telemetry stream schema.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
+
+/// Run-level header of a telemetry stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryMeta {
+    /// Stream schema version ([`TELEMETRY_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Number of pieces `B`.
+    pub pieces: u32,
+    /// Connection cap `k`.
+    pub max_connections: u32,
+    /// Neighbor-set size `s`.
+    pub neighbor_set_size: u32,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Sampling stride in rounds.
+    pub stride: u64,
+}
+
+/// One per-round swarm-level sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySample {
+    /// Round the sample was taken.
+    pub round: u64,
+    /// Leecher population.
+    pub population: u64,
+    /// Replication entropy `min(d)/max(d)` (§6), exactly the
+    /// [`Snapshot::capture`] value.
+    pub entropy: f64,
+    /// Pieces currently held by nobody.
+    pub extinct_pieces: u64,
+    /// Availability histogram: `availability[r]` pieces are replicated
+    /// exactly `r` times.
+    pub availability: Vec<u64>,
+    /// Piece-count quantiles over peers: min, p25, p50, p75, max.
+    pub piece_quantiles: [u32; 5],
+    /// Mean active-connection degree.
+    pub mean_degree: f64,
+    /// Connection-slot utilization: mean degree over the cap `k`.
+    pub slot_utilization: f64,
+}
+
+impl TelemetrySample {
+    /// Derives a sample from a snapshot.
+    #[must_use]
+    pub fn from_snapshot(snapshot: &Snapshot, max_connections: u32) -> Self {
+        let availability: Vec<u64> = (0..snapshot.availability.n_bins())
+            .map(|i| snapshot.availability.bin_count(i))
+            .collect();
+        let q = |fraction: f64| -> u32 {
+            if snapshot.piece_counts.is_empty() {
+                return 0;
+            }
+            let idx = ((snapshot.piece_counts.len() - 1) as f64 * fraction).round() as usize;
+            snapshot.piece_counts[idx]
+        };
+        let mean_degree = snapshot.mean_degree();
+        let slot_utilization = if max_connections == 0 {
+            0.0
+        } else {
+            mean_degree / f64::from(max_connections)
+        };
+        TelemetrySample {
+            round: snapshot.round,
+            population: snapshot.population,
+            entropy: snapshot.entropy,
+            extinct_pieces: snapshot.extinct_pieces() as u64,
+            availability,
+            piece_quantiles: [q(0.0), q(0.25), q(0.5), q(0.75), q(1.0)],
+            mean_degree,
+            slot_utilization,
+        }
+    }
+}
+
+/// A phase transition of one observer peer, detected online.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseEvent {
+    /// The observer peer.
+    pub peer: u64,
+    /// Round the peer entered the phase.
+    pub round: u64,
+    /// The phase entered.
+    pub phase: Phase,
+}
+
+/// A note in the stream that the flight recorder dumped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightNote {
+    /// Round the trigger fired.
+    pub round: u64,
+    /// Why it fired.
+    pub reason: String,
+    /// Number of events captured in the dump.
+    pub events: u64,
+}
+
+/// One line of the JSON-lines telemetry stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TelemetryRecord {
+    /// Run-level header (first record of a stream).
+    Meta(TelemetryMeta),
+    /// A per-round swarm sample.
+    Sample(TelemetrySample),
+    /// An observer phase transition.
+    Phase(PhaseEvent),
+    /// A flight-recorder dump notification.
+    Flight(FlightNote),
+}
+
+/// Errors from telemetry stream I/O.
+#[derive(Debug)]
+pub enum TelemetryError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A line of the stream failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TelemetryError::Io(e) => write!(f, "telemetry i/o error: {e}"),
+            TelemetryError::Parse { line, detail } => {
+                write!(f, "telemetry parse error at line {line}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
+impl From<std::io::Error> for TelemetryError {
+    fn from(e: std::io::Error) -> Self {
+        TelemetryError::Io(e)
+    }
+}
+
+/// Serializes records as a JSON-lines stream.
+///
+/// # Errors
+///
+/// Returns [`TelemetryError::Io`] on write failure.
+pub fn write_records<W: Write>(w: &mut W, records: &[TelemetryRecord]) -> Result<(), TelemetryError> {
+    for record in records {
+        let line = serde_json::to_string(record).map_err(|e| TelemetryError::Parse {
+            line: 0,
+            detail: e.to_string(),
+        })?;
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Parses a JSON-lines telemetry stream. Blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns [`TelemetryError::Io`] on read failure and
+/// [`TelemetryError::Parse`] with a 1-based line number on a malformed
+/// line.
+pub fn read_records<R: BufRead>(r: R) -> Result<Vec<TelemetryRecord>, TelemetryError> {
+    let mut records = Vec::new();
+    for (index, line) in r.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: TelemetryRecord =
+            serde_json::from_str(&line).map_err(|e| TelemetryError::Parse {
+                line: index + 1,
+                detail: e.to_string(),
+            })?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Reads a telemetry stream from a file.
+///
+/// # Errors
+///
+/// See [`read_records`].
+pub fn read_records_from_path(
+    path: &std::path::Path,
+) -> Result<Vec<TelemetryRecord>, TelemetryError> {
+    let file = std::fs::File::open(path)?;
+    read_records(std::io::BufReader::new(file))
+}
+
+/// Measured phase boundaries of one observer, in absolute rounds,
+/// reconstructed from its [`PhaseEvent`] stream. `btlab report` averages
+/// these across completed observers and compares them against the
+/// analytical [`bt_model::PhaseBoundaries`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObserverBoundaries {
+    /// The observer peer.
+    pub peer: u64,
+    /// Estimated join round (one before the first observation).
+    pub join: u64,
+    /// Round of the first transition out of bootstrap, if any.
+    pub bootstrap_end: Option<u64>,
+    /// Round of the first entry into the last-download phase (or
+    /// completion when the peer finishes straight from trading).
+    pub efficient_end: Option<u64>,
+    /// Round the peer completed and departed.
+    pub completion: Option<u64>,
+}
+
+impl ObserverBoundaries {
+    /// Reconstructs boundaries from one peer's transitions, in stream
+    /// order. Returns `None` on an empty slice.
+    #[must_use]
+    pub fn from_events(events: &[PhaseEvent]) -> Option<Self> {
+        let first = events.first()?;
+        let peer = first.peer;
+        let join = first.round.saturating_sub(1);
+        let bootstrap_end = events
+            .iter()
+            .find(|e| e.phase != Phase::Bootstrap)
+            .map(|e| e.round);
+        let completion = events
+            .iter()
+            .find(|e| e.phase == Phase::Done)
+            .map(|e| e.round);
+        let efficient_end = events
+            .iter()
+            .find(|e| e.phase == Phase::LastDownload)
+            .map(|e| e.round)
+            .or(completion);
+        Some(ObserverBoundaries {
+            peer,
+            join,
+            bootstrap_end,
+            efficient_end,
+            completion,
+        })
+    }
+
+    /// Per-phase durations `[bootstrap, efficient, last]` in rounds since
+    /// joining; `None` until the observer has completed.
+    #[must_use]
+    pub fn durations(&self) -> Option<[f64; 3]> {
+        let completion = self.completion?;
+        let bootstrap_end = self.bootstrap_end.unwrap_or(completion);
+        let efficient_end = self.efficient_end.unwrap_or(completion);
+        Some([
+            (bootstrap_end - self.join) as f64,
+            efficient_end.saturating_sub(bootstrap_end) as f64,
+            completion.saturating_sub(efficient_end) as f64,
+        ])
+    }
+}
+
+/// Online phase classification of one observer peer against the §3
+/// potential-set criteria.
+///
+/// Fed one `(pieces, potential, connections)` observation per round, the
+/// detector maps it to the model state `(n, b, i)` and reports a
+/// [`PhaseEvent`] whenever [`Phase::classify`] changes its answer.
+#[derive(Debug, Clone)]
+pub struct PhaseDetector {
+    peer: u64,
+    pieces: u32,
+    current: Option<Phase>,
+}
+
+impl PhaseDetector {
+    /// Creates a detector for observer `peer` in a file of `pieces`
+    /// pieces.
+    #[must_use]
+    pub fn new(peer: u64, pieces: u32) -> Self {
+        PhaseDetector {
+            peer,
+            pieces,
+            current: None,
+        }
+    }
+
+    /// The observed peer.
+    #[must_use]
+    pub fn peer(&self) -> u64 {
+        self.peer
+    }
+
+    /// The phase last classified, if any observation was made.
+    #[must_use]
+    pub fn current(&self) -> Option<Phase> {
+        self.current
+    }
+
+    /// Classifies one per-round observation; returns the transition event
+    /// if the phase changed.
+    pub fn observe(
+        &mut self,
+        round: u64,
+        pieces_held: u32,
+        potential: u32,
+        connections: u32,
+    ) -> Option<PhaseEvent> {
+        let state = DownloadState::new(connections, pieces_held, potential);
+        self.transition_to(Phase::classify(state, self.pieces), round)
+    }
+
+    /// Marks the peer as departed-on-completion (observers leave the
+    /// swarm the round they finish, so they stop appearing in samples).
+    pub fn complete(&mut self, round: u64) -> Option<PhaseEvent> {
+        self.transition_to(Phase::Done, round)
+    }
+
+    fn transition_to(&mut self, phase: Phase, round: u64) -> Option<PhaseEvent> {
+        if self.current == Some(phase) {
+            return None;
+        }
+        self.current = Some(phase);
+        Some(PhaseEvent {
+            peer: self.peer,
+            round,
+            phase,
+        })
+    }
+}
+
+/// Anomaly-capture configuration for the flight recorder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightOptions {
+    /// Ring capacity: how many recent per-round events a dump contains.
+    pub capacity: usize,
+    /// Trigger when entropy drops below this floor (with a non-empty
+    /// swarm).
+    pub entropy_floor: Option<f64>,
+    /// Trigger when an observer makes no piece progress for this many
+    /// consecutive rounds (catches stalls on an empty potential set).
+    pub stall_rounds: Option<u64>,
+    /// Where to write the dump as JSON; `None` keeps it in memory only
+    /// (see [`TelemetryRecorder::flight_dump`]).
+    pub path: Option<PathBuf>,
+}
+
+impl Default for FlightOptions {
+    fn default() -> Self {
+        FlightOptions {
+            capacity: 64,
+            entropy_floor: None,
+            stall_rounds: None,
+            path: None,
+        }
+    }
+}
+
+/// One per-round event retained by the flight recorder — a compact
+/// summary of the swarm state leading up to an anomaly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightEvent {
+    /// Round of the event.
+    pub round: u64,
+    /// Leecher population.
+    pub population: u64,
+    /// Replication entropy.
+    pub entropy: f64,
+    /// Pieces held by nobody.
+    pub extinct_pieces: u64,
+    /// Mean active-connection degree.
+    pub mean_degree: f64,
+}
+
+/// A flight-recorder dump: the trigger context plus the events that
+/// preceded it. This is the document written to [`FlightOptions::path`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightDumpRecord {
+    /// Why the trigger fired.
+    pub reason: String,
+    /// Round the trigger fired.
+    pub round: u64,
+    /// Events recorded over the run, including rotated-out ones.
+    pub recorded: u64,
+    /// The retained events, oldest first.
+    pub events: Vec<FlightEvent>,
+}
+
+/// Output format of the telemetry stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryFormat {
+    /// One [`TelemetryRecord`] as JSON per line (the machine-readable,
+    /// re-parseable format).
+    #[default]
+    Jsonl,
+    /// Sample rows only, with a header (phase/flight records and the
+    /// variable-length availability histogram are omitted).
+    Csv,
+}
+
+impl std::str::FromStr for TelemetryFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "jsonl" => Ok(TelemetryFormat::Jsonl),
+            "csv" => Ok(TelemetryFormat::Csv),
+            other => Err(format!("unknown telemetry format `{other}`; use jsonl or csv")),
+        }
+    }
+}
+
+/// Construction options of a [`TelemetryRecorder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryOptions {
+    /// Sample every `stride`-th round (zero is normalized to 1). Phase
+    /// detection and flight recording stay per-round regardless.
+    pub stride: u64,
+    /// In-memory samples retained per series (zero is normalized to 1).
+    pub capacity: usize,
+    /// Stream output format.
+    pub format: TelemetryFormat,
+    /// Flight-recorder configuration; `None` disables anomaly capture.
+    pub flight: Option<FlightOptions>,
+}
+
+impl Default for TelemetryOptions {
+    fn default() -> Self {
+        TelemetryOptions {
+            stride: 1,
+            capacity: 4096,
+            format: TelemetryFormat::default(),
+            flight: None,
+        }
+    }
+}
+
+/// One observer peer's state in a round, as handed to the recorder by
+/// the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObserverSample {
+    /// The observer peer id.
+    pub peer: u64,
+    /// Pieces held.
+    pub pieces: u32,
+    /// Potential-set size.
+    pub potential: u32,
+    /// Active connections.
+    pub connections: u32,
+}
+
+/// Per-observer piece-progress tracking for the stall trigger.
+#[derive(Debug, Clone)]
+struct StallTrack {
+    peer: u64,
+    last_pieces: u32,
+    last_potential: u32,
+    stalled_rounds: u64,
+}
+
+/// The per-round telemetry pipeline attached to a swarm via
+/// [`Swarm::attach_telemetry`](crate::Swarm::attach_telemetry).
+pub struct TelemetryRecorder {
+    meta: Option<TelemetryMeta>,
+    options: TelemetryOptions,
+    store: SeriesStore,
+    writer: Option<Box<dyn Write + Send>>,
+    detectors: Vec<PhaseDetector>,
+    phase_events: Vec<PhaseEvent>,
+    stalls: Vec<StallTrack>,
+    flight: Option<FlightRecorder<FlightEvent>>,
+    flight_dump: Option<FlightDumpRecord>,
+    samples: u64,
+}
+
+impl TelemetryRecorder {
+    /// Creates a recorder that retains telemetry in memory only.
+    #[must_use]
+    pub fn new(options: TelemetryOptions) -> Self {
+        let store = SeriesStore::new(options.stride, options.capacity);
+        let flight = options
+            .flight
+            .as_ref()
+            .map(|f| FlightRecorder::new(f.capacity));
+        TelemetryRecorder {
+            meta: None,
+            options,
+            store,
+            writer: None,
+            detectors: Vec::new(),
+            phase_events: Vec::new(),
+            stalls: Vec::new(),
+            flight,
+            flight_dump: None,
+            samples: 0,
+        }
+    }
+
+    /// Streams records to `writer` in addition to the in-memory store.
+    #[must_use]
+    pub fn to_writer(mut self, writer: Box<dyn Write + Send>) -> Self {
+        self.writer = Some(writer);
+        self
+    }
+
+    /// Binds the recorder to a run's configuration, emitting the stream
+    /// header. Called by `Swarm::attach_telemetry`.
+    pub fn bind(&mut self, config: &SwarmConfig) {
+        if self.meta.is_some() {
+            return;
+        }
+        let meta = TelemetryMeta {
+            schema_version: TELEMETRY_SCHEMA_VERSION,
+            pieces: config.pieces,
+            max_connections: config.max_connections,
+            neighbor_set_size: config.neighbor_set_size,
+            seed: config.seed,
+            stride: self.store.stride(),
+        };
+        match self.options.format {
+            TelemetryFormat::Jsonl => self.write_record(&TelemetryRecord::Meta(meta.clone())),
+            TelemetryFormat::Csv => self.write_line(
+                "round,population,entropy,extinct_pieces,\
+                 pieces_min,pieces_p25,pieces_p50,pieces_p75,pieces_max,\
+                 mean_degree,slot_utilization",
+            ),
+        }
+        self.meta = Some(meta);
+    }
+
+    /// Records one round: feeds phase detectors every round, samples the
+    /// series on the stride, and runs the anomaly triggers.
+    pub fn record_round(
+        &mut self,
+        snapshot: &Snapshot,
+        max_connections: u32,
+        observers: &[ObserverSample],
+    ) {
+        let Some(meta) = self.meta.clone() else {
+            debug_assert!(false, "record_round before bind");
+            return;
+        };
+        let round = snapshot.round;
+
+        // Online phase detection, every round.
+        let mut events = Vec::new();
+        for obs in observers {
+            let detector = match self.detectors.iter_mut().find(|d| d.peer() == obs.peer) {
+                Some(d) => d,
+                None => {
+                    self.detectors.push(PhaseDetector::new(obs.peer, meta.pieces));
+                    self.detectors.last_mut().expect("just pushed")
+                }
+            };
+            events.extend(detector.observe(round, obs.pieces, obs.potential, obs.connections));
+        }
+        // Observers that vanished from the sample departed on completion.
+        for detector in &mut self.detectors {
+            if detector.current() != Some(Phase::Done)
+                && !observers.iter().any(|o| o.peer == detector.peer())
+            {
+                events.extend(detector.complete(round));
+            }
+        }
+        for event in events {
+            self.emit_phase(event);
+        }
+
+        // Series sampling on the stride.
+        if self.store.accepts(round) {
+            let sample = TelemetrySample::from_snapshot(snapshot, max_connections);
+            self.store.record("entropy", round, sample.entropy);
+            self.store
+                .record("population", round, sample.population as f64);
+            self.store
+                .record("utilization", round, sample.slot_utilization);
+            self.store
+                .record("extinct_pieces", round, sample.extinct_pieces as f64);
+            match self.options.format {
+                TelemetryFormat::Jsonl => {
+                    self.write_record(&TelemetryRecord::Sample(sample));
+                }
+                TelemetryFormat::Csv => {
+                    let [p0, p25, p50, p75, p100] = sample.piece_quantiles;
+                    let line = format!(
+                        "{},{},{},{},{p0},{p25},{p50},{p75},{p100},{},{}",
+                        sample.round,
+                        sample.population,
+                        sample.entropy,
+                        sample.extinct_pieces,
+                        sample.mean_degree,
+                        sample.slot_utilization,
+                    );
+                    self.write_line(&line);
+                }
+            }
+            self.samples += 1;
+        }
+
+        // Flight recording and anomaly triggers, every round.
+        self.update_stalls(observers, meta.pieces);
+        if self.flight.is_some() {
+            let event = FlightEvent {
+                round,
+                population: snapshot.population,
+                entropy: snapshot.entropy,
+                extinct_pieces: snapshot.extinct_pieces() as u64,
+                mean_degree: snapshot.mean_degree(),
+            };
+            if let Some(flight) = self.flight.as_mut() {
+                flight.record(event);
+            }
+            if let Some(reason) = self.trigger_reason(snapshot) {
+                self.fire_trigger(round, &reason);
+            }
+        }
+    }
+
+    /// Flushes the stream writer; called when the run finishes.
+    pub fn finish(&mut self) {
+        if let Some(writer) = self.writer.as_mut() {
+            if let Err(e) = writer.flush() {
+                tracing::warn!(target: "bt_swarm::telemetry", error = e.to_string(); "telemetry flush failed");
+            }
+        }
+    }
+
+    /// The bounded in-memory series store (`entropy`, `population`,
+    /// `utilization`, `extinct_pieces`).
+    #[must_use]
+    pub fn store(&self) -> &SeriesStore {
+        &self.store
+    }
+
+    /// All phase transitions detected so far, in emission order.
+    #[must_use]
+    pub fn phase_events(&self) -> &[PhaseEvent] {
+        &self.phase_events
+    }
+
+    /// The flight dump, if a trigger has fired.
+    #[must_use]
+    pub fn flight_dump(&self) -> Option<&FlightDumpRecord> {
+        self.flight_dump.as_ref()
+    }
+
+    /// Number of samples emitted (after the stride).
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The stream header, once bound to a run.
+    #[must_use]
+    pub fn meta(&self) -> Option<&TelemetryMeta> {
+        self.meta.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn emit_phase(&mut self, event: PhaseEvent) {
+        tracing::info!(
+            target: "bt_swarm::phase",
+            peer = event.peer,
+            round = event.round,
+            phase = event.phase.to_string();
+            "observer phase transition"
+        );
+        if self.options.format == TelemetryFormat::Jsonl {
+            self.write_record(&TelemetryRecord::Phase(event));
+        }
+        self.phase_events.push(event);
+    }
+
+    fn update_stalls(&mut self, observers: &[ObserverSample], pieces: u32) {
+        let stall_enabled = self
+            .options
+            .flight
+            .as_ref()
+            .is_some_and(|f| f.stall_rounds.is_some());
+        if !stall_enabled {
+            return;
+        }
+        for obs in observers {
+            match self.stalls.iter_mut().find(|s| s.peer == obs.peer) {
+                Some(track) => {
+                    if obs.pieces > track.last_pieces || obs.pieces >= pieces {
+                        track.stalled_rounds = 0;
+                    } else {
+                        track.stalled_rounds += 1;
+                    }
+                    track.last_pieces = obs.pieces;
+                    track.last_potential = obs.potential;
+                }
+                None => self.stalls.push(StallTrack {
+                    peer: obs.peer,
+                    last_pieces: obs.pieces,
+                    last_potential: obs.potential,
+                    stalled_rounds: 0,
+                }),
+            }
+        }
+        // Departed observers cannot stall.
+        self.stalls
+            .retain(|s| observers.iter().any(|o| o.peer == s.peer));
+    }
+
+    fn trigger_reason(&self, snapshot: &Snapshot) -> Option<String> {
+        let flight = self.options.flight.as_ref()?;
+        if let Some(floor) = flight.entropy_floor {
+            if snapshot.population > 0 && snapshot.entropy < floor {
+                return Some(format!(
+                    "entropy {:.4} below floor {:.4} at round {}",
+                    snapshot.entropy, floor, snapshot.round
+                ));
+            }
+        }
+        if let Some(limit) = flight.stall_rounds {
+            if let Some(track) = self
+                .stalls
+                .iter()
+                .find(|s| limit > 0 && s.stalled_rounds >= limit)
+            {
+                let detail = if track.last_potential == 0 {
+                    " (empty potential set)"
+                } else {
+                    ""
+                };
+                return Some(format!(
+                    "observer {} stalled at {} pieces for {} rounds{} at round {}",
+                    track.peer, track.last_pieces, track.stalled_rounds, detail, snapshot.round
+                ));
+            }
+        }
+        None
+    }
+
+    fn fire_trigger(&mut self, round: u64, reason: &str) {
+        let Some(dump) = self
+            .flight
+            .as_mut()
+            .and_then(|flight| flight.trigger(round, reason))
+        else {
+            return; // already disarmed: exactly one dump per run
+        };
+        let record = FlightDumpRecord {
+            reason: dump.reason,
+            round: dump.tick,
+            recorded: dump.recorded,
+            events: dump.events,
+        };
+        tracing::warn!(
+            target: "bt_swarm::flight",
+            round = round,
+            reason = reason.to_string(),
+            events = record.events.len() as u64;
+            "flight recorder dumped"
+        );
+        if let Some(path) = self.options.flight.as_ref().and_then(|f| f.path.clone()) {
+            match serde_json::to_string_pretty(&record) {
+                Ok(json) => {
+                    if let Some(parent) = path.parent() {
+                        let _ = std::fs::create_dir_all(parent);
+                    }
+                    if let Err(e) = std::fs::write(&path, json) {
+                        tracing::warn!(target: "bt_swarm::flight", path = path.display().to_string(), error = e.to_string(); "failed to write flight dump");
+                    }
+                }
+                Err(e) => {
+                    tracing::warn!(target: "bt_swarm::flight", error = e.to_string(); "failed to serialize flight dump");
+                }
+            }
+        }
+        if self.options.format == TelemetryFormat::Jsonl {
+            self.write_record(&TelemetryRecord::Flight(FlightNote {
+                round,
+                reason: reason.to_string(),
+                events: record.events.len() as u64,
+            }));
+        }
+        self.flight_dump = Some(record);
+    }
+
+    fn write_record(&mut self, record: &TelemetryRecord) {
+        match serde_json::to_string(record) {
+            Ok(line) => self.write_line(&line),
+            Err(e) => {
+                tracing::warn!(target: "bt_swarm::telemetry", error = e.to_string(); "failed to serialize telemetry record");
+            }
+        }
+    }
+
+    /// Writes one line to the stream; a failing writer is dropped (with a
+    /// warning) rather than aborting the simulation.
+    fn write_line(&mut self, line: &str) {
+        let Some(writer) = self.writer.as_mut() else {
+            return;
+        };
+        if let Err(e) = writeln!(writer, "{line}") {
+            tracing::warn!(target: "bt_swarm::telemetry", error = e.to_string(); "telemetry write failed; disabling stream");
+            self.writer = None;
+        }
+    }
+}
+
+impl std::fmt::Debug for TelemetryRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryRecorder")
+            .field("samples", &self.samples)
+            .field("phase_events", &self.phase_events.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_walks_the_three_phases() {
+        let mut d = PhaseDetector::new(3, 10);
+        // Fresh peer: bootstrap.
+        let e = d.observe(1, 0, 0, 0).unwrap();
+        assert_eq!(e.phase, Phase::Bootstrap);
+        assert_eq!(e.round, 1);
+        // Still bootstrap: no event.
+        assert!(d.observe(2, 1, 2, 0).is_none());
+        // Trading: efficient.
+        assert_eq!(d.observe(3, 2, 3, 1).unwrap().phase, Phase::Efficient);
+        // Stalled late: last-download.
+        assert_eq!(d.observe(9, 8, 0, 0).unwrap().phase, Phase::LastDownload);
+        // Departure: done.
+        assert_eq!(d.complete(12).unwrap().phase, Phase::Done);
+        assert!(d.complete(13).is_none(), "done is absorbing");
+        assert_eq!(d.current(), Some(Phase::Done));
+    }
+
+    #[test]
+    fn detector_maps_connections_into_stock() {
+        let mut d = PhaseDetector::new(0, 10);
+        // One piece, one connection: stock 2 > 1, efficient.
+        assert_eq!(d.observe(1, 1, 0, 1).unwrap().phase, Phase::Efficient);
+    }
+
+    #[test]
+    fn sample_from_snapshot_quantiles_empty() {
+        // Quantile helper handles the empty swarm without panicking via
+        // the from_snapshot path; covered end-to-end in tests/telemetry.rs.
+        let format: TelemetryFormat = "jsonl".parse().unwrap();
+        assert_eq!(format, TelemetryFormat::Jsonl);
+        assert_eq!("csv".parse::<TelemetryFormat>().unwrap(), TelemetryFormat::Csv);
+        assert!("tsv".parse::<TelemetryFormat>().is_err());
+    }
+
+    #[test]
+    fn records_round_trip_through_jsonl() {
+        let records = vec![
+            TelemetryRecord::Meta(TelemetryMeta {
+                schema_version: TELEMETRY_SCHEMA_VERSION,
+                pieces: 10,
+                max_connections: 3,
+                neighbor_set_size: 6,
+                seed: 7,
+                stride: 1,
+            }),
+            TelemetryRecord::Sample(TelemetrySample {
+                round: 1,
+                population: 5,
+                entropy: 0.25,
+                extinct_pieces: 2,
+                availability: vec![2, 3, 5],
+                piece_quantiles: [0, 1, 2, 3, 4],
+                mean_degree: 1.5,
+                slot_utilization: 0.5,
+            }),
+            TelemetryRecord::Phase(PhaseEvent {
+                peer: 3,
+                round: 1,
+                phase: Phase::Bootstrap,
+            }),
+            TelemetryRecord::Flight(FlightNote {
+                round: 9,
+                reason: "entropy 0.0100 below floor 0.0500 at round 9".into(),
+                events: 4,
+            }),
+        ];
+        let mut buf = Vec::new();
+        write_records(&mut buf, &records).unwrap();
+        let back = read_records(&buf[..]).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn boundaries_from_full_walk() {
+        let ev = |round, phase| PhaseEvent {
+            peer: 2,
+            round,
+            phase,
+        };
+        let events = [
+            ev(1, Phase::Bootstrap),
+            ev(4, Phase::Efficient),
+            ev(40, Phase::LastDownload),
+            ev(46, Phase::Done),
+        ];
+        let b = ObserverBoundaries::from_events(&events).unwrap();
+        assert_eq!(b.peer, 2);
+        assert_eq!(b.join, 0);
+        assert_eq!(b.bootstrap_end, Some(4));
+        assert_eq!(b.efficient_end, Some(40));
+        assert_eq!(b.completion, Some(46));
+        assert_eq!(b.durations(), Some([4.0, 36.0, 6.0]));
+
+        // A peer that finishes straight from trading has no last phase.
+        let events = [ev(3, Phase::Bootstrap), ev(5, Phase::Efficient), ev(20, Phase::Done)];
+        let b = ObserverBoundaries::from_events(&events).unwrap();
+        assert_eq!(b.join, 2);
+        assert_eq!(b.efficient_end, Some(20));
+        assert_eq!(b.durations(), Some([3.0, 15.0, 0.0]));
+
+        // An incomplete observer has no durations yet.
+        let events = [ev(1, Phase::Bootstrap)];
+        let b = ObserverBoundaries::from_events(&events).unwrap();
+        assert_eq!(b.completion, None);
+        assert_eq!(b.durations(), None);
+        assert!(ObserverBoundaries::from_events(&[]).is_none());
+    }
+
+    #[test]
+    fn parse_error_carries_line_number() {
+        let input = b"{\"Phase\":{\"peer\":1,\"round\":2,\"phase\":\"Bootstrap\"}}\ngarbage\n";
+        match read_records(&input[..]) {
+            Err(TelemetryError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

@@ -25,6 +25,8 @@ pub enum Command {
     Analyze(AnalyzeArgs),
     /// Regenerate one of the paper's figures.
     Figure(FigureArgs),
+    /// Summarize a telemetry stream and compare it with the model.
+    Report(ReportArgs),
     /// Print usage.
     Help,
 }
@@ -39,6 +41,7 @@ impl Command {
             Command::Traces(_) => "traces",
             Command::Analyze(_) => "analyze",
             Command::Figure(_) => "figure",
+            Command::Report(_) => "report",
             Command::Help => "help",
         }
     }
@@ -50,6 +53,7 @@ impl Command {
             Command::Swarm(a) => Some(a.seed),
             Command::Model(a) => Some(a.seed),
             Command::Traces(a) => Some(a.seed),
+            Command::Report(a) => Some(a.seed),
             Command::Analyze(_) | Command::Figure(_) | Command::Help => None,
         }
     }
@@ -107,7 +111,8 @@ pub fn extract_log_options(args: &[String]) -> Result<(LogOptions, Vec<String>),
                 let value = iter.next().ok_or("--log-filter needs a filter spec")?;
                 // Validate eagerly so a typo fails the command instead of
                 // silently logging nothing.
-                bt_obs::EnvFilter::parse(value, None)?;
+                bt_obs::EnvFilter::parse(value, None)
+                    .map_err(|e| format!("--log-filter `{value}`: {e}"))?;
                 options.filter = Some(value.clone());
             }
             _ => rest.push(arg.clone()),
@@ -137,6 +142,23 @@ pub struct SwarmArgs {
     pub shake: Option<f64>,
     /// Emit full metrics as JSON instead of a summary.
     pub json: bool,
+    /// Number of observer peers for per-peer telemetry and phase
+    /// detection.
+    pub observers: u32,
+    /// Telemetry stream output path.
+    pub telemetry: Option<String>,
+    /// Telemetry stream format: jsonl or csv.
+    pub telemetry_format: String,
+    /// Sample every Nth round.
+    pub telemetry_stride: u64,
+    /// Flight-recorder dump path (arms the anomaly triggers).
+    pub flight: Option<String>,
+    /// Flight trigger: entropy below this floor.
+    pub entropy_floor: Option<f64>,
+    /// Flight trigger: an observer stalled this many rounds.
+    pub stall_rounds: Option<u64>,
+    /// Flight-recorder ring capacity.
+    pub flight_capacity: usize,
 }
 
 impl Default for SwarmArgs {
@@ -151,6 +173,44 @@ impl Default for SwarmArgs {
             seed: 0,
             shake: None,
             json: false,
+            observers: 0,
+            telemetry: None,
+            telemetry_format: "jsonl".to_string(),
+            telemetry_stride: 1,
+            flight: None,
+            entropy_floor: None,
+            stall_rounds: None,
+            flight_capacity: 64,
+        }
+    }
+}
+
+/// Arguments of `btlab report`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportArgs {
+    /// Telemetry stream to read (JSON lines).
+    pub telemetry: String,
+    /// Optional run manifest to cross-check.
+    pub manifest: Option<String>,
+    /// Bootstrap inflow α for the model comparison.
+    pub alpha: f64,
+    /// Last-phase inflow γ for the model comparison.
+    pub gamma: f64,
+    /// Monte-Carlo replications for the model comparison.
+    pub replications: usize,
+    /// RNG seed of the model comparison.
+    pub seed: u64,
+}
+
+impl Default for ReportArgs {
+    fn default() -> Self {
+        ReportArgs {
+            telemetry: String::new(),
+            manifest: None,
+            alpha: 0.25,
+            gamma: 0.15,
+            replications: 200,
+            seed: 0,
         }
     }
 }
@@ -222,13 +282,29 @@ btlab — multiphase-bt laboratory
 USAGE:
   btlab swarm   [--pieces N] [--k N] [--s N] [--lambda F] [--initial N]
                 [--rounds N] [--seed N] [--shake F] [--json]
+                [--observers N] [--telemetry FILE]
+                [--telemetry-format jsonl|csv] [--telemetry-stride N]
+                [--flight FILE] [--entropy-floor F] [--stall-rounds N]
+                [--flight-capacity N]
   btlab model   [--pieces N] [--k N] [--s N] [--alpha F] [--gamma F]
+                [--replications N] [--seed N]
+  btlab report  --telemetry FILE [--manifest FILE] [--alpha F] [--gamma F]
                 [--replications N] [--seed N]
   btlab traces  --out FILE [--scenario smooth|last-phase|bootstrap-stall]
                 [--clients N] [--seed N]
   btlab analyze --input FILE
   btlab figure  --id fig1a|fig1b|fig2|fig4a|fig4b|fig4c|fig4d
   btlab help
+
+TELEMETRY (btlab swarm):
+  --telemetry FILE streams one record per line: a Meta header, then
+  per-round Sample records (population, entropy, availability histogram,
+  piece-count quantiles, slot utilization) plus Phase transitions of the
+  --observers peers and Flight notes. --flight FILE arms the anomaly
+  flight recorder: on the first trigger (--entropy-floor or
+  --stall-rounds) it dumps the last --flight-capacity per-round events as
+  JSON, exactly once per run. `btlab report` summarizes a JSONL stream
+  and compares detected phase boundaries against the analytical model.
 
 GLOBAL OPTIONS (any position):
   --log human|json|quiet   diagnostics format on stderr (default: human,
@@ -268,10 +344,42 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "seed" => a.seed = num(key, value)?,
                     "shake" => a.shake = Some(num(key, value)?),
                     "json" => a.json = flag(key, value)?,
+                    "observers" => a.observers = num(key, value)?,
+                    "telemetry" => a.telemetry = Some(required(key, value)?),
+                    "telemetry-format" => {
+                        let format = required(key, value)?;
+                        // Validate eagerly; the recorder re-parses at run time.
+                        format
+                            .parse::<bt_swarm::TelemetryFormat>()
+                            .map_err(|e| format!("--{key}: {e}"))?;
+                        a.telemetry_format = format;
+                    }
+                    "telemetry-stride" => a.telemetry_stride = num(key, value)?,
+                    "flight" => a.flight = Some(required(key, value)?),
+                    "entropy-floor" => a.entropy_floor = Some(num(key, value)?),
+                    "stall-rounds" => a.stall_rounds = Some(num(key, value)?),
+                    "flight-capacity" => a.flight_capacity = num(key, value)?,
                     _ => return Err(format!("unknown flag --{key} for swarm")),
                 }
             }
             Ok(Command::Swarm(a))
+        }
+        "report" => {
+            let mut a = ReportArgs::default();
+            let mut telemetry = None;
+            for (key, value) in &flags {
+                match key.as_str() {
+                    "telemetry" => telemetry = Some(required(key, value)?),
+                    "manifest" => a.manifest = Some(required(key, value)?),
+                    "alpha" => a.alpha = num(key, value)?,
+                    "gamma" => a.gamma = num(key, value)?,
+                    "replications" => a.replications = num(key, value)?,
+                    "seed" => a.seed = num(key, value)?,
+                    _ => return Err(format!("unknown flag --{key} for report")),
+                }
+            }
+            a.telemetry = telemetry.ok_or("report requires --telemetry FILE")?;
+            Ok(Command::Report(a))
         }
         "model" => {
             let mut a = ModelArgs::default();
@@ -401,9 +509,37 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), Strin
             if let Some(f) = a.shake {
                 builder.shake_at(f);
             }
+            if a.observers > 0 {
+                builder.observers(a.observers);
+            }
             let config = builder.build().map_err(|e| e.to_string())?;
             tracing::info!(target: "btlab", pieces = a.pieces, rounds = a.rounds, seed = a.seed; "running swarm simulation");
-            let metrics = bt_swarm::Swarm::new(config).run();
+            let mut swarm = bt_swarm::Swarm::new(config);
+            if a.telemetry.is_some() || a.flight.is_some() {
+                let format: bt_swarm::TelemetryFormat = a.telemetry_format.parse()?;
+                let flight = a.flight.as_ref().map(|path| bt_swarm::FlightOptions {
+                    capacity: a.flight_capacity,
+                    entropy_floor: a.entropy_floor,
+                    stall_rounds: a.stall_rounds,
+                    path: Some(std::path::PathBuf::from(path)),
+                });
+                let mut recorder = bt_swarm::TelemetryRecorder::new(bt_swarm::TelemetryOptions {
+                    stride: a.telemetry_stride,
+                    format,
+                    flight,
+                    ..bt_swarm::TelemetryOptions::default()
+                });
+                if let Some(path) = &a.telemetry {
+                    let file = std::fs::File::create(path)
+                        .map_err(|e| format!("cannot create telemetry file {path}: {e}"))?;
+                    recorder = recorder.to_writer(Box::new(std::io::BufWriter::new(file)));
+                }
+                swarm.attach_telemetry(recorder);
+            }
+            let metrics = swarm.run();
+            if let Some(path) = &a.telemetry {
+                tracing::info!(target: "btlab", path = path.as_str(); "telemetry stream written");
+            }
             if a.json {
                 let json = serde_json::to_string_pretty(&metrics)
                     .map_err(|e| format!("serialization error: {e}"))?;
@@ -483,6 +619,7 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), Strin
             }
             Ok(())
         }
+        Command::Report(a) => run_report(&a, out),
         Command::Analyze(a) => {
             tracing::info!(target: "btlab", input = a.input.as_str(); "analyzing traces");
             let traces =
@@ -509,6 +646,202 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), Strin
             Ok(())
         }
     }
+}
+
+/// Executes `btlab report`: summarizes a JSONL telemetry stream —
+/// entropy trajectory, per-observer phase boundaries, flight dumps —
+/// and compares mean observer boundaries against the analytical model.
+fn run_report<W: std::io::Write>(a: &ReportArgs, out: &mut W) -> Result<(), String> {
+    use bt_swarm::telemetry::{ObserverBoundaries, TelemetryRecord};
+
+    let io_err = |e: std::io::Error| format!("i/o error: {e}");
+    tracing::info!(target: "btlab", telemetry = a.telemetry.as_str(); "reporting on telemetry");
+    let records = bt_swarm::telemetry::read_records_from_path(std::path::Path::new(&a.telemetry))
+        .map_err(|e| format!("cannot read telemetry {}: {e}", a.telemetry))?;
+    let meta = records
+        .iter()
+        .find_map(|r| match r {
+            TelemetryRecord::Meta(m) => Some(m.clone()),
+            _ => None,
+        })
+        .ok_or("telemetry stream has no Meta header; report needs the jsonl format")?;
+
+    writeln!(out, "telemetry report: {}", a.telemetry).map_err(io_err)?;
+    writeln!(
+        out,
+        "config: pieces={} k={} s={} seed={} stride={}",
+        meta.pieces, meta.max_connections, meta.neighbor_set_size, meta.seed, meta.stride
+    )
+    .map_err(io_err)?;
+
+    let samples: Vec<_> = records
+        .iter()
+        .filter_map(|r| match r {
+            TelemetryRecord::Sample(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    if samples.is_empty() {
+        writeln!(out, "samples=0").map_err(io_err)?;
+    } else {
+        let first = samples[0];
+        let last = samples[samples.len() - 1];
+        let min = samples
+            .iter()
+            .min_by(|x, y| x.entropy.total_cmp(&y.entropy))
+            .expect("non-empty");
+        let mean = samples.iter().map(|s| s.entropy).sum::<f64>() / samples.len() as f64;
+        writeln!(
+            out,
+            "samples={} rounds={}..{} final_entropy={:.3} final_population={}",
+            samples.len(),
+            first.round,
+            last.round,
+            last.entropy,
+            last.population
+        )
+        .map_err(io_err)?;
+        writeln!(
+            out,
+            "entropy trajectory: first={:.3} mean={:.3} min={:.3}@round{} final={:.3}",
+            first.entropy, mean, min.entropy, min.round, last.entropy
+        )
+        .map_err(io_err)?;
+        writeln!(
+            out,
+            "final: extinct_pieces={} mean_degree={:.2} utilization={:.3}",
+            last.extinct_pieces, last.mean_degree, last.slot_utilization
+        )
+        .map_err(io_err)?;
+    }
+
+    // Per-observer phase boundaries, from the online detector's events.
+    let mut by_peer: std::collections::BTreeMap<u64, Vec<bt_swarm::PhaseEvent>> =
+        std::collections::BTreeMap::new();
+    for r in &records {
+        if let TelemetryRecord::Phase(e) = r {
+            by_peer.entry(e.peer).or_default().push(*e);
+        }
+    }
+    let mut durations: Vec<[f64; 3]> = Vec::new();
+    if by_peer.is_empty() {
+        writeln!(
+            out,
+            "observers=0 (run the swarm with --observers N to detect phases)"
+        )
+        .map_err(io_err)?;
+    } else {
+        writeln!(out, "\ndetected phase boundaries (rounds):").map_err(io_err)?;
+        writeln!(
+            out,
+            "{:>8} {:>6} {:>14} {:>14} {:>11}",
+            "observer", "join", "bootstrap_end", "efficient_end", "completion"
+        )
+        .map_err(io_err)?;
+        for (peer, events) in &by_peer {
+            let Some(b) = ObserverBoundaries::from_events(events) else {
+                continue;
+            };
+            let col = |v: Option<u64>| v.map_or("-".to_string(), |r| r.to_string());
+            writeln!(
+                out,
+                "{:>8} {:>6} {:>14} {:>14} {:>11}",
+                peer,
+                b.join,
+                col(b.bootstrap_end),
+                col(b.efficient_end),
+                col(b.completion)
+            )
+            .map_err(io_err)?;
+            if let Some(d) = b.durations() {
+                durations.push(d);
+            }
+        }
+    }
+
+    // Compare mean observed boundaries against the model's predictions
+    // for the same (B, k, s).
+    let params = bt_model::ModelParams::builder()
+        .pieces(meta.pieces)
+        .max_connections(meta.max_connections)
+        .neighbor_set_size(meta.neighbor_set_size)
+        .alpha(a.alpha)
+        .gamma(a.gamma)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let timeline = bt_model::evolution::expected_timeline(
+        &params,
+        a.replications,
+        bt_des::SeedStream::new(a.seed).rng("btlab-report", 0),
+    )
+    .map_err(|e| e.to_string())?;
+    let predicted = bt_model::PhaseBoundaries::from_mean_sojourns(timeline.mean_sojourns);
+    writeln!(
+        out,
+        "\nmodel comparison (alpha={} gamma={} replications={}):",
+        a.alpha, a.gamma, a.replications
+    )
+    .map_err(io_err)?;
+    if durations.is_empty() {
+        writeln!(
+            out,
+            "predicted boundaries: bootstrap_end={:.1} efficient_end={:.1} completion={:.1}",
+            predicted.bootstrap_end, predicted.efficient_end, predicted.completion
+        )
+        .map_err(io_err)?;
+        writeln!(out, "completed_observers=0 (nothing to compare)").map_err(io_err)?;
+    } else {
+        let n = durations.len() as f64;
+        let mean_sojourns = [0, 1, 2].map(|i| durations.iter().map(|d| d[i]).sum::<f64>() / n);
+        let observed = bt_model::PhaseBoundaries::from_mean_sojourns(mean_sojourns);
+        writeln!(
+            out,
+            "{:<14} {:>10} {:>10} {:>8}",
+            "boundary", "predicted", "observed", "delta"
+        )
+        .map_err(io_err)?;
+        for (name, p, o) in [
+            ("bootstrap_end", predicted.bootstrap_end, observed.bootstrap_end),
+            ("efficient_end", predicted.efficient_end, observed.efficient_end),
+            ("completion", predicted.completion, observed.completion),
+        ] {
+            writeln!(out, "{name:<14} {p:>10.1} {o:>10.1} {:>+8.1}", o - p).map_err(io_err)?;
+        }
+        writeln!(out, "completed_observers={}", durations.len()).map_err(io_err)?;
+    }
+
+    for r in &records {
+        if let TelemetryRecord::Flight(n) = r {
+            writeln!(
+                out,
+                "\nflight dump: round={} events={} reason: {}",
+                n.round, n.events, n.reason
+            )
+            .map_err(io_err)?;
+        }
+    }
+
+    if let Some(path) = &a.manifest {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read manifest {path}: {e}"))?;
+        let manifest: bt_obs::RunManifest = serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse manifest {path}: {e}"))?;
+        writeln!(
+            out,
+            "\nmanifest: command={} seed={} wall_clock={:.2}s",
+            manifest.command, manifest.seed, manifest.wall_clock_secs
+        )
+        .map_err(io_err)?;
+        if manifest.seed != meta.seed {
+            writeln!(
+                out,
+                "warning: manifest seed {} differs from telemetry seed {}",
+                manifest.seed, meta.seed
+            )
+            .map_err(io_err)?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -697,6 +1030,136 @@ mod tests {
         assert_eq!(Command::Help.seed(), None);
         let cmd = parse(&args(&["figure", "--id", "fig2"])).unwrap();
         assert_eq!(cmd.seed(), None);
+    }
+
+    #[test]
+    fn swarm_telemetry_flags_parse() {
+        let cmd = parse(&args(&[
+            "swarm",
+            "--observers",
+            "3",
+            "--telemetry",
+            "t.jsonl",
+            "--telemetry-stride",
+            "5",
+            "--flight",
+            "f.json",
+            "--entropy-floor",
+            "0.2",
+            "--stall-rounds",
+            "40",
+            "--flight-capacity",
+            "32",
+        ]))
+        .unwrap();
+        let Command::Swarm(a) = cmd else {
+            panic!("expected swarm");
+        };
+        assert_eq!(a.observers, 3);
+        assert_eq!(a.telemetry.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.telemetry_stride, 5);
+        assert_eq!(a.flight.as_deref(), Some("f.json"));
+        assert_eq!(a.entropy_floor, Some(0.2));
+        assert_eq!(a.stall_rounds, Some(40));
+        assert_eq!(a.flight_capacity, 32);
+        // Format is validated at parse time; paths need values.
+        assert!(parse(&args(&["swarm", "--telemetry-format", "tsv"])).is_err());
+        assert!(parse(&args(&["swarm", "--telemetry"])).is_err());
+        let cmd = parse(&args(&["swarm", "--telemetry-format", "csv"])).unwrap();
+        let Command::Swarm(a) = cmd else {
+            panic!("expected swarm");
+        };
+        assert_eq!(a.telemetry_format, "csv");
+    }
+
+    #[test]
+    fn report_requires_telemetry() {
+        assert!(parse(&args(&["report"])).is_err());
+        assert!(parse(&args(&["report", "--warp", "9"])).is_err());
+        let cmd = parse(&args(&[
+            "report",
+            "--telemetry",
+            "t.jsonl",
+            "--replications",
+            "10",
+            "--manifest",
+            "m.json",
+            "--seed",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(cmd.name(), "report");
+        assert_eq!(cmd.seed(), Some(4));
+        let Command::Report(a) = cmd else {
+            panic!("expected report");
+        };
+        assert_eq!(a.telemetry, "t.jsonl");
+        assert_eq!(a.replications, 10);
+        assert_eq!(a.manifest.as_deref(), Some("m.json"));
+    }
+
+    #[test]
+    fn run_swarm_telemetry_then_report() {
+        let path = std::env::temp_dir().join("btlab-cli-telemetry-unit.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let swarm_args = SwarmArgs {
+            pieces: 10,
+            k: 3,
+            s: 6,
+            lambda: 0.0,
+            initial: 8,
+            rounds: 150,
+            seed: 3,
+            observers: 2,
+            telemetry: Some(path_str.clone()),
+            ..SwarmArgs::default()
+        };
+        let mut buf = Vec::new();
+        run(Command::Swarm(swarm_args), &mut buf).unwrap();
+
+        let mut report = Vec::new();
+        run(
+            Command::Report(ReportArgs {
+                telemetry: path_str,
+                replications: 20,
+                ..ReportArgs::default()
+            }),
+            &mut report,
+        )
+        .unwrap();
+        let text = String::from_utf8(report).unwrap();
+        assert!(text.contains("samples="), "{text}");
+        assert!(text.contains("detected phase boundaries"), "{text}");
+        assert!(text.contains("model comparison"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn report_rejects_missing_or_headerless_stream() {
+        let mut buf = Vec::new();
+        let err = run(
+            Command::Report(ReportArgs {
+                telemetry: "/nonexistent/telemetry.jsonl".into(),
+                ..ReportArgs::default()
+            }),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot read telemetry"), "{err}");
+
+        // A CSV stream has no Meta header, which the report calls out.
+        let path = std::env::temp_dir().join("btlab-cli-report-headerless.jsonl");
+        std::fs::write(&path, "").unwrap();
+        let err = run(
+            Command::Report(ReportArgs {
+                telemetry: path.to_str().unwrap().into(),
+                ..ReportArgs::default()
+            }),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("no Meta header"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

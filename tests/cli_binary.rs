@@ -207,3 +207,132 @@ fn log_flags_are_position_independent_and_validated() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn bad_log_filter_exits_two_with_clear_message() {
+    let out = btlab()
+        .args(["help", "--log-filter", "bt_swarm=shouty"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The message names the flag and echoes the offending spec.
+    assert!(stderr.contains("--log-filter"), "{stderr}");
+    assert!(stderr.contains("bt_swarm=shouty"), "{stderr}");
+}
+
+#[test]
+fn swarm_telemetry_then_report_pipeline() {
+    let dir = std::env::temp_dir().join("btlab-e2e-telemetry");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let telemetry = dir.join("run.jsonl");
+    let telemetry_str = telemetry.to_str().unwrap();
+
+    let out = btlab()
+        .args([
+            "swarm",
+            "--pieces",
+            "10",
+            "--rounds",
+            "150",
+            "--initial",
+            "10",
+            "--lambda",
+            "0",
+            "--seed",
+            "5",
+            "--observers",
+            "2",
+            "--telemetry",
+            telemetry_str,
+        ])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8_lossy(&out.stdout).to_string();
+
+    // Every stream line is standalone JSON; Meta and Sample records exist.
+    let text = std::fs::read_to_string(&telemetry).expect("telemetry written");
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        let record: serde_json::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("telemetry line is not JSON ({e}): {line}"));
+        let key = record
+            .as_object()
+            .and_then(|o| o.first().map(|(k, _)| k.clone()))
+            .expect("externally tagged record");
+        kinds.insert(key);
+    }
+    assert!(kinds.contains("Meta"), "{kinds:?}");
+    assert!(kinds.contains("Sample"), "{kinds:?}");
+    assert!(kinds.contains("Phase"), "{kinds:?}");
+
+    // The report reads the stream back and agrees with the swarm's own
+    // summary on the final entropy.
+    let out = btlab()
+        .args([
+            "report",
+            "--telemetry",
+            telemetry_str,
+            "--replications",
+            "20",
+        ])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(report.contains("samples="), "{report}");
+    assert!(report.contains("detected phase boundaries"), "{report}");
+    assert!(report.contains("model comparison"), "{report}");
+    let entropy_of = |text: &str| {
+        let start = text.find("final_entropy=").expect("final_entropy present")
+            + "final_entropy=".len();
+        text[start..]
+            .split_whitespace()
+            .next()
+            .expect("value follows")
+            .to_string()
+    };
+    assert_eq!(entropy_of(&summary), entropy_of(&report), "\n{summary}\n{report}");
+
+    // CSV format produces a sample table with a header.
+    let csv = dir.join("run.csv");
+    let out = btlab()
+        .args([
+            "swarm",
+            "--pieces",
+            "10",
+            "--rounds",
+            "40",
+            "--initial",
+            "8",
+            "--seed",
+            "5",
+            "--telemetry",
+            csv.to_str().unwrap(),
+            "--telemetry-format",
+            "csv",
+        ])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&csv).expect("csv written");
+    assert!(
+        text.starts_with("round,population,entropy"),
+        "{}",
+        text.lines().next().unwrap_or("")
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
