@@ -18,7 +18,8 @@
 //!
 //! Run all of them with `cargo run --release -p bt-bench --bin all_figures`.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod ablations;
 pub mod calibrate;

@@ -26,6 +26,7 @@ use bt_markov::Binomial;
 use rand::Rng;
 
 use crate::{Error, Result};
+use bt_markov::float::exactly_zero;
 
 /// Order in which the upward (Eq. 5–6) class updates are applied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -182,7 +183,7 @@ impl EfficiencyModel {
         // Downward: binomial survival of connections.
         let mut cur = vec![0.0; k + 1];
         for (l, &mass) in x.iter().enumerate() {
-            if mass == 0.0 {
+            if exactly_zero(mass) {
                 continue;
             }
             let survive = Binomial::new(l as u64, self.p_r).expect("validated p_r");
@@ -203,7 +204,7 @@ impl EfficiencyModel {
         let k = self.k as usize;
         for i in 0..k {
             let open = 1.0 - cur[k];
-            if cur[i] == 0.0 || open <= 0.0 {
+            if exactly_zero(cur[i]) || open <= 0.0 {
                 continue;
             }
             let initiators = cur[i];

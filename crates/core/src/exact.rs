@@ -20,6 +20,7 @@ use crate::phase::Phase;
 use crate::state::DownloadState;
 use crate::transitions::TransitionKernel;
 use crate::Result;
+use bt_markov::float::exactly_zero;
 
 /// Exact expected steps from `(0, 0, 0)` to absorption.
 ///
@@ -88,6 +89,10 @@ pub fn last_phase_probability(params: &ModelParams) -> Result<f64> {
             absorbing.push(idx);
         }
     }
+    bt_markov::chain::debug_assert_row_stochastic(
+        "last_phase_probability",
+        rows.iter().map(Vec::as_slice),
+    );
     let modified = bt_markov::TransitionMatrix::from_rows(rows)?;
     let chain = AbsorbingChain::new(&modified, &absorbing)?;
     let b = chain.absorption_probabilities()?;
@@ -230,7 +235,7 @@ pub fn transient_phase_occupancy(params: &ModelParams, steps: usize) -> Result<V
     for _ in 0..steps {
         let mut next: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
         for (&idx, &mass) in &dist {
-            if mass == 0.0 {
+            if exactly_zero(mass) {
                 continue;
             }
             for (succ, p) in kernel.successors(space.state(idx)) {

@@ -19,6 +19,7 @@
 use bt_markov::dist::{choose_ratio, Empirical};
 
 use crate::{Error, Result};
+use bt_markov::float::exactly_zero;
 
 /// Computes `p₍c₎` — Eq. 1 — for a peer holding `c` pieces out of `B`,
 /// against the piece-count distribution `phi`.
@@ -68,7 +69,7 @@ pub fn trading_power(c: u32, pieces: u32, phi: &Empirical) -> Result<f64> {
     // Peers with more pieces than P.
     for j in (c64 + 1)..=b {
         let mass = phi.prob(j as usize);
-        if mass == 0.0 {
+        if exactly_zero(mass) {
             continue;
         }
         p += mass * (1.0 - choose_ratio(j, c64, b)?);
@@ -76,7 +77,7 @@ pub fn trading_power(c: u32, pieces: u32, phi: &Empirical) -> Result<f64> {
     // Peers with at most as many pieces as P.
     for j in 1..=c64 {
         let mass = phi.prob(j as usize);
-        if mass == 0.0 {
+        if exactly_zero(mass) {
             continue;
         }
         p += mass * (1.0 - choose_ratio(c64, j, b)?);

@@ -29,6 +29,7 @@ use crate::params::ModelParams;
 use crate::state::{DownloadState, StateSpace};
 use crate::trading::trading_power_curve;
 use crate::Result;
+use bt_markov::float::exactly_zero;
 
 /// A probability-weighted successor entry.
 pub type Successor = (DownloadState, f64);
@@ -116,7 +117,7 @@ impl TransitionKernel {
         let free = Binomial::new(u64::from(seeds), self.params.p_seed()).expect("p_seed validated");
         let mut out: Vec<(u32, f64)> = Vec::with_capacity(seeds as usize + 1);
         for (extra, p) in free.pmf_vec().into_iter().enumerate() {
-            if p == 0.0 {
+            if exactly_zero(p) {
                 continue;
             }
             let b_new = (base + extra as u32).min(pieces);
@@ -186,7 +187,7 @@ impl TransitionKernel {
         // Convolution of the two binomials.
         let mut dist = vec![0.0; survivors.len() + fresh.len() - 1];
         for (y1, &p1) in survivors.iter().enumerate() {
-            if p1 == 0.0 {
+            if exactly_zero(p1) {
                 continue;
             }
             for (y2, &p2) in fresh.iter().enumerate() {
@@ -230,7 +231,7 @@ impl TransitionKernel {
             for (i_new, p_i) in self.potential_set_dist(state) {
                 for (n_new, p_n) in self.connections_dist(state, i_new) {
                     let p = p_b * p_i * p_n;
-                    if p == 0.0 {
+                    if exactly_zero(p) {
                         continue;
                     }
                     out.push((DownloadState::new(n_new, b_new, i_new), p));
@@ -266,6 +267,10 @@ impl TransitionKernel {
                 *v /= sum;
             }
         }
+        bt_markov::chain::debug_assert_row_stochastic(
+            "TransitionKernel::build_matrix",
+            rows.iter().map(Vec::as_slice),
+        );
         let matrix = TransitionMatrix::from_rows(rows)?;
         Ok((space, matrix))
     }

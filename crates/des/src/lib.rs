@@ -35,7 +35,8 @@
 //! assert_eq!(fired[2].0, SimTime::from_secs(2.0));
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod flight;
 pub mod queue;

@@ -1,0 +1,204 @@
+//! The workspace walker: maps files to rule scopes, lexes, strips test
+//! code, applies waivers, and assembles the [`Report`].
+//!
+//! ## Scoping
+//!
+//! Rules are repo-policy, not universal style, so each family applies
+//! only where the invariant it protects actually holds
+//! (see `DESIGN.md` for the rationale):
+//!
+//! * **determinism** (`det-*`) — library sources of the simulation and
+//!   model crates (`bt-des`, `bt-swarm`, `bt-model`, `bt-markov`), where
+//!   iteration order or wall-clock reads break seeded replay;
+//! * **panic-safety** (`panic-*`) — the telemetry/observability I/O
+//!   paths (`bt-obs` sources, `bt-swarm`'s `telemetry.rs`/`obs.rs`),
+//!   which must degrade to errors rather than abort a simulation;
+//! * **float-cmp** — the model-numerics crates (`bt-markov`, `bt-model`);
+//! * **policy-crate-attrs** — every workspace crate root.
+//!
+//! `vendor/` holds offline stand-ins for third-party crates and is
+//! excluded; `target/` and test/bench/example trees are never scanned
+//! (test code is also stripped token-wise inside library sources).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Finding, Report};
+use crate::lexer;
+use crate::rules::{self, Rule};
+
+/// Path prefixes (relative, forward slashes) where determinism rules apply.
+const DETERMINISM_SCOPE: [&str; 4] = [
+    "crates/des/src",
+    "crates/swarm/src",
+    "crates/core/src",
+    "crates/markov/src",
+];
+
+/// Path prefixes where the panic-safety rules apply.
+const PANIC_SCOPE: [&str; 3] = [
+    "crates/obs/src",
+    "crates/swarm/src/telemetry.rs",
+    "crates/swarm/src/obs.rs",
+];
+
+/// Path prefixes where the float-comparison rule applies.
+const FLOAT_SCOPE: [&str; 2] = ["crates/markov/src", "crates/core/src"];
+
+/// The token-level rules that apply to a file at `rel` (forward-slash
+/// relative path). The crate-root policy rule is handled separately.
+#[must_use]
+pub fn rules_for_path(rel: &str) -> Vec<Rule> {
+    let mut set = Vec::new();
+    let in_scope =
+        |scope: &[&str]| scope.iter().any(|p| rel == *p || rel.starts_with(&format!("{p}/")));
+    if in_scope(&DETERMINISM_SCOPE) {
+        set.extend([
+            Rule::DetUnorderedCollection,
+            Rule::DetWallClock,
+            Rule::DetAmbientRng,
+        ]);
+    }
+    if in_scope(&PANIC_SCOPE) {
+        set.extend([Rule::PanicUnwrap, Rule::PanicMacro, Rule::PanicIndex]);
+    }
+    if in_scope(&FLOAT_SCOPE) {
+        set.push(Rule::FloatCmp);
+    }
+    set
+}
+
+/// Lints a single source text with an explicit rule set. Waivers found
+/// in the source are applied; waived findings are kept but marked.
+///
+/// This is the pure core used by both the workspace walk and the
+/// fixture tests.
+#[must_use]
+pub fn lint_source(file: &str, source: &str, token_rules: &[Rule], crate_root: bool) -> Vec<Finding> {
+    let lexed = lexer::lex(source);
+    let mut findings = Vec::new();
+    if !token_rules.is_empty() {
+        let clean = rules::strip_test_code(&lexed.tokens);
+        rules::check_tokens(token_rules, &clean, file, &mut findings);
+    }
+    if crate_root {
+        rules::check_crate_root(&lexed.tokens, file, &mut findings);
+    }
+    for finding in &mut findings {
+        if lexed.waivers.covers(finding.rule.name(), finding.line) {
+            finding.waived = true;
+        }
+    }
+    findings
+}
+
+/// Lints the workspace rooted at `root` (the directory containing the
+/// top-level `Cargo.toml`) with the default scopes.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory walking or file reads.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+
+    // Crate source trees: every crates/*/src plus the top-level src/.
+    let mut src_dirs: Vec<(PathBuf, String)> = vec![(root.join("src"), "src".to_string())];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        for crate_dir in entries {
+            let name = crate_dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            src_dirs.push((crate_dir.join("src"), format!("crates/{name}/src")));
+        }
+    }
+
+    for (dir, rel_prefix) in src_dirs {
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &mut files)?;
+        files.sort();
+        for path in files {
+            let rel = relative_label(&path, &dir, &rel_prefix);
+            let source = fs::read_to_string(&path)?;
+            let token_rules = rules_for_path(&rel);
+            // The crate root is src/lib.rs, or src/main.rs for bin-only
+            // crates (checked only when no lib.rs exists).
+            let crate_root = path == dir.join("lib.rs")
+                || (path == dir.join("main.rs") && !dir.join("lib.rs").exists());
+            report.files_scanned += 1;
+            report
+                .findings
+                .extend(lint_source(&rel, &source, &token_rules, crate_root));
+        }
+    }
+
+    report.sort();
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files under `dir`. Binary sources under
+/// `src/bin` are scanned like any other source; scoping decides which
+/// rules (if any) apply to them.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Builds the forward-slash label `rel_prefix/<path under dir>`.
+fn relative_label(path: &Path, dir: &Path, rel_prefix: &str) -> String {
+    let suffix = path
+        .strip_prefix(dir)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    format!("{rel_prefix}/{suffix}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping_matches_the_catalog() {
+        assert!(rules_for_path("crates/swarm/src/peer.rs").contains(&Rule::DetUnorderedCollection));
+        assert!(rules_for_path("crates/swarm/src/telemetry.rs").contains(&Rule::PanicUnwrap));
+        assert!(!rules_for_path("crates/swarm/src/engine.rs").contains(&Rule::PanicUnwrap));
+        assert!(rules_for_path("crates/markov/src/chain.rs").contains(&Rule::FloatCmp));
+        assert!(rules_for_path("crates/core/src/exact.rs").contains(&Rule::FloatCmp));
+        assert!(!rules_for_path("crates/obs/src/manifest.rs").contains(&Rule::FloatCmp));
+        assert!(rules_for_path("crates/obs/src/manifest.rs").contains(&Rule::PanicUnwrap));
+        assert!(rules_for_path("src/cli.rs").is_empty());
+    }
+
+    #[test]
+    fn lint_source_applies_waivers() {
+        let src = "use std::collections::HashMap; // bt-lint: allow(det-unordered-collection)\n";
+        let findings = lint_source("x.rs", src, &[Rule::DetUnorderedCollection], false);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].waived);
+        assert!(!findings[0].blocking());
+    }
+
+    #[test]
+    fn lint_source_checks_crate_root_policy() {
+        let findings = lint_source("lib.rs", "//! docs\n", &[], true);
+        assert_eq!(findings.len(), 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! # bt-lint — workspace-aware static analysis for the multiphase-bt lab
+//!
+//! The paper's validation story rests on the simulator being a
+//! trustworthy oracle: every run must be exactly reproducible from a
+//! seed, and the Markov machinery must never silently emit
+//! non-stochastic matrices. Clippy cannot express those repo-specific
+//! invariants, so this crate implements them directly: a hand-rolled
+//! Rust lexer ([`lexer`]), a rule catalog ([`rules::Rule`]), and a
+//! workspace walker ([`engine`]) that together enforce four rule
+//! families:
+//!
+//! | family | rules | scope |
+//! | --- | --- | --- |
+//! | determinism | `det-unordered-collection`, `det-wall-clock`, `det-ambient-rng` | `bt-des`, `bt-swarm`, `bt-model`, `bt-markov` sources |
+//! | panic-safety | `panic-unwrap`, `panic-macro`, `panic-index` | `bt-obs` sources, `bt-swarm` telemetry/obs |
+//! | numeric hygiene | `float-cmp` | `bt-markov`, `bt-model` sources |
+//! | policy | `policy-crate-attrs` | every workspace crate root |
+//!
+//! Test code (`#[cfg(test)]` / `#[test]` items, `tests/` trees) is
+//! exempt from the token rules. Individual findings are suppressed with
+//! inline waivers:
+//!
+//! ```text
+//! let t = Instant::now(); // bt-lint: allow(det-wall-clock)
+//! ```
+//!
+//! or file-wide with `// bt-lint: allow-file(rule)`. Waived findings are
+//! still reported (marked `waived`) so the waiver inventory stays
+//! auditable.
+//!
+//! Run it as `cargo run -p bt-lint` or `btlab lint`; `--format json`
+//! emits the machine-readable diagnostics CI consumes. The process
+//! exits non-zero when any non-waived finding remains, making it a
+//! blocking gate in `scripts/lint.sh` and the CI workflow.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{Finding, Report, Severity};
+pub use engine::{lint_source, lint_workspace, rules_for_path};
+pub use rules::Rule;

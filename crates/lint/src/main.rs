@@ -1,0 +1,69 @@
+//! `bt-lint` — the standalone lint driver.
+//!
+//! ```text
+//! bt-lint [--root DIR] [--format text|json] [--list-rules]
+//! ```
+//!
+//! Exits 0 when the tree is clean (no non-waived findings), 1 when
+//! blocking findings remain, 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bt_lint::{lint_workspace, Rule};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut format = "text".to_string();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => match iter.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--format" => match iter.next() {
+                Some(f) if f == "text" || f == "json" => format = f.clone(),
+                _ => return usage_error("--format needs `text` or `json`"),
+            },
+            "--list-rules" => {
+                for rule in Rule::ALL {
+                    println!("{:<26} {}", rule.name(), rule.description());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: bt-lint [--root DIR] [--format text|json] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("bt-lint: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    match format.as_str() {
+        "json" => print!("{}", report.render_json()),
+        _ => print!("{}", report.render_text()),
+    }
+    if report.blocking_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("bt-lint: {msg}");
+    eprintln!("usage: bt-lint [--root DIR] [--format text|json] [--list-rules]");
+    ExitCode::from(2)
+}

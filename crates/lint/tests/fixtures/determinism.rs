@@ -1,0 +1,29 @@
+//! Fixture: determinism-rule positives, negatives, and waivers for the
+//! `bt-lint` integration tests. Never compiled — read via `include_str!`.
+
+use std::collections::BTreeMap; // negative: ordered map is allowed
+use std::collections::HashMap; // positive: det-unordered-collection
+
+fn wall_clock() {
+    let _t = std::time::Instant::now(); // positive: det-wall-clock
+    let _s = std::time::SystemTime::now(); // positive: det-wall-clock
+}
+
+fn ambient_rng() {
+    let _r = rand::thread_rng(); // positive: det-ambient-rng
+}
+
+// bt-lint: allow(det-unordered-collection)
+fn waived(set: HashSet<u32>) -> usize {
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let _m: HashMap<u8, u8> = HashMap::new();
+    }
+}

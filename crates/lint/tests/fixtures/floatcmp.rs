@@ -1,0 +1,20 @@
+//! Fixture: float-cmp-rule positives, negatives, and waivers for the
+//! `bt-lint` integration tests. Never compiled — read via `include_str!`.
+
+fn positives(mass: f64, p: f64) -> bool {
+    let zero = mass == 0.0; // positive: equality against a float literal
+    let one = p != 1.0; // positive
+    let neg = p == -2.5; // positive: unary minus on the literal
+    zero || one || neg
+}
+
+fn negatives(k: u32, a: f64, b: f64) -> bool {
+    let ints = k == 0; // negative: integer literal
+    let ordered = a <= 0.0; // negative: ordering comparison
+    let helper = bt_markov::float::approx_eq(a, b, 1e-9); // negative: helper
+    ints || ordered || helper
+}
+
+fn waived(p: f64) -> bool {
+    p == 0.5 // bt-lint: allow(float-cmp) — audited sentinel comparison
+}

@@ -1,0 +1,28 @@
+//! Fixture: panic-safety-rule positives, negatives, and waivers for the
+//! `bt-lint` integration tests. Never compiled — read via `include_str!`.
+
+fn positives(v: Vec<u32>, opt: Option<u32>) -> u32 {
+    let first = v[0]; // positive: panic-index
+    let x = opt.unwrap(); // positive: panic-unwrap
+    let y = opt.expect("present"); // positive: panic-unwrap
+    if x > y {
+        panic!("impossible"); // positive: panic-macro
+    }
+    unreachable!() // positive: panic-macro
+}
+
+fn negatives(v: &[u32], opt: Option<u32>) -> u32 {
+    let head = v.first().copied().unwrap_or(0); // negative: unwrap_or
+    let [a, b] = [1, 2]; // negative: slice pattern, array literal
+    head + opt.unwrap_or_default() + a + b
+}
+
+fn waived(opt: Option<u32>) -> u32 {
+    // bt-lint: allow(panic-unwrap)
+    opt.unwrap()
+}
+
+#[test]
+fn test_code_may_panic() {
+    Option::<u32>::None.unwrap();
+}

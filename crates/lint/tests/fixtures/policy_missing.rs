@@ -1,0 +1,4 @@
+//! Fixture: a crate root missing both required policy attributes
+//! (`warn` is not `deny`, and `forbid(unsafe_code)` is absent).
+
+#![warn(missing_docs)]

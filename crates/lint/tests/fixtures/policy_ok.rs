@@ -1,0 +1,4 @@
+//! Fixture: a crate root carrying both required policy attributes.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]

@@ -7,6 +7,7 @@
 //! and in tests.
 
 use crate::{Error, Result, TransitionMatrix};
+use crate::float::exactly_zero;
 
 /// A discrete-time birth–death chain on states `0..=n`.
 ///
@@ -57,13 +58,13 @@ impl BirthDeath {
                 });
             }
         }
-        if death[0] != 0.0 {
+        if !exactly_zero(death[0]) {
             return Err(Error::InvalidParameter {
                 name: "death",
                 detail: "death[0] must be 0".into(),
             });
         }
-        if birth[n] != 0.0 {
+        if !exactly_zero(birth[n]) {
             return Err(Error::InvalidParameter {
                 name: "birth",
                 detail: format!("birth[{n}] must be 0"),
@@ -95,7 +96,7 @@ impl BirthDeath {
         let mut weights = vec![0.0; n];
         weights[0] = 1.0;
         for i in 1..n {
-            if weights[i - 1] == 0.0 || self.birth[i - 1] == 0.0 {
+            if exactly_zero(weights[i - 1]) || exactly_zero(self.birth[i - 1]) {
                 weights[i] = 0.0;
                 continue;
             }
@@ -127,6 +128,10 @@ impl BirthDeath {
             }
             rows[i][i] = 1.0 - self.birth[i] - self.death[i];
         }
+        crate::chain::debug_assert_row_stochastic(
+            "BirthDeath::to_transition_matrix",
+            rows.iter().map(Vec::as_slice),
+        );
         TransitionMatrix::from_rows(rows)
     }
 
@@ -151,7 +156,7 @@ impl BirthDeath {
         let mut h_prev = 0.0; // expected time 0 -> 1 accumulates below
         let mut total = 0.0;
         for i in 0..target {
-            if self.birth[i] == 0.0 {
+            if exactly_zero(self.birth[i]) {
                 if i >= from {
                     return Err(Error::InvalidParameter {
                         name: "birth",

@@ -4,9 +4,44 @@ use rand::Rng;
 
 use crate::matrix::Matrix;
 use crate::{Error, Result};
+use crate::float::exactly_zero;
 
 /// Tolerance used when validating that rows sum to one.
 pub const STOCHASTIC_TOL: f64 = 1e-9;
+
+/// Debug-asserts that every row of `rows` is a probability distribution:
+/// entries in `[0, 1]` (within [`STOCHASTIC_TOL`]) and row sums within
+/// [`STOCHASTIC_TOL`] of one.
+///
+/// Every transition-matrix construction site in the workspace calls this
+/// so a non-stochastic matrix can never be assembled silently in debug
+/// and test builds; release builds compile the checks out.
+///
+/// # Panics
+///
+/// In builds with `debug_assertions`, panics when a row violates either
+/// condition; `context` names the construction site in the message.
+pub fn debug_assert_row_stochastic<'a, I>(context: &str, rows: I)
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    for (r, row) in rows.into_iter().enumerate() {
+        let sum: f64 = row.iter().sum();
+        debug_assert!(
+            (sum - 1.0).abs() <= STOCHASTIC_TOL,
+            "{context}: row {r} is not row-stochastic (sum {sum})"
+        );
+        for (c, &p) in row.iter().enumerate() {
+            debug_assert!(
+                (-STOCHASTIC_TOL..=1.0 + STOCHASTIC_TOL).contains(&p),
+                "{context}: row {r} entry {c} outside [0, 1] (value {p})"
+            );
+        }
+    }
+}
 
 /// A validated row-stochastic matrix over a finite state space `0..n`.
 ///
@@ -65,6 +100,10 @@ impl TransitionMatrix {
                 return Err(Error::NotStochastic { row: r, sum });
             }
         }
+        debug_assert_row_stochastic(
+            "TransitionMatrix::from_matrix",
+            (0..inner.rows()).map(|r| inner.row(r)),
+        );
         Ok(TransitionMatrix { inner })
     }
 
@@ -103,7 +142,7 @@ impl TransitionMatrix {
         let n = self.n_states();
         let mut out = vec![0.0; n];
         for (i, &mass) in dist.iter().enumerate() {
-            if mass == 0.0 {
+            if exactly_zero(mass) {
                 continue;
             }
             for (j, o) in out.iter_mut().enumerate() {

@@ -9,6 +9,7 @@
 use rand::Rng;
 
 use crate::{Error, Result};
+use crate::float::{exactly_one, exactly_zero};
 
 /// Lanczos coefficients (g = 7, n = 9) for the log-gamma function.
 const LANCZOS_G: f64 = 7.0;
@@ -150,10 +151,10 @@ impl Binomial {
             return 0.0;
         }
         // Degenerate endpoints avoid ln(0).
-        if self.p == 0.0 {
+        if exactly_zero(self.p) {
             return if k == 0 { 1.0 } else { 0.0 };
         }
-        if self.p == 1.0 {
+        if exactly_one(self.p) {
             return if k == self.n { 1.0 } else { 0.0 };
         }
         let ln_pmf = ln_choose(self.n, k)

@@ -34,13 +34,15 @@
 //! assert!((pi[0] - 5.0 / 6.0).abs() < 1e-9);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod absorbing;
 pub mod birth_death;
 pub mod chain;
 pub mod dist;
 pub mod fixed_point;
+pub mod float;
 pub mod matrix;
 
 pub use absorbing::AbsorbingChain;

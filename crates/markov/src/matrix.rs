@@ -5,6 +5,7 @@
 //! the absorbing-chain analysis requires. It is not a general BLAS.
 
 use crate::{Error, Result};
+use crate::float::exactly_zero;
 
 /// A dense row-major `rows × cols` matrix of `f64`.
 ///
@@ -121,7 +122,7 @@ impl Matrix {
         for i in 0..self.rows {
             for l in 0..self.cols {
                 let a = self[(i, l)];
-                if a == 0.0 {
+                if exactly_zero(a) {
                     continue;
                 }
                 for j in 0..rhs.cols {
@@ -221,7 +222,7 @@ impl Matrix {
             let pivot = a[(col, col)];
             for row in (col + 1)..n {
                 let factor = a[(row, col)] / pivot;
-                if factor == 0.0 {
+                if exactly_zero(factor) {
                     continue;
                 }
                 for j in col..n {

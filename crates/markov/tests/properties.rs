@@ -163,3 +163,63 @@ proptest! {
         prop_assert!((fp.value[0] - target).abs() < 1e-9);
     }
 }
+
+// --- Row-stochasticity debug assertions -------------------------------
+//
+// Every transition-matrix construction site calls
+// `debug_assert_row_stochastic`; these tests exercise the helper both
+// ways: generated stochastic matrices must pass silently, and corrupted
+// rows must trip the assertion in debug/test builds.
+
+proptest! {
+    #[test]
+    fn stochastic_rows_pass_the_debug_assertion(rows in stochastic_rows()) {
+        bt_markov::chain::debug_assert_row_stochastic(
+            "property",
+            rows.iter().map(Vec::as_slice),
+        );
+        // The validated constructor (which also runs the assertion)
+        // accepts the same rows.
+        prop_assert!(TransitionMatrix::from_rows(rows).is_ok());
+    }
+
+    #[test]
+    fn birth_death_conversion_is_row_stochastic(
+        n in 2usize..8,
+        bseed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(bseed);
+        use rand::Rng;
+        let mut birth = vec![0.0; n];
+        let mut death = vec![0.0; n];
+        for i in 0..n {
+            if i + 1 < n {
+                birth[i] = rng.gen_range(0.05..0.45);
+            }
+            if i > 0 {
+                death[i] = rng.gen_range(0.05..0.45);
+            }
+        }
+        // Runs the construction-site assertion internally.
+        let p = BirthDeath::new(birth, death).unwrap().to_transition_matrix().unwrap();
+        for r in 0..p.n_states() {
+            prop_assert!((p.row(r).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "not row-stochastic")]
+fn unnormalized_row_trips_the_debug_assertion() {
+    let rows = [vec![0.6, 0.6], vec![0.5, 0.5]];
+    bt_markov::chain::debug_assert_row_stochastic("test", rows.iter().map(Vec::as_slice));
+}
+
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "outside [0, 1]")]
+fn out_of_range_entry_trips_the_debug_assertion() {
+    let rows = [vec![1.5, -0.5]];
+    bt_markov::chain::debug_assert_row_stochastic("test", rows.iter().map(Vec::as_slice));
+}

@@ -29,6 +29,9 @@
 //! └─ swarm.round           DEBUG span per simulated round
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 mod filter;
 mod manifest;
 mod registry;

@@ -78,23 +78,30 @@ impl RunManifest {
     }
 
     /// Serializes to pretty JSON.
-    #[must_use]
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("manifest serialization is infallible")
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (which would indicate a bug in the
+    /// manifest schema) instead of panicking mid-run.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
     }
 
     /// Writes pretty JSON to `path`, creating parent directories.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Propagates filesystem errors, and serializer errors mapped to
+    /// [`std::io::ErrorKind::InvalidData`].
     pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let mut text = self.to_json();
+        let mut text = self
+            .to_json()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         text.push('\n');
         std::fs::write(path, text)
     }
@@ -152,7 +159,7 @@ mod tests {
     #[test]
     fn manifest_round_trips_through_json() {
         let manifest = sample_manifest();
-        let text = manifest.to_json();
+        let text = manifest.to_json().unwrap();
         let back: RunManifest = serde_json::from_str(&text).unwrap();
         assert_eq!(back, manifest);
     }
@@ -174,7 +181,7 @@ mod tests {
     #[test]
     fn manifest_tolerates_missing_phase_timers() {
         let manifest = sample_manifest();
-        let text = manifest.to_json();
+        let text = manifest.to_json().unwrap();
         let value: serde_json::Value = serde_json::from_str(&text).unwrap();
         let trimmed = match value {
             serde_json::Value::Object(entries) => serde_json::Value::Object(

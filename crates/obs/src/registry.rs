@@ -244,7 +244,9 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        self.buckets[Histogram::bucket_index(value)] += 1;
+        if let Some(bucket) = self.buckets.get_mut(Histogram::bucket_index(value)) {
+            *bucket += 1;
+        }
         self.count += 1;
         self.sum += u128::from(value);
         self.min = self.min.min(value);

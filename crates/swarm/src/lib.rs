@@ -38,7 +38,8 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod engine;

@@ -1,6 +1,6 @@
 //! Peer state.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -20,7 +20,9 @@ impl std::fmt::Display for PeerId {
 /// A leecher participating in the swarm.
 ///
 /// Neighbor and connection sets are kept as ordered vectors (sizes are
-/// small — at most `s` and `k`), which keeps iteration deterministic.
+/// small — at most `s` and `k`), and the credit/partial tables as
+/// `BTreeMap`s, so every iteration order is deterministic and seeded
+/// replay is exact.
 #[derive(Debug, Clone)]
 pub struct Peer {
     /// This peer's identifier.
@@ -34,11 +36,11 @@ pub struct Peer {
     /// Currently active connections (subset of `neighbors`, capped at `k`).
     pub connections: Vec<PeerId>,
     /// Pieces received from each neighbor, for tit-for-tat ranking.
-    pub credit: HashMap<PeerId, u32>,
+    pub credit: BTreeMap<PeerId, u32>,
     /// Round at which each piece was acquired (`u64::MAX` = not yet).
     pub piece_round: Vec<u64>,
     /// Blocks received of pieces still in flight (piece id → blocks done).
-    pub partial: HashMap<u32, u32>,
+    pub partial: BTreeMap<u32, u32>,
     /// Whether the peer has already shaken its neighbor set (§7.1).
     pub shaken: bool,
     /// Whether this peer belongs to the slow bandwidth class
@@ -56,9 +58,9 @@ impl Peer {
             joined_round,
             neighbors: Vec::new(),
             connections: Vec::new(),
-            credit: HashMap::new(),
+            credit: BTreeMap::new(),
             piece_round: vec![u64::MAX; pieces as usize],
-            partial: HashMap::new(),
+            partial: BTreeMap::new(),
             shaken: false,
             slow: false,
         }

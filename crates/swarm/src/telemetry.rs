@@ -93,7 +93,7 @@ impl TelemetrySample {
                 return 0;
             }
             let idx = ((snapshot.piece_counts.len() - 1) as f64 * fraction).round() as usize;
-            snapshot.piece_counts[idx]
+            snapshot.piece_counts.get(idx).copied().unwrap_or(0)
         };
         let mean_degree = snapshot.mean_degree();
         let slot_utilization = if max_connections == 0 {
@@ -583,14 +583,12 @@ impl TelemetryRecorder {
         // Online phase detection, every round.
         let mut events = Vec::new();
         for obs in observers {
-            let detector = match self.detectors.iter_mut().find(|d| d.peer() == obs.peer) {
-                Some(d) => d,
-                None => {
-                    self.detectors.push(PhaseDetector::new(obs.peer, meta.pieces));
-                    self.detectors.last_mut().expect("just pushed")
-                }
-            };
-            events.extend(detector.observe(round, obs.pieces, obs.potential, obs.connections));
+            if !self.detectors.iter().any(|d| d.peer() == obs.peer) {
+                self.detectors.push(PhaseDetector::new(obs.peer, meta.pieces));
+            }
+            if let Some(detector) = self.detectors.iter_mut().find(|d| d.peer() == obs.peer) {
+                events.extend(detector.observe(round, obs.pieces, obs.potential, obs.connections));
+            }
         }
         // Observers that vanished from the sample departed on completion.
         for detector in &mut self.detectors {

@@ -1,0 +1,83 @@
+//! Determinism under a fixed seed: the property the `bt-lint` `det-*`
+//! rules exist to protect. Two runs of the same configuration must
+//! produce byte-identical telemetry streams and identical engine
+//! metrics — any `HashMap` iteration, wall-clock read, or ambient RNG
+//! in the hot path would break this.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use bt_swarm::{InitialPieces, Swarm, SwarmConfig, TelemetryOptions, TelemetryRecorder};
+
+/// An in-memory `Write` sink readable after the recorder (which owns a
+/// `Box<dyn Write>`) is done with it.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> Vec<u8> {
+        self.0.lock().expect("buffer lock").clone()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("buffer lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn config(seed: u64) -> SwarmConfig {
+    SwarmConfig::builder()
+        .pieces(16)
+        .max_connections(4)
+        .neighbor_set_size(8)
+        .arrival_rate(0.8)
+        .initial_leechers(10)
+        .initial_pieces(InitialPieces::Random { count: 4 })
+        .observers(3)
+        .max_rounds(300)
+        .seed(seed)
+        .build()
+        .expect("valid config")
+}
+
+/// Runs the swarm for `rounds` rounds with telemetry attached and
+/// returns the raw telemetry bytes plus a digest of the engine metrics.
+fn run_once(seed: u64, rounds: u64) -> (Vec<u8>, String) {
+    let mut swarm = Swarm::new(config(seed));
+    let buf = SharedBuf::default();
+    swarm.attach_telemetry(
+        TelemetryRecorder::new(TelemetryOptions::default()).to_writer(Box::new(buf.clone())),
+    );
+    for _ in 0..rounds {
+        swarm.step_round();
+    }
+    let digest = format!("{:?}", swarm.metrics());
+    (buf.contents(), digest)
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let (stream_a, metrics_a) = run_once(42, 120);
+    let (stream_b, metrics_b) = run_once(42, 120);
+    assert!(!stream_a.is_empty(), "telemetry stream produced records");
+    assert_eq!(
+        stream_a, stream_b,
+        "same-seed telemetry streams must be byte-identical"
+    );
+    assert_eq!(metrics_a, metrics_b, "same-seed metrics must agree");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    // Sanity check that the equality above is not vacuous: a different
+    // seed produces a different trajectory.
+    let (stream_a, _) = run_once(1, 120);
+    let (stream_b, _) = run_once(2, 120);
+    assert_ne!(stream_a, stream_b, "distinct seeds should diverge");
+}

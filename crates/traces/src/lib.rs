@@ -40,7 +40,8 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod analyzer;
 pub mod generator;

@@ -1,6 +1,11 @@
 #!/usr/bin/env sh
-# Lint gate: the whole workspace (vendor stubs included) must be
-# clippy-clean across every target with warnings denied.
+# Lint gate, two blocking stages:
+#  1. clippy: the whole workspace (vendor stubs included) must be clean
+#     across every target with warnings denied;
+#  2. bt-lint: the repo's own static analysis pass (determinism,
+#     panic-safety, float hygiene, crate-root policy attributes) must
+#     report zero non-waived findings. See `cargo run -p bt-lint -- --help`.
 set -eu
 cd "$(dirname "$0")/.."
 cargo clippy --workspace --all-targets -- -D warnings
+cargo run -q -p bt-lint -- --format json

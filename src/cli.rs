@@ -27,6 +27,8 @@ pub enum Command {
     Figure(FigureArgs),
     /// Summarize a telemetry stream and compare it with the model.
     Report(ReportArgs),
+    /// Run the repo's static analysis pass (`bt-lint`).
+    Lint(LintArgs),
     /// Print usage.
     Help,
 }
@@ -42,6 +44,7 @@ impl Command {
             Command::Analyze(_) => "analyze",
             Command::Figure(_) => "figure",
             Command::Report(_) => "report",
+            Command::Lint(_) => "lint",
             Command::Help => "help",
         }
     }
@@ -54,7 +57,7 @@ impl Command {
             Command::Model(a) => Some(a.seed),
             Command::Traces(a) => Some(a.seed),
             Command::Report(a) => Some(a.seed),
-            Command::Analyze(_) | Command::Figure(_) | Command::Help => None,
+            Command::Analyze(_) | Command::Figure(_) | Command::Lint(_) | Command::Help => None,
         }
     }
 }
@@ -275,6 +278,15 @@ pub struct FigureArgs {
     pub id: String,
 }
 
+/// Arguments of `btlab lint`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LintArgs {
+    /// Workspace root to scan; defaults to the current directory.
+    pub root: Option<String>,
+    /// Emit the machine-readable JSON array instead of text.
+    pub json: bool,
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 btlab — multiphase-bt laboratory
@@ -294,6 +306,7 @@ USAGE:
                 [--clients N] [--seed N]
   btlab analyze --input FILE
   btlab figure  --id fig1a|fig1b|fig2|fig4a|fig4b|fig4c|fig4d
+  btlab lint    [--root DIR] [--format text|json]
   btlab help
 
 TELEMETRY (btlab swarm):
@@ -440,6 +453,25 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             let id = id.ok_or("figure requires --id FIG")?;
             Ok(Command::Figure(FigureArgs { id }))
+        }
+        "lint" => {
+            let mut a = LintArgs::default();
+            for (key, value) in &flags {
+                match key.as_str() {
+                    "root" => a.root = Some(required(key, value)?),
+                    "format" => {
+                        a.json = match required(key, value)?.as_str() {
+                            "json" => true,
+                            "text" => false,
+                            other => {
+                                return Err(format!("--format must be text or json, got `{other}`"))
+                            }
+                        };
+                    }
+                    _ => return Err(format!("unknown flag --{key} for lint")),
+                }
+            }
+            Ok(Command::Lint(a))
         }
         other => Err(format!("unknown command `{other}`; try `btlab help`")),
     }
@@ -620,6 +652,22 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), Strin
             Ok(())
         }
         Command::Report(a) => run_report(&a, out),
+        Command::Lint(a) => {
+            let root = a.root.clone().unwrap_or_else(|| ".".to_string());
+            tracing::info!(target: "btlab", root = root.as_str(); "running static analysis");
+            let report = bt_lint::lint_workspace(std::path::Path::new(&root))
+                .map_err(|e| format!("cannot lint {root}: {e}"))?;
+            if a.json {
+                write!(out, "{}", report.render_json()).map_err(io_err)?;
+            } else {
+                write!(out, "{}", report.render_text()).map_err(io_err)?;
+            }
+            let blocking = report.blocking_count();
+            if blocking > 0 {
+                return Err(format!("bt-lint found {blocking} blocking finding(s)"));
+            }
+            Ok(())
+        }
         Command::Analyze(a) => {
             tracing::info!(target: "btlab", input = a.input.as_str(); "analyzing traces");
             let traces =
@@ -975,6 +1023,38 @@ mod tests {
         let text = String::from_utf8(buf2).unwrap();
         assert!(text.contains("smooth-"), "{text}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lint_parses_and_validates() {
+        assert_eq!(
+            parse(&args(&["lint"])).unwrap(),
+            Command::Lint(LintArgs::default())
+        );
+        let cmd = parse(&args(&["lint", "--root", "/tmp/x", "--format", "json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Lint(LintArgs {
+                root: Some("/tmp/x".into()),
+                json: true,
+            })
+        );
+        assert_eq!(cmd.name(), "lint");
+        assert_eq!(cmd.seed(), None);
+        assert!(parse(&args(&["lint", "--format", "yaml"])).is_err());
+        assert!(parse(&args(&["lint", "--fix"])).is_err());
+    }
+
+    #[test]
+    fn run_lint_on_workspace_is_clean() {
+        let cmd = Command::Lint(LintArgs {
+            root: Some(env!("CARGO_MANIFEST_DIR").to_string()),
+            json: false,
+        });
+        let mut buf = Vec::new();
+        run(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("0 blocking finding(s)"), "{text}");
     }
 
     #[test]
