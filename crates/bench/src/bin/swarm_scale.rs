@@ -1,0 +1,101 @@
+//! Round-throughput benchmark for the swarm engine at scale.
+//!
+//! Drives a 5 000-peer, 200-piece swarm (paper-flavoured `k = 7`,
+//! `s = 40`) for a fixed number of rounds and reports sustained
+//! round-throughput. The numbers land in `BENCH_swarm.json` via the
+//! run-manifest machinery: `wall_clock_secs` plus the `swarm.rounds`
+//! counter give rounds/sec, and the `round.*` phase timers break the
+//! cost down per pipeline stage.
+//!
+//! Flags (order-free):
+//!
+//! * `--smoke` — CI-sized run (500 peers, 30 rounds) that exists to
+//!   prove the binary and the manifest path work, not to measure;
+//! * `--peers N` / `--rounds N` / `--seed N` — override the defaults.
+//!
+//! The manifest is written to `$BT_MANIFEST_DIR/BENCH_swarm.json`, or
+//! `results/BENCH_swarm.json` when the variable is unset.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bt_obs::{fnv1a_hex, RunManifest};
+use bt_swarm::Swarm;
+
+/// Benchmark knobs parsed from the command line.
+struct Options {
+    peers: u32,
+    rounds: u64,
+    seed: u64,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        peers: 5_000,
+        rounds: 60,
+        seed: 7,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut numeric = |name: &str| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} requires a numeric argument"))
+        };
+        match arg.as_str() {
+            "--smoke" => {
+                options.peers = 500;
+                options.rounds = 30;
+            }
+            "--peers" => options.peers = numeric("--peers") as u32,
+            "--rounds" => options.rounds = numeric("--rounds"),
+            "--seed" => options.seed = numeric("--seed"),
+            other => panic!("unknown flag {other}; try --smoke / --peers / --rounds / --seed"),
+        }
+    }
+    options
+}
+
+fn main() {
+    bt_bench::init_obs();
+    let options = parse_args();
+    let config = bt_swarm::scenario::scale_probe(options.peers, options.rounds, options.seed)
+        .expect("valid benchmark config");
+
+    let registry = bt_obs::Registry::new();
+    let config_hash = fnv1a_hex(
+        serde_json::to_string(&config)
+            .expect("config serializes")
+            .as_bytes(),
+    );
+    let mut manifest = RunManifest::new("swarm_scale", config_hash, options.seed);
+
+    let mut swarm = Swarm::with_registry(config, registry.clone());
+    let started = Instant::now();
+    for _ in 0..options.rounds {
+        swarm.step_round();
+    }
+    let elapsed = started.elapsed();
+    manifest.finish(&registry, elapsed);
+
+    let rounds_per_sec = options.rounds as f64 / elapsed.as_secs_f64().max(1e-9);
+    let out_dir = std::env::var_os("BT_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let out_path = out_dir.join("BENCH_swarm.json");
+    manifest
+        .write_to(&out_path)
+        .expect("write BENCH_swarm.json");
+
+    println!(
+        "swarm_scale: peers={} rounds={} elapsed={:.3}s throughput={:.2} rounds/sec",
+        options.peers,
+        options.rounds,
+        elapsed.as_secs_f64(),
+        rounds_per_sec
+    );
+    println!("manifest: {}", out_path.display());
+    for (name, secs) in &manifest.phase_secs {
+        println!("  {name}: {secs:.3}s");
+    }
+}

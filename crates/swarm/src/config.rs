@@ -144,7 +144,9 @@ pub struct SwarmConfig {
     /// Piece-selection strategy.
     pub piece_selection: PieceSelection,
     /// Peer-set shaking (§7.1): at this completion fraction the peer drops
-    /// its whole neighbor set and refreshes from the tracker.
+    /// its whole neighbor set and refreshes from the tracker. Also gates
+    /// the pipeline: [`crate::stages::default_pipeline`] includes the
+    /// shake stage only when this is set.
     pub shake_at: Option<f64>,
     /// Fraction of arrivals that are *slow* peers (heterogeneous-bandwidth
     /// extension; the paper assumes homogeneous peers and defers this to

@@ -6,20 +6,19 @@
 //! connection swaps one piece in each direction under strict tit-for-tat,
 //! and peers depart the moment they complete.
 //!
-//! Per round, in order:
+//! The engine is layered (see DESIGN.md, "Swarm engine architecture"):
 //!
-//! 1. neighbor-set maintenance (symmetric top-up from the tracker),
-//! 2. bootstrap injection (empty peers acquire their first piece via the
-//!    seed / optimistic-unchoke channel),
-//! 3. connection pruning (departures, lost mutual interest, and the
-//!    `1 − p_r` per-round survival roll),
-//! 4. connection establishment (tit-for-tat preference with an optimistic
-//!    slot, success probability `p_n`, capped at `k` and by the potential
-//!    set),
-//! 5. piece exchange (one piece per direction per connection, rarest-first
-//!    or random-first),
-//! 6. completions depart; peers crossing the shake threshold shake (§7.1),
-//! 7. metrics sampling.
+//! * [`crate::store::PeerStore`] — a generational slab holding the
+//!   peers; stale [`PeerId`]s stop resolving instead of aliasing;
+//! * [`crate::replication::ReplicationIndex`] — global per-piece
+//!   replication counts maintained incrementally on acquire / arrival /
+//!   departure events;
+//! * [`crate::stages`] — the round as a pipeline of [`RoundStage`]s
+//!   (maintain, bootstrap, prune, establish, exchange, depart, shake,
+//!   sample), each swappable per scenario.
+//!
+//! [`SwarmCore`] is the state the stages operate on; [`Swarm`] couples a
+//! core with a pipeline and the optional telemetry recorder.
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -27,12 +26,15 @@ use rand::Rng;
 use bt_des::{Duration, SeedStream, SimTime, Simulator};
 use bt_markov::dist::sample_exponential;
 
-use crate::config::{BootstrapInjection, InitialPieces, SwarmConfig};
-use crate::metrics::{CompletionRecord, ObserverLog, SwarmMetrics};
+use crate::config::{InitialPieces, SwarmConfig};
+use crate::metrics::{ObserverLog, SwarmMetrics};
 use crate::obs::SwarmObs;
 use crate::peer::{Peer, PeerId};
-use crate::selection::{replication_counts, select_piece};
+use crate::replication::ReplicationIndex;
+use crate::selection::replication_counts;
 use crate::snapshot::Snapshot;
+use crate::stages::{default_pipeline, RoundStage};
+use crate::store::PeerStore;
 use crate::telemetry::{ObserverSample, TelemetryRecorder};
 use crate::tracker::Tracker;
 
@@ -45,7 +47,317 @@ enum Event {
     Round,
 }
 
-/// A running (or finished) swarm simulation.
+/// The swarm state the round stages operate on: configuration, peer
+/// store, tracker, replication index, RNG, metrics, and counters.
+///
+/// Internal stages reach the fields directly; external
+/// [`RoundStage`] implementations use the accessor methods plus the
+/// mutation entry points [`acquire_piece`](SwarmCore::acquire_piece),
+/// [`receive_block`](SwarmCore::receive_block), and
+/// [`depart`](SwarmCore::depart), which keep the replication index in
+/// sync with piece possession. Mutating bitfields through
+/// [`store_mut`](SwarmCore::store_mut) directly bypasses the index —
+/// [`Swarm::assert_invariants`] will catch the drift.
+#[derive(Debug)]
+pub struct SwarmCore {
+    pub(crate) config: SwarmConfig,
+    pub(crate) store: PeerStore,
+    pub(crate) tracker: Tracker,
+    pub(crate) replication: ReplicationIndex,
+    pub(crate) round: u64,
+    pub(crate) rng: StdRng,
+    pub(crate) metrics: SwarmMetrics,
+    pub(crate) obs: SwarmObs,
+}
+
+impl SwarmCore {
+    /// The configuration this swarm runs under.
+    #[must_use]
+    pub fn config(&self) -> &SwarmConfig {
+        &self.config
+    }
+
+    /// Current round number (0 before the first round).
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The peer store.
+    #[must_use]
+    pub fn store(&self) -> &PeerStore {
+        &self.store
+    }
+
+    /// Mutable access to the peer store, for custom stages that edit
+    /// topology (neighbors, connections, credit). Piece possession must
+    /// go through [`acquire_piece`](Self::acquire_piece) /
+    /// [`receive_block`](Self::receive_block) so the replication index
+    /// stays in sync.
+    #[must_use]
+    pub fn store_mut(&mut self) -> &mut PeerStore {
+        &mut self.store
+    }
+
+    /// The tracker (alive peers in join order).
+    #[must_use]
+    pub fn tracker(&self) -> &Tracker {
+        &self.tracker
+    }
+
+    /// The incrementally maintained replication index.
+    #[must_use]
+    pub fn replication(&self) -> &ReplicationIndex {
+        &self.replication
+    }
+
+    /// The metrics collected so far.
+    #[must_use]
+    pub fn metrics(&self) -> &SwarmMetrics {
+        &self.metrics
+    }
+
+    /// The run's seeded RNG. All stage randomness must come from here —
+    /// RNG call order is part of the determinism contract.
+    #[must_use]
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Grants `id` the given piece at the current round (bootstrap
+    /// injection, seed upload, initial endowment). Returns `true` and
+    /// updates the replication index if the piece was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not alive.
+    pub fn acquire_piece(&mut self, id: PeerId, piece: u32) -> bool {
+        let round = self.round;
+        if self.store.peer_mut(id).acquire(piece, round) {
+            self.replication.on_acquire(piece);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Delivers one block of `piece` to `id`. Returns `true` and updates
+    /// the replication index if this block completed the piece.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not alive.
+    pub fn receive_block(&mut self, id: PeerId, piece: u32) -> bool {
+        let round = self.round;
+        let blocks = self.config.blocks_per_piece;
+        if self.store.peer_mut(id).receive_block(piece, blocks, round) {
+            self.replication.on_acquire(piece);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `id` from the swarm: deregisters it, updates the
+    /// replication index for the pieces it carried away, and removes
+    /// neighbor backlinks. Returns the departed peer for the caller to
+    /// record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not alive.
+    pub fn depart(&mut self, id: PeerId) -> Peer {
+        let peer = self
+            .store
+            .remove(id)
+            .expect("departing peer must be alive");
+        self.replication.on_departure(&peer.have);
+        self.tracker.deregister(id);
+        for &other in &peer.neighbors {
+            if let Some(o) = self.store.get_mut(other) {
+                o.remove_neighbor(id);
+            }
+        }
+        peer
+    }
+
+    /// The potential set size of `id`: alive neighbors with mutual
+    /// tradability (the quantity the paper's download model tracks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not alive.
+    #[must_use]
+    pub fn potential_size(&self, id: PeerId) -> u32 {
+        let me = self.store.peer(id);
+        me.neighbors
+            .iter()
+            .filter(|&&n| {
+                self.store
+                    .get(n)
+                    .is_some_and(|o| me.have.can_trade_with(&o.have))
+            })
+            .count() as u32
+    }
+
+    /// Collects all current connections as canonical `(low, high)`
+    /// pairs, sorted, into `out` (cleared first).
+    pub fn collect_connection_pairs(&self, out: &mut Vec<(PeerId, PeerId)>) {
+        out.clear();
+        for &id in self.tracker.peers() {
+            for &other in &self.store.peer(id).connections {
+                if id < other {
+                    out.push((id, other));
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+
+    /// Makes `a` and `b` neighbors symmetrically. With `evict` set (used
+    /// when integrating a joining peer), a full side evicts a random
+    /// neighbor it is not actively connected to — so newcomers always find
+    /// room, as when a BitTorrent client accepts an incoming connection.
+    /// Without it (steady-state top-ups), the add fails if either side is
+    /// full, keeping established neighborhoods stable between tracker
+    /// contacts.
+    pub fn add_symmetric_neighbor(&mut self, a: PeerId, b: PeerId, evict: bool) -> bool {
+        if a == b || self.store.peer(a).is_neighbor(b) {
+            return false;
+        }
+        let s = self.config.neighbor_set_size as usize;
+        for id in [a, b] {
+            if self.store.peer(id).neighbors.len() >= s && (!evict || !self.evict_idle_neighbor(id))
+            {
+                return false;
+            }
+        }
+        self.store.peer_mut(a).add_neighbor(b);
+        self.store.peer_mut(b).add_neighbor(a);
+        true
+    }
+
+    /// Evicts a uniformly random neighbor of `id` that is not an active
+    /// connection, removing the backlink too. Returns false if every
+    /// neighbor is connected.
+    fn evict_idle_neighbor(&mut self, id: PeerId) -> bool {
+        // Count-then-nth over the same filtered order the old engine
+        // collected into a Vec: one RNG draw with the same bound picks
+        // the same victim, without the allocation.
+        let me = self.store.peer(id);
+        let idle_count = me
+            .neighbors
+            .iter()
+            .filter(|&&n| !me.is_connected(n))
+            .count();
+        if idle_count == 0 {
+            return false;
+        }
+        let pick = self.rng.gen_range(0..idle_count);
+        let me = self.store.peer(id);
+        let victim = me
+            .neighbors
+            .iter()
+            .copied()
+            .filter(|&n| !me.is_connected(n))
+            .nth(pick)
+            .expect("pick is within the idle count");
+        self.store.peer_mut(id).remove_neighbor(victim);
+        if let Some(v) = self.store.get_mut(victim) {
+            v.remove_neighbor(id);
+        }
+        true
+    }
+
+    pub(crate) fn spawn_peer(&mut self) -> PeerId {
+        let pieces = self.config.pieces;
+        let round = self.round;
+        let id = self.store.insert_with(|id| Peer::new(id, pieces, round));
+        if self.config.slow_peer_fraction > 0.0 {
+            let slow = self.rng.gen::<f64>() < self.config.slow_peer_fraction;
+            self.store.peer_mut(id).slow = slow;
+        }
+        // Initial neighbor handout on join (tracker contact). With
+        // bootstrap relief (§4.3), the tracker fills up to half the slots
+        // with peers trapped in the bootstrap phase, so the newcomer's
+        // fresh pieces reach them.
+        let want = self.config.neighbor_set_size as usize;
+        let mut handout = Vec::with_capacity(want);
+        if self.config.bootstrap_relief {
+            let mut trapped: Vec<PeerId> = self
+                .tracker
+                .peers()
+                .iter()
+                .copied()
+                .filter(|&p| self.store.peer(p).have.count() <= 1)
+                .collect();
+            let take = (want / 2).min(trapped.len());
+            for i in 0..take {
+                let j = self.rng.gen_range(i..trapped.len());
+                trapped.swap(i, j);
+            }
+            handout.extend_from_slice(&trapped[..take]);
+        }
+        let rest = self
+            .tracker
+            .handout(id, &handout, want - handout.len(), &mut self.rng);
+        handout.extend(rest);
+        let evict = self.config.join_eviction;
+        for other in handout {
+            self.add_symmetric_neighbor(id, other, evict);
+        }
+        self.tracker.register(id);
+        self.metrics.arrivals += 1;
+        self.obs.arrivals.incr();
+        self.obs.peak_population.record_max(self.tracker.len() as u64);
+        let obs_lo = u64::from(self.config.observe_from);
+        let obs_hi = obs_lo + u64::from(self.config.observers);
+        if (obs_lo..obs_hi).contains(&id.seq()) {
+            self.metrics.observers.push(ObserverLog::new(id));
+        }
+        id
+    }
+
+    pub(crate) fn endow_initial(&mut self, id: PeerId) {
+        let endowment = self.config.initial_pieces;
+        let pieces = self.config.pieces;
+        match endowment {
+            InitialPieces::Empty => {}
+            InitialPieces::Random { count } => {
+                let mut got = 0;
+                let mut guard = 0;
+                while got < count && guard < 100_000 {
+                    guard += 1;
+                    let p = self.rng.gen_range(0..pieces);
+                    if self.acquire_piece(id, p) {
+                        got += 1;
+                    }
+                }
+            }
+            InitialPieces::Skewed { count, strength } => {
+                let weights: Vec<f64> = (0..pieces).map(|j| strength.powi(j as i32)).collect();
+                let mut got = 0;
+                let mut guard = 0;
+                while got < count && guard < 10_000 {
+                    guard += 1;
+                    let p = bt_markov::chain::sample_index(&weights, &mut self.rng) as u32;
+                    if self.acquire_piece(id, p) {
+                        got += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One pipeline slot: a stage plus its pre-resolved phase timer.
+struct PipelineEntry {
+    timer: bt_obs::Timer,
+    stage: Box<dyn RoundStage>,
+}
+
+/// A running (or finished) swarm simulation: a [`SwarmCore`] driven
+/// through a stage pipeline each round.
 ///
 /// # Example
 ///
@@ -67,16 +379,26 @@ enum Event {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct Swarm {
-    config: SwarmConfig,
-    peers: Vec<Option<Peer>>,
-    tracker: Tracker,
-    round: u64,
-    rng: StdRng,
-    metrics: SwarmMetrics,
-    obs: SwarmObs,
+    core: SwarmCore,
+    pipeline: Vec<PipelineEntry>,
     telemetry: Option<TelemetryRecorder>,
+}
+
+impl std::fmt::Debug for Swarm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Swarm")
+            .field("core", &self.core)
+            .field(
+                "pipeline",
+                &self
+                    .pipeline
+                    .iter()
+                    .map(|entry| entry.stage.name())
+                    .collect::<Vec<_>>(),
+            )
+            .finish_non_exhaustive()
+    }
 }
 
 impl Swarm {
@@ -92,52 +414,94 @@ impl Swarm {
     /// isolated totals.
     #[must_use]
     pub fn with_registry(config: SwarmConfig, registry: bt_obs::Registry) -> Self {
+        let stages = default_pipeline(&config);
+        Swarm::with_pipeline(config, registry, stages)
+    }
+
+    /// Creates a swarm that runs a custom stage pipeline instead of
+    /// [`default_pipeline`] — the hook for scenario ablations (shaking
+    /// off, no departures, an experimental policy stage, …). Stages run
+    /// in the given order every round, each under a phase timer resolved
+    /// from its [`RoundStage::timer_name`].
+    #[must_use]
+    pub fn with_pipeline(
+        config: SwarmConfig,
+        registry: bt_obs::Registry,
+        stages: Vec<Box<dyn RoundStage>>,
+    ) -> Self {
         let rng = SeedStream::new(config.seed).rng("swarm", 0);
-        let mut swarm = Swarm {
+        let pipeline = stages
+            .into_iter()
+            .map(|stage| PipelineEntry {
+                timer: registry.timer(stage.timer_name()),
+                stage,
+            })
+            .collect();
+        let mut core = SwarmCore {
             metrics: SwarmMetrics::new(config.pieces),
-            peers: Vec::new(),
+            store: PeerStore::new(),
             tracker: Tracker::new(),
+            replication: ReplicationIndex::new(config.pieces),
             round: 0,
             rng,
             obs: SwarmObs::new(registry),
-            telemetry: None,
             config,
         };
-        for _ in 0..swarm.config.initial_leechers {
-            let id = swarm.spawn_peer();
-            swarm.endow_initial(id);
+        for _ in 0..core.config.initial_leechers {
+            let id = core.spawn_peer();
+            core.endow_initial(id);
         }
-        swarm
+        Swarm {
+            core,
+            pipeline,
+            telemetry: None,
+        }
     }
 
     /// The configuration this swarm runs under.
     #[must_use]
     pub fn config(&self) -> &SwarmConfig {
-        &self.config
+        &self.core.config
     }
 
     /// The metrics collected so far.
     #[must_use]
     pub fn metrics(&self) -> &SwarmMetrics {
-        &self.metrics
+        &self.core.metrics
     }
 
     /// Current leecher population.
     #[must_use]
     pub fn population(&self) -> u64 {
-        self.tracker.len() as u64
+        self.core.tracker.len() as u64
     }
 
     /// Current round number.
     #[must_use]
     pub fn round(&self) -> u64 {
-        self.round
+        self.core.round
+    }
+
+    /// The stage names of the active pipeline, in execution order.
+    #[must_use]
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.pipeline
+            .iter()
+            .map(|entry| entry.stage.name())
+            .collect()
+    }
+
+    /// The global per-piece replication counts, maintained incrementally
+    /// by the replication index.
+    #[must_use]
+    pub fn replication_counts(&self) -> &[u64] {
+        self.core.replication.counts()
     }
 
     /// Identifiers of the currently alive peers, in join order.
     #[must_use]
     pub fn alive_peer_ids(&self) -> Vec<PeerId> {
-        self.tracker.peers().to_vec()
+        self.core.tracker.peers().to_vec()
     }
 
     /// The possession bitfield of an alive peer.
@@ -147,7 +511,7 @@ impl Swarm {
     /// Panics if the peer has departed.
     #[must_use]
     pub fn peer_bitfield(&self, id: PeerId) -> &crate::piece::Bitfield {
-        &self.peer(id).have
+        &self.core.store.peer(id).have
     }
 
     /// The active-connection count of an alive peer.
@@ -157,14 +521,14 @@ impl Swarm {
     /// Panics if the peer has departed.
     #[must_use]
     pub fn peer_connection_count(&self, id: PeerId) -> u32 {
-        self.peer(id).connections.len() as u32
+        self.core.store.peer(id).connections.len() as u32
     }
 
     /// Attaches a per-round telemetry recorder, binding it to this run's
     /// configuration. Subsequent rounds feed it samples, phase-detector
     /// observations, and flight-recorder events.
     pub fn attach_telemetry(&mut self, mut recorder: TelemetryRecorder) {
-        recorder.bind(&self.config);
+        recorder.bind(&self.core.config);
         self.telemetry = Some(recorder);
     }
 
@@ -190,35 +554,36 @@ impl Swarm {
         let _span = tracing::info_span!(target: "bt_swarm", "swarm.run").entered();
         tracing::info!(
             target: "bt_swarm",
-            pieces = self.config.pieces,
-            k = self.config.max_connections,
-            s = self.config.neighbor_set_size,
-            lambda = self.config.arrival_rate,
-            initial = self.config.initial_leechers,
-            seed = self.config.seed;
+            pieces = self.core.config.pieces,
+            k = self.core.config.max_connections,
+            s = self.core.config.neighbor_set_size,
+            lambda = self.core.config.arrival_rate,
+            initial = self.core.config.initial_leechers,
+            seed = self.core.config.seed;
             "swarm run starting"
         );
         let mut sim: Simulator<Event> = Simulator::new();
-        if self.config.arrival_rate > 0.0 {
-            let gap = sample_exponential(self.config.arrival_rate, &mut self.rng);
+        if self.core.config.arrival_rate > 0.0 {
+            let gap = sample_exponential(self.core.config.arrival_rate, &mut self.core.rng);
             sim.schedule(SimTime::from_secs(gap), Event::Arrival);
         }
         sim.schedule(SimTime::from_secs(1.0), Event::Round);
         sim.run(|sim, _time, event| match event {
             Event::Arrival => {
-                let id = self.spawn_peer();
+                let id = self.core.spawn_peer();
                 let _ = id;
-                let gap = sample_exponential(self.config.arrival_rate, &mut self.rng);
+                let gap = sample_exponential(self.core.config.arrival_rate, &mut self.core.rng);
                 sim.schedule_in(Duration::from_secs(gap), Event::Arrival);
             }
             Event::Round => {
-                self.round += 1;
+                self.core.round += 1;
                 self.execute_round();
-                let done_rounds = self.round >= self.config.max_rounds;
+                let done_rounds = self.core.round >= self.core.config.max_rounds;
                 let done_completions = self
+                    .core
                     .config
                     .stop_after_completions
-                    .is_some_and(|n| self.metrics.completions.len() as u64 >= n);
+                    .is_some_and(|n| self.core.metrics.completions.len() as u64 >= n);
                 if done_rounds || done_completions {
                     sim.request_stop();
                 } else {
@@ -226,20 +591,20 @@ impl Swarm {
                 }
             }
         });
-        self.metrics.rounds_run = self.round;
+        self.core.metrics.rounds_run = self.core.round;
         if let Some(recorder) = self.telemetry.as_mut() {
             recorder.finish();
         }
         tracing::info!(
             target: "bt_swarm",
-            rounds = self.metrics.rounds_run,
-            arrivals = self.metrics.arrivals,
-            departures = self.metrics.departures,
-            completions = self.metrics.completions.len(),
-            final_population = self.metrics.final_population();
+            rounds = self.core.metrics.rounds_run,
+            arrivals = self.core.metrics.arrivals,
+            departures = self.core.metrics.departures,
+            completions = self.core.metrics.completions.len(),
+            final_population = self.core.metrics.final_population();
             "swarm run finished"
         );
-        self.metrics
+        self.core.metrics
     }
 
     /// Runs exactly one round without the DES driver (step-level control
@@ -247,568 +612,42 @@ impl Swarm {
     /// scheduled by [`Swarm::run`]'s event loop, so stepped swarms see no
     /// new arrivals.
     pub fn step_round(&mut self) {
-        self.round += 1;
+        self.core.round += 1;
         self.execute_round();
-        self.metrics.rounds_run = self.round;
+        self.core.metrics.rounds_run = self.core.round;
     }
 
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
 
-    fn spawn_peer(&mut self) -> PeerId {
-        let id = PeerId(self.peers.len() as u64);
-        let mut peer = Peer::new(id, self.config.pieces, self.round);
-        if self.config.slow_peer_fraction > 0.0 {
-            peer.slow = self.rng.gen::<f64>() < self.config.slow_peer_fraction;
-        }
-        // Initial neighbor handout on join (tracker contact). With
-        // bootstrap relief (§4.3), the tracker fills up to half the slots
-        // with peers trapped in the bootstrap phase, so the newcomer's
-        // fresh pieces reach them.
-        let want = self.config.neighbor_set_size as usize;
-        let mut handout = Vec::with_capacity(want);
-        if self.config.bootstrap_relief {
-            let mut trapped: Vec<PeerId> = self
-                .tracker
-                .peers()
-                .iter()
-                .copied()
-                .filter(|&p| {
-                    self.peers[p.0 as usize]
-                        .as_ref()
-                        .is_some_and(|peer| peer.have.count() <= 1)
-                })
-                .collect();
-            let take = (want / 2).min(trapped.len());
-            for i in 0..take {
-                let j = self.rng.gen_range(i..trapped.len());
-                trapped.swap(i, j);
-            }
-            handout.extend_from_slice(&trapped[..take]);
-        }
-        let rest = self
-            .tracker
-            .handout(id, &handout, want - handout.len(), &mut self.rng);
-        handout.extend(rest);
-        self.peers.push(Some(peer));
-        let evict = self.config.join_eviction;
-        for other in handout {
-            self.add_symmetric_neighbor(id, other, evict);
-        }
-        self.tracker.register(id);
-        self.metrics.arrivals += 1;
-        self.obs.arrivals.incr();
-        self.obs.peak_population.record_max(self.tracker.len() as u64);
-        let obs_lo = u64::from(self.config.observe_from);
-        let obs_hi = obs_lo + u64::from(self.config.observers);
-        if (obs_lo..obs_hi).contains(&id.0) {
-            self.metrics.observers.push(ObserverLog::new(id));
-        }
-        id
-    }
-
-    /// Makes `a` and `b` neighbors symmetrically. With `evict` set (used
-    /// when integrating a joining peer), a full side evicts a random
-    /// neighbor it is not actively connected to — so newcomers always find
-    /// room, as when a BitTorrent client accepts an incoming connection.
-    /// Without it (steady-state top-ups), the add fails if either side is
-    /// full, keeping established neighborhoods stable between tracker
-    /// contacts.
-    fn add_symmetric_neighbor(&mut self, a: PeerId, b: PeerId, evict: bool) -> bool {
-        if a == b || self.peer(a).is_neighbor(b) {
-            return false;
-        }
-        let s = self.config.neighbor_set_size as usize;
-        for id in [a, b] {
-            if self.peer(id).neighbors.len() >= s && (!evict || !self.evict_idle_neighbor(id)) {
-                return false;
-            }
-        }
-        self.peer_mut(a).add_neighbor(b);
-        self.peer_mut(b).add_neighbor(a);
-        true
-    }
-
-    /// Evicts a uniformly random neighbor of `id` that is not an active
-    /// connection, removing the backlink too. Returns false if every
-    /// neighbor is connected.
-    fn evict_idle_neighbor(&mut self, id: PeerId) -> bool {
-        let idle: Vec<PeerId> = self
-            .peer(id)
-            .neighbors
-            .iter()
-            .copied()
-            .filter(|&n| !self.peer(id).is_connected(n))
-            .collect();
-        if idle.is_empty() {
-            return false;
-        }
-        let victim = idle[self.rng.gen_range(0..idle.len())];
-        self.peer_mut(id).remove_neighbor(victim);
-        if let Some(v) = self.peers[victim.0 as usize].as_mut() {
-            v.remove_neighbor(id);
-        }
-        true
-    }
-
-    fn endow_initial(&mut self, id: PeerId) {
-        let endowment = self.config.initial_pieces;
-        let pieces = self.config.pieces;
-        match endowment {
-            InitialPieces::Empty => {}
-            InitialPieces::Random { count } => {
-                let mut got = 0;
-                let mut guard = 0;
-                while got < count && guard < 100_000 {
-                    guard += 1;
-                    let p = self.rng.gen_range(0..pieces);
-                    if self.peer_mut(id).acquire(p, 0) {
-                        got += 1;
-                    }
-                }
-            }
-            InitialPieces::Skewed { count, strength } => {
-                let weights: Vec<f64> = (0..pieces).map(|j| strength.powi(j as i32)).collect();
-                let mut got = 0;
-                let mut guard = 0;
-                while got < count && guard < 10_000 {
-                    guard += 1;
-                    let p = bt_markov::chain::sample_index(&weights, &mut self.rng) as u32;
-                    if self.peer_mut(id).acquire(p, 0) {
-                        got += 1;
-                    }
-                }
-            }
-        }
-    }
-
+    #[cfg(test)]
     fn peer(&self, id: PeerId) -> &Peer {
-        self.peers[id.0 as usize]
-            .as_ref()
-            .expect("peer departed but was referenced")
+        self.core.store.peer(id)
     }
 
-    fn peer_mut(&mut self, id: PeerId) -> &mut Peer {
-        self.peers[id.0 as usize]
-            .as_mut()
-            .expect("peer departed but was referenced")
-    }
-
+    #[cfg(test)]
     fn alive_ids(&self) -> Vec<PeerId> {
-        self.tracker.peers().to_vec()
+        self.core.tracker.peers().to_vec()
     }
 
     fn execute_round(&mut self) {
         let _span = tracing::debug_span!(target: "bt_swarm::round", "swarm.round").entered();
-        self.obs.rounds.incr();
-        {
-            let _g = self.obs.t_maintain.start();
-            self.maintain_neighbors();
-        }
-        {
-            let _g = self.obs.t_bootstrap.start();
-            self.bootstrap_injection();
-            self.seed_uploads();
-        }
-        {
-            let _g = self.obs.t_prune.start();
-            self.prune_connections();
-        }
-        {
-            let _g = self.obs.t_establish.start();
-            self.establish_connections();
-        }
-        {
-            let _g = self.obs.t_exchange.start();
-            self.exchange_pieces();
-            self.handle_completions();
-            self.handle_shakes();
-        }
-        {
-            let _g = self.obs.t_sample.start();
-            self.sample_metrics();
+        self.core.obs.rounds.incr();
+        for entry in &mut self.pipeline {
+            let _g = entry.timer.start();
+            entry.stage.run(&mut self.core);
         }
         if self.telemetry.is_some() {
             self.record_telemetry();
         }
         tracing::debug!(
             target: "bt_swarm::round",
-            round = self.round,
-            population = self.tracker.len(),
-            departures = self.metrics.departures;
+            round = self.core.round,
+            population = self.core.tracker.len(),
+            departures = self.core.metrics.departures;
             "round complete"
         );
-    }
-
-    /// Symmetric neighbor-set top-up from the tracker.
-    fn maintain_neighbors(&mut self) {
-        let s = self.config.neighbor_set_size as usize;
-        for id in self.alive_ids() {
-            let need = s.saturating_sub(self.peer(id).neighbors.len());
-            if need == 0 {
-                continue;
-            }
-            let exclude = self.peer(id).neighbors.clone();
-            let handout = self.tracker.handout(id, &exclude, need, &mut self.rng);
-            for other in handout {
-                self.add_symmetric_neighbor(id, other, false);
-            }
-        }
-    }
-
-    /// Empty peers acquire a first piece via the seed / optimistic-unchoke
-    /// channel.
-    fn bootstrap_injection(&mut self) {
-        let policy = self.config.bootstrap;
-        let pieces = self.config.pieces;
-        let empty: Vec<PeerId> = self
-            .alive_ids()
-            .into_iter()
-            .filter(|&id| self.peer(id).have.is_empty())
-            .collect();
-        if empty.is_empty() {
-            return;
-        }
-        match policy {
-            BootstrapInjection::Off => {}
-            BootstrapInjection::Uniform => {
-                for id in empty {
-                    let p = self.rng.gen_range(0..pieces);
-                    let round = self.round;
-                    if self.peer_mut(id).acquire(p, round) {
-                        self.obs.bootstrap_injections.incr();
-                    }
-                }
-            }
-            BootstrapInjection::Weighted { seed_weight } => {
-                let alive = self.alive_ids();
-                let replication =
-                    replication_counts(pieces, alive.iter().map(|&id| &self.peer(id).have));
-                let weights: Vec<f64> = replication
-                    .iter()
-                    .map(|&d| d as f64 + seed_weight)
-                    .collect();
-                for id in empty {
-                    let p = bt_markov::chain::sample_index(&weights, &mut self.rng) as u32;
-                    let round = self.round;
-                    if self.peer_mut(id).acquire(p, round) {
-                        self.obs.bootstrap_injections.incr();
-                    }
-                }
-            }
-        }
-    }
-
-    /// The origin seed uploads `seed_uploads_per_round` pieces to random
-    /// leechers, swarm-rarest-first. Seeds do not enforce tit-for-tat, so
-    /// these pieces are free; this is what keeps every piece obtainable in
-    /// a live swarm and is the physical source of the model's `γ` channel.
-    fn seed_uploads(&mut self) {
-        let uploads = self.config.seed_uploads_per_round;
-        if uploads == 0 {
-            return;
-        }
-        let alive = self.alive_ids();
-        if alive.is_empty() {
-            return;
-        }
-        let pieces = self.config.pieces;
-        let mut replication =
-            replication_counts(pieces, alive.iter().map(|&id| &self.peer(id).have));
-        for _ in 0..uploads {
-            let target = alive[self.rng.gen_range(0..alive.len())];
-            if self.peers[target.0 as usize].is_none() {
-                continue;
-            }
-            let wanted: Vec<u32> = self.peer(target).have.iter_missing().collect();
-            let Some(&min_rep) = wanted.iter().map(|&p| &replication[p as usize]).min() else {
-                continue;
-            };
-            let rarest: Vec<u32> = wanted
-                .into_iter()
-                .filter(|&p| replication[p as usize] == min_rep)
-                .collect();
-            let piece = rarest[self.rng.gen_range(0..rarest.len())];
-            let round = self.round;
-            if self.peer_mut(target).acquire(piece, round) {
-                replication[piece as usize] += 1;
-            }
-        }
-    }
-
-    /// All current connections as canonical `(low, high)` pairs.
-    fn connection_pairs(&self) -> Vec<(PeerId, PeerId)> {
-        let mut pairs = Vec::new();
-        for id in self.alive_ids() {
-            for &other in &self.peer(id).connections {
-                if id < other {
-                    pairs.push((id, other));
-                }
-            }
-        }
-        pairs.sort();
-        pairs
-    }
-
-    /// Drop connections that lost mutual interest or fail the per-round
-    /// survival roll.
-    fn prune_connections(&mut self) {
-        for (a, b) in self.connection_pairs() {
-            let tradable = self.peer(a).have.can_trade_with(&self.peer(b).have);
-            let survives = self.rng.gen::<f64>() < self.config.p_reencounter;
-            if !tradable || !survives {
-                self.peer_mut(a).connections.retain(|&p| p != b);
-                self.peer_mut(b).connections.retain(|&p| p != a);
-            }
-        }
-    }
-
-    /// Fill free connection slots from the potential set: tit-for-tat
-    /// preference with an optimistic-unchoke slot, success `p_n`.
-    fn establish_connections(&mut self) {
-        let k = self.config.max_connections as usize;
-        let mut order = self.alive_ids();
-        // Randomized service order prevents low ids from monopolizing slots.
-        for i in (1..order.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
-            order.swap(i, j);
-        }
-        let attempt_cap = self
-            .config
-            .new_connections_per_round
-            .map_or(usize::MAX, |c| c as usize);
-        for id in order {
-            let mut initiated = 0usize;
-            loop {
-                if initiated >= attempt_cap || self.peer(id).connections.len() >= k {
-                    break;
-                }
-                // Potential candidates; with blind encounters the remote
-                // slot occupancy is unknown at selection time.
-                let blind = self.config.blind_encounters;
-                let me = self.peer(id);
-                let mut candidates: Vec<PeerId> = me
-                    .neighbors
-                    .iter()
-                    .copied()
-                    .filter(|&other| {
-                        self.peers[other.0 as usize].as_ref().is_some_and(|o| {
-                            !me.is_connected(other)
-                                && (blind || o.connections.len() < k)
-                                && me.have.can_trade_with(&o.have)
-                        })
-                    })
-                    .collect();
-                if candidates.is_empty() {
-                    break;
-                }
-                // Optimistic unchoke or tit-for-tat preference.
-                let choice = if self.rng.gen::<f64>() < self.config.optimistic_prob {
-                    candidates[self.rng.gen_range(0..candidates.len())]
-                } else {
-                    candidates
-                        .sort_by_key(|&c| (std::cmp::Reverse(self.peer(id).credit_for(c)), c));
-                    candidates[0]
-                };
-                // A blind attempt against a fully busy target fails.
-                self.obs.conn_attempts.incr();
-                let target_busy = self.peer(choice).connections.len() >= k;
-                if !target_busy && self.rng.gen::<f64>() < self.config.p_new_connection {
-                    self.peer_mut(id).connections.push(choice);
-                    self.peer_mut(choice).connections.push(id);
-                    self.obs.conn_successes.incr();
-                    initiated += 1;
-                } else {
-                    // Failed attempt consumes the round's chance with this
-                    // candidate; stop trying to avoid infinite retries.
-                    break;
-                }
-            }
-        }
-    }
-
-    /// One piece per direction per connection, strict tit-for-tat.
-    fn exchange_pieces(&mut self) {
-        let pieces = self.config.pieces;
-        let strategy = self.config.piece_selection;
-        // Neighbor-local replication views, computed once per round.
-        let alive = self.alive_ids();
-        let mut replication: Vec<(PeerId, Vec<u64>)> = Vec::with_capacity(alive.len());
-        for &id in &alive {
-            let counts = replication_counts(
-                pieces,
-                self.peer(id)
-                    .neighbors
-                    .iter()
-                    .filter_map(|&n| self.peers[n.0 as usize].as_ref())
-                    .map(|p| &p.have),
-            );
-            replication.push((id, counts));
-        }
-        fn lookup<T>(table: &[(PeerId, T)], id: PeerId) -> &T {
-            table
-                .iter()
-                .find(|&&(p, _)| p == id)
-                .map(|(_, v)| v)
-                .expect("alive peer present in per-round table")
-        }
-        fn lookup_idx<T>(table: &[(PeerId, T)], id: PeerId) -> usize {
-            table
-                .iter()
-                .position(|&(p, _)| p == id)
-                .expect("alive peer present in per-round table")
-        }
-        let mut taken: Vec<(PeerId, Vec<u32>)> = alive.iter().map(|&id| (id, Vec::new())).collect();
-        // Heterogeneous bandwidth: slow peers can serve only a bounded
-        // number of block-transfers per round.
-        let mut budgets: Vec<(PeerId, u32)> = alive
-            .iter()
-            .map(|&id| {
-                let budget = if self.peer(id).slow {
-                    self.config.slow_upload_budget
-                } else {
-                    u32::MAX
-                };
-                (id, budget)
-            })
-            .collect();
-        for (a, b) in self.connection_pairs() {
-            // Strict tit-for-tat needs upload budget on both sides.
-            if *lookup(&budgets, a) == 0 || *lookup(&budgets, b) == 0 {
-                continue;
-            }
-            // Re-check tradability: earlier exchanges this round may have
-            // exhausted the novelty.
-            if !self.peer(a).have.can_trade_with(&self.peer(b).have) {
-                self.peer_mut(a).connections.retain(|&p| p != b);
-                self.peer_mut(b).connections.retain(|&p| p != a);
-                continue;
-            }
-            let have_a = self.peer(a).have.clone();
-            let have_b = self.peer(b).have.clone();
-            // Prefer finishing an in-flight partial piece the uploader has
-            // (block continuity); otherwise pick a fresh piece.
-            let continue_piece =
-                |downloader: &crate::peer::Peer, uploader_have: &crate::piece::Bitfield| {
-                    downloader
-                        .partial
-                        .keys()
-                        .copied()
-                        .filter(|&piece| uploader_have.contains(piece))
-                        .min()
-                };
-            let wanted_a = continue_piece(self.peer(a), &have_b).or_else(|| {
-                let rep_a: &Vec<u64> = lookup(&replication, a);
-                let taken_a: Vec<u32> = lookup(&taken, a).clone();
-                select_piece(strategy, &have_a, &have_b, rep_a, &taken_a, &mut self.rng)
-            });
-            let wanted_b = continue_piece(self.peer(b), &have_a).or_else(|| {
-                let rep_b: &Vec<u64> = lookup(&replication, b);
-                let taken_b: Vec<u32> = lookup(&taken, b).clone();
-                select_piece(strategy, &have_b, &have_a, rep_b, &taken_b, &mut self.rng)
-            });
-            // Strict tit-for-tat: the swap happens only if both directions
-            // carry a block.
-            let (Some(pa), Some(pb)) = (wanted_a, wanted_b) else {
-                continue;
-            };
-            let round = self.round;
-            let blocks = self.config.blocks_per_piece;
-            if self.peer_mut(a).receive_block(pa, blocks, round) {
-                self.peer_mut(a).record_credit(b);
-            }
-            if self.peer_mut(b).receive_block(pb, blocks, round) {
-                self.peer_mut(b).record_credit(a);
-            }
-            // One block moved in each direction.
-            self.obs.pieces_exchanged.add(2);
-            let ta = lookup_idx(&taken, a);
-            taken[ta].1.push(pa);
-            let tb = lookup_idx(&taken, b);
-            taken[tb].1.push(pb);
-            for id in [a, b] {
-                let idx = lookup_idx(&budgets, id);
-                budgets[idx].1 = budgets[idx].1.saturating_sub(1);
-            }
-        }
-    }
-
-    /// Completed peers depart immediately (paper assumption).
-    fn handle_completions(&mut self) {
-        let done: Vec<PeerId> = self
-            .alive_ids()
-            .into_iter()
-            .filter(|&id| self.peer(id).have.is_complete())
-            .collect();
-        for id in done {
-            let peer = self.peers[id.0 as usize]
-                .take()
-                .expect("completing peer is alive");
-            self.tracker.deregister(id);
-            for &other in &peer.neighbors {
-                if let Some(o) = self.peers[other.0 as usize].as_mut() {
-                    o.remove_neighbor(id);
-                }
-            }
-            // Peers that joined during warm-up carry transient startup
-            // dynamics; they depart normally but leave no record.
-            if peer.joined_round >= self.config.metrics_warmup_rounds {
-                let mut acq: Vec<u64> = peer
-                    .piece_round
-                    .iter()
-                    .copied()
-                    .filter(|&r| r != u64::MAX)
-                    .collect();
-                acq.sort_unstable();
-                self.metrics.completions.push(CompletionRecord {
-                    id,
-                    joined_round: peer.joined_round,
-                    completed_round: self.round,
-                    acquisition_rounds: acq,
-                    slow: peer.slow,
-                });
-                self.obs.completions.incr();
-            }
-            self.metrics.departures += 1;
-            self.obs.departures.incr();
-        }
-    }
-
-    /// Peers crossing the shake threshold drop their whole neighbor set
-    /// (§7.1); the tracker refills them next round.
-    fn handle_shakes(&mut self) {
-        let Some(threshold) = self.config.shake_at else {
-            return;
-        };
-        for id in self.alive_ids() {
-            let peer = self.peer(id);
-            if peer.shaken || peer.completion() < threshold {
-                continue;
-            }
-            let ex_neighbors = self.peer(id).neighbors.clone();
-            self.peer_mut(id).shake();
-            self.obs.shakes.incr();
-            for other in ex_neighbors {
-                if let Some(o) = self.peers[other.0 as usize].as_mut() {
-                    o.remove_neighbor(id);
-                }
-            }
-        }
-    }
-
-    /// The potential set of `id`: alive neighbors with mutual tradability.
-    #[must_use]
-    fn potential_size(&self, id: PeerId) -> u32 {
-        let me = self.peer(id);
-        me.neighbors
-            .iter()
-            .filter(|&&n| {
-                self.peers[n.0 as usize]
-                    .as_ref()
-                    .is_some_and(|o| me.have.can_trade_with(&o.have))
-            })
-            .count() as u32
     }
 
     /// Feeds the attached telemetry recorder one round: the full
@@ -816,87 +655,48 @@ impl Swarm {
     /// connections)` states driving online phase detection.
     fn record_telemetry(&mut self) {
         let snapshot = Snapshot::capture(self);
-        let obs_lo = u64::from(self.config.observe_from);
-        let obs_hi = obs_lo + u64::from(self.config.observers);
-        let observers: Vec<ObserverSample> = self
-            .alive_ids()
-            .into_iter()
-            .filter(|id| (obs_lo..obs_hi).contains(&id.0))
+        let core = &self.core;
+        let obs_lo = u64::from(core.config.observe_from);
+        let obs_hi = obs_lo + u64::from(core.config.observers);
+        let observers: Vec<ObserverSample> = core
+            .tracker
+            .peers()
+            .iter()
+            .copied()
+            .filter(|id| (obs_lo..obs_hi).contains(&id.seq()))
             .map(|id| ObserverSample {
-                peer: id.0,
-                pieces: self.peer(id).have.count(),
-                potential: self.potential_size(id),
-                connections: self.peer(id).connections.len() as u32,
+                peer: id.seq(),
+                pieces: core.store.peer(id).have.count(),
+                potential: core.potential_size(id),
+                connections: core.store.peer(id).connections.len() as u32,
             })
             .collect();
-        let k = self.config.max_connections;
+        let k = core.config.max_connections;
         if let Some(recorder) = self.telemetry.as_mut() {
             recorder.record_round(&snapshot, k, &observers);
         }
     }
 
-    fn sample_metrics(&mut self) {
-        let alive = self.alive_ids();
-        let round = self.round;
-        self.metrics.population.push((round, alive.len() as u64));
-        // Replication entropy over the leecher population.
-        let replication = replication_counts(
-            self.config.pieces,
-            alive.iter().map(|&id| &self.peer(id).have),
-        );
-        self.metrics.entropy.push((round, entropy_of(&replication)));
-        // Potential-set sizes bucketed by pieces held; utilization. Both
-        // are steady-state measurements, so they respect the warm-up.
-        let in_steady_state = round >= self.config.metrics_warmup_rounds;
-        let k = self.config.max_connections as f64;
-        let mut conn_total = 0usize;
-        for &id in &alive {
-            let potential = self.potential_size(id);
-            let held = self.peer(id).have.count() as usize;
-            if in_steady_state {
-                self.metrics.potential_sum_by_pieces[held] += f64::from(potential);
-                self.metrics.potential_count_by_pieces[held] += 1;
-            }
-            conn_total += self.peer(id).connections.len();
-            let obs_lo = u64::from(self.config.observe_from);
-            let obs_hi = obs_lo + u64::from(self.config.observers);
-            if (obs_lo..obs_hi).contains(&id.0) {
-                let connections = self.peer(id).connections.len() as u32;
-                let pieces = self.peer(id).have.count();
-                let log = self
-                    .metrics
-                    .observers
-                    .iter_mut()
-                    .find(|l| l.id == id)
-                    .expect("observer log pre-created at spawn");
-                log.rounds.push(round);
-                log.pieces.push(pieces);
-                log.potential.push(potential);
-                log.connections.push(connections);
-            }
-        }
-        if in_steady_state && !alive.is_empty() {
-            self.metrics.utilization_sum += conn_total as f64 / (alive.len() as f64 * k);
-            self.metrics.utilization_samples += 1;
-        }
-    }
-
-    /// Checks the symmetry invariants (neighbor and connection relations);
+    /// Checks the structural invariants: symmetric neighbor and
+    /// connection relations, the `k` cap, and the replication index
+    /// agreeing with a from-scratch rebuild (its property-test oracle);
     /// used by tests and debug assertions.
     ///
     /// # Panics
     ///
     /// Panics on any violation.
     pub fn assert_invariants(&self) {
-        for id in self.alive_ids() {
-            let peer = self.peer(id);
+        let core = &self.core;
+        for &id in core.tracker.peers() {
+            let peer = core.store.peer(id);
             assert!(
-                peer.connections.len() <= self.config.max_connections as usize,
+                peer.connections.len() <= core.config.max_connections as usize,
                 "{id} exceeds k"
             );
             for &n in &peer.neighbors {
-                let other = self.peers[n.0 as usize]
-                    .as_ref()
+                let other = core
+                    .store
+                    .get(n)
                     .unwrap_or_else(|| panic!("{id} lists departed neighbor {n}"));
                 assert!(
                     other.is_neighbor(id),
@@ -905,12 +705,22 @@ impl Swarm {
             }
             for &c in &peer.connections {
                 assert!(peer.is_neighbor(c), "{id} connected to non-neighbor {c}");
-                let other = self.peers[c.0 as usize]
-                    .as_ref()
+                let other = core
+                    .store
+                    .get(c)
                     .unwrap_or_else(|| panic!("{id} connected to departed {c}"));
                 assert!(other.is_connected(id), "connection asymmetric: {id} {c}");
             }
         }
+        let oracle = replication_counts(
+            core.config.pieces,
+            core.tracker.peers().iter().map(|&id| &core.store.peer(id).have),
+        );
+        assert_eq!(
+            core.replication.counts(),
+            &oracle[..],
+            "replication index diverged from the from-scratch rebuild"
+        );
     }
 }
 
@@ -926,7 +736,7 @@ pub fn entropy_of(replication: &[u64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::PieceSelection;
+    use crate::config::{BootstrapInjection, PieceSelection};
 
     fn small_config(seed: u64) -> SwarmConfig {
         SwarmConfig::builder()

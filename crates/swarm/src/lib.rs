@@ -47,16 +47,21 @@ pub mod metrics;
 mod obs;
 pub mod peer;
 pub mod piece;
+pub mod replication;
 pub mod scenario;
 pub mod selection;
 pub mod snapshot;
+pub mod stages;
+pub mod store;
 pub mod telemetry;
 pub mod tracker;
 
 pub use config::{BootstrapInjection, InitialPieces, PieceSelection, SwarmConfig};
-pub use engine::Swarm;
+pub use engine::{Swarm, SwarmCore};
 pub use metrics::SwarmMetrics;
-pub use peer::PeerId;
+pub use replication::ReplicationIndex;
+pub use stages::RoundStage;
+pub use store::{PeerId, PeerStore};
 pub use telemetry::{
     FlightOptions, ObserverBoundaries, ObserverSample, PhaseDetector, PhaseEvent, TelemetryFormat,
     TelemetryOptions, TelemetryRecord, TelemetryRecorder,

@@ -283,7 +283,7 @@ mod tests {
 
     fn record(joined: u64, acq: &[u64]) -> CompletionRecord {
         CompletionRecord {
-            id: PeerId(1),
+            id: PeerId::synthetic(1),
             joined_round: joined,
             completed_round: *acq.last().unwrap(),
             acquisition_rounds: acq.to_vec(),
@@ -361,7 +361,7 @@ mod tests {
 
     #[test]
     fn observer_log_len() {
-        let mut log = ObserverLog::new(PeerId(0));
+        let mut log = ObserverLog::new(PeerId::synthetic(0));
         assert!(log.is_empty());
         log.rounds.push(1);
         log.pieces.push(0);

@@ -1,15 +1,17 @@
 //! Cached observability handles for the swarm engine.
 //!
-//! All counter and timer lookups happen once, at swarm construction;
-//! the round loop then touches pre-resolved atomic handles only. See
-//! DESIGN.md ("Observability") for the counter and timer name schema.
+//! All counter lookups happen once, at swarm construction; the round
+//! loop then touches pre-resolved atomic handles only. Phase timers are
+//! resolved by the stage pipeline (each [`crate::stages::RoundStage`]
+//! names its own `round.*` timer). See DESIGN.md ("Observability") for
+//! the counter and timer name schema.
 
-use bt_obs::{Counter, Registry, Timer};
+use bt_obs::{Counter, Registry};
 
-/// Counter and timer handles used by the round loop.
+/// Counter handles used by the round loop.
 ///
-/// Counter names are prefixed `swarm.`, phase timers `round.`; the
-/// names are part of the manifest schema and must stay stable.
+/// Counter names are prefixed `swarm.`; the names are part of the
+/// manifest schema and must stay stable.
 #[derive(Clone)]
 pub(crate) struct SwarmObs {
     /// Peers that joined (`swarm.arrivals`).
@@ -32,18 +34,6 @@ pub(crate) struct SwarmObs {
     pub peak_population: Counter,
     /// Rounds executed (`swarm.rounds`).
     pub rounds: Counter,
-    /// Neighbor-maintenance phase timer (`round.maintain`).
-    pub t_maintain: Timer,
-    /// Bootstrap-injection + seed-upload phase timer (`round.bootstrap`).
-    pub t_bootstrap: Timer,
-    /// Connection-pruning phase timer (`round.prune`).
-    pub t_prune: Timer,
-    /// Connection-establishment phase timer (`round.establish`).
-    pub t_establish: Timer,
-    /// Piece-exchange phase timer (`round.exchange`).
-    pub t_exchange: Timer,
-    /// Metrics-sampling phase timer (`round.sample`).
-    pub t_sample: Timer,
 }
 
 impl SwarmObs {
@@ -60,12 +50,6 @@ impl SwarmObs {
             bootstrap_injections: registry.counter("swarm.bootstrap_injections"),
             peak_population: registry.counter("swarm.peak_population"),
             rounds: registry.counter("swarm.rounds"),
-            t_maintain: registry.timer("round.maintain"),
-            t_bootstrap: registry.timer("round.bootstrap"),
-            t_prune: registry.timer("round.prune"),
-            t_establish: registry.timer("round.establish"),
-            t_exchange: registry.timer("round.exchange"),
-            t_sample: registry.timer("round.sample"),
         }
     }
 }

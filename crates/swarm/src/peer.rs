@@ -2,20 +2,9 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::piece::Bitfield;
 
-/// Identifier of a peer: its slot in the swarm's peer arena. Identifiers
-/// are never reused within a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct PeerId(pub u64);
-
-impl std::fmt::Display for PeerId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "peer#{}", self.0)
-    }
-}
+pub use crate::store::PeerId;
 
 /// A leecher participating in the swarm.
 ///
@@ -161,7 +150,7 @@ mod tests {
 
     #[test]
     fn new_peer_is_empty() {
-        let p = Peer::new(PeerId(1), 10, 5);
+        let p = Peer::new(PeerId::synthetic(1), 10, 5);
         assert_eq!(p.have.count(), 0);
         assert_eq!(p.joined_round, 5);
         assert!(p.neighbors.is_empty());
@@ -170,7 +159,7 @@ mod tests {
 
     #[test]
     fn acquire_records_round_once() {
-        let mut p = Peer::new(PeerId(1), 10, 0);
+        let mut p = Peer::new(PeerId::synthetic(1), 10, 0);
         assert!(p.acquire(3, 7));
         assert!(!p.acquire(3, 9));
         assert_eq!(p.piece_round[3], 7);
@@ -179,29 +168,29 @@ mod tests {
 
     #[test]
     fn neighbor_management() {
-        let mut p = Peer::new(PeerId(1), 5, 0);
-        assert!(p.add_neighbor(PeerId(2)));
-        assert!(!p.add_neighbor(PeerId(2)), "no duplicates");
-        assert!(!p.add_neighbor(PeerId(1)), "never own neighbor");
-        assert!(p.is_neighbor(PeerId(2)));
-        p.connections.push(PeerId(2));
-        assert!(p.remove_neighbor(PeerId(2)));
-        assert!(!p.is_connected(PeerId(2)), "connection dropped too");
-        assert!(!p.remove_neighbor(PeerId(2)));
+        let mut p = Peer::new(PeerId::synthetic(1), 5, 0);
+        assert!(p.add_neighbor(PeerId::synthetic(2)));
+        assert!(!p.add_neighbor(PeerId::synthetic(2)), "no duplicates");
+        assert!(!p.add_neighbor(PeerId::synthetic(1)), "never own neighbor");
+        assert!(p.is_neighbor(PeerId::synthetic(2)));
+        p.connections.push(PeerId::synthetic(2));
+        assert!(p.remove_neighbor(PeerId::synthetic(2)));
+        assert!(!p.is_connected(PeerId::synthetic(2)), "connection dropped too");
+        assert!(!p.remove_neighbor(PeerId::synthetic(2)));
     }
 
     #[test]
     fn credit_accrues() {
-        let mut p = Peer::new(PeerId(1), 5, 0);
-        assert_eq!(p.credit_for(PeerId(2)), 0);
-        p.record_credit(PeerId(2));
-        p.record_credit(PeerId(2));
-        assert_eq!(p.credit_for(PeerId(2)), 2);
+        let mut p = Peer::new(PeerId::synthetic(1), 5, 0);
+        assert_eq!(p.credit_for(PeerId::synthetic(2)), 0);
+        p.record_credit(PeerId::synthetic(2));
+        p.record_credit(PeerId::synthetic(2));
+        assert_eq!(p.credit_for(PeerId::synthetic(2)), 2);
     }
 
     #[test]
     fn completion_fraction() {
-        let mut p = Peer::new(PeerId(1), 4, 0);
+        let mut p = Peer::new(PeerId::synthetic(1), 4, 0);
         p.acquire(0, 0);
         p.acquire(1, 0);
         assert!((p.completion() - 0.5).abs() < 1e-12);
@@ -209,9 +198,9 @@ mod tests {
 
     #[test]
     fn shake_clears_topology() {
-        let mut p = Peer::new(PeerId(1), 4, 0);
-        p.add_neighbor(PeerId(2));
-        p.connections.push(PeerId(2));
+        let mut p = Peer::new(PeerId::synthetic(1), 4, 0);
+        p.add_neighbor(PeerId::synthetic(2));
+        p.connections.push(PeerId::synthetic(2));
         p.shake();
         assert!(p.neighbors.is_empty());
         assert!(p.connections.is_empty());
@@ -220,6 +209,6 @@ mod tests {
 
     #[test]
     fn peer_id_displays() {
-        assert_eq!(PeerId(7).to_string(), "peer#7");
+        assert_eq!(PeerId::synthetic(7).to_string(), "peer#7");
     }
 }

@@ -108,13 +108,48 @@ impl Bitfield {
     }
 
     /// Iterates over held pieces in increasing order.
-    pub fn iter(&self) -> impl Iterator<Item = PieceId> + '_ {
-        (0..self.len).filter(move |&p| self.contains(p))
+    ///
+    /// Word-at-a-time via `trailing_zeros`, so sparse bitfields cost
+    /// O(words + held) rather than O(len).
+    pub fn iter(&self) -> SetBits<'_> {
+        SetBits(WordBits::new(self.words.iter().copied()))
     }
 
     /// Iterates over missing pieces in increasing order.
     pub fn iter_missing(&self) -> impl Iterator<Item = PieceId> + '_ {
-        (0..self.len).filter(move |&p| !self.contains(p))
+        let last = self.words.len().saturating_sub(1);
+        let tail_bits = self.len % 64;
+        let words = self.words.iter().enumerate().map(move |(i, &word)| {
+            // Invert, then mask off the phantom bits past `len` in the
+            // final word so they do not read as "missing".
+            if i == last && tail_bits != 0 {
+                !word & ((1u64 << tail_bits) - 1)
+            } else {
+                !word
+            }
+        });
+        WordBits::new(words)
+    }
+
+    /// Adds one to `counts[p]` for every held piece `p` — the inner
+    /// loop of replication counting, word-at-a-time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is shorter than `len` pieces.
+    pub fn accumulate_into(&self, counts: &mut [u64]) {
+        assert!(
+            counts.len() >= self.len as usize,
+            "count table shorter than bitfield"
+        );
+        for (i, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let p = i * 64 + bits.trailing_zeros() as usize;
+                counts[p] += 1;
+                bits &= bits - 1;
+            }
+        }
     }
 
     /// Whether `other` holds at least one piece that `self` lacks
@@ -144,9 +179,12 @@ impl Bitfield {
     #[must_use]
     pub fn wanted_from(&self, other: &Bitfield) -> Vec<PieceId> {
         assert_eq!(self.len, other.len, "bitfields cover different files");
-        (0..self.len)
-            .filter(|&p| other.contains(p) && !self.contains(p))
-            .collect()
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(mine, theirs)| theirs & !mine);
+        WordBits::new(words).collect()
     }
 
     /// A uniformly random missing piece, or `None` if complete.
@@ -157,6 +195,51 @@ impl Bitfield {
         } else {
             Some(missing[rng.gen_range(0..missing.len())])
         }
+    }
+}
+
+/// Iterator over the set bits of a stream of 64-bit words, yielding
+/// bit indices in increasing order via `trailing_zeros`.
+struct WordBits<I> {
+    words: I,
+    current: u64,
+    /// Base piece index of the word in `current`. Starts one word
+    /// "before" zero so the first load lands on base 0.
+    base: u32,
+}
+
+impl<I: Iterator<Item = u64>> WordBits<I> {
+    fn new(words: I) -> Self {
+        WordBits {
+            words,
+            current: 0,
+            base: 0u32.wrapping_sub(64),
+        }
+    }
+}
+
+impl<I: Iterator<Item = u64>> Iterator for WordBits<I> {
+    type Item = PieceId;
+
+    fn next(&mut self) -> Option<PieceId> {
+        while self.current == 0 {
+            self.current = self.words.next()?;
+            self.base = self.base.wrapping_add(64);
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some(self.base + bit)
+    }
+}
+
+/// Iterator over held pieces, returned by [`Bitfield::iter`].
+pub struct SetBits<'a>(WordBits<std::iter::Copied<std::slice::Iter<'a, u64>>>);
+
+impl Iterator for SetBits<'_> {
+    type Item = PieceId;
+
+    fn next(&mut self) -> Option<PieceId> {
+        self.0.next()
     }
 }
 
@@ -277,5 +360,41 @@ mod tests {
         bf.set(127);
         assert_eq!(bf.iter().collect::<Vec<_>>(), vec![63, 64, 127]);
         assert_eq!(bf.count(), 3);
+    }
+
+    #[test]
+    fn iter_missing_masks_phantom_tail_bits() {
+        // 70 pieces = one full word + a 6-bit tail; the 58 phantom bits
+        // of the second word must never surface as "missing".
+        let mut bf = Bitfield::new(70);
+        for p in 0..70 {
+            bf.set(p);
+        }
+        assert_eq!(bf.iter_missing().count(), 0);
+        let mut partial = Bitfield::new(70);
+        partial.set(0);
+        partial.set(69);
+        let missing: Vec<_> = partial.iter_missing().collect();
+        assert_eq!(missing.len(), 68);
+        assert_eq!(missing.first(), Some(&1));
+        assert_eq!(missing.last(), Some(&68));
+    }
+
+    #[test]
+    fn accumulate_into_counts_each_held_piece() {
+        let mut a = Bitfield::new(70);
+        let mut b = Bitfield::new(70);
+        for p in [0, 63, 64, 69] {
+            a.set(p);
+        }
+        b.set(63);
+        let mut counts = vec![0u64; 70];
+        a.accumulate_into(&mut counts);
+        b.accumulate_into(&mut counts);
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[63], 2);
+        assert_eq!(counts[64], 1);
+        assert_eq!(counts[69], 1);
+        assert_eq!(counts.iter().sum::<u64>(), 5);
     }
 }

@@ -96,6 +96,29 @@ pub fn shake_study(shake: bool, completions: u64, seed: u64) -> Result<SwarmConf
     builder.build()
 }
 
+/// Scale-probe setup used by the `swarm_scale` bench: a large closed
+/// population (`B = 200`, `k = 7`, `s = 40`) driven for a fixed round
+/// budget, sized by `peers`. The stage pipeline's per-phase timers
+/// (`round.*`) attribute the cost; round-throughput from this preset is
+/// the engine's headline performance number.
+///
+/// # Errors
+///
+/// Propagates config validation errors (only possible for `peers == 0`
+/// being fine — the builder accepts it — so effectively infallible).
+pub fn scale_probe(peers: u32, rounds: u64, seed: u64) -> Result<SwarmConfig> {
+    SwarmConfig::builder()
+        .pieces(200)
+        .max_connections(7)
+        .neighbor_set_size(40)
+        .arrival_rate(20.0)
+        .initial_leechers(peers)
+        .initial_pieces(InitialPieces::Random { count: 20 })
+        .max_rounds(rounds)
+        .seed(seed)
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +131,7 @@ mod tests {
         assert!(stability(10, 0).is_ok());
         assert!(shake_study(true, 50, 0).is_ok());
         assert!(shake_study(false, 50, 0).is_ok());
+        assert!(scale_probe(500, 30, 0).is_ok());
     }
 
     #[test]

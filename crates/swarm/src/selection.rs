@@ -85,6 +85,13 @@ pub fn select_piece<R: Rng + ?Sized>(
 /// Per-piece replication counts over a collection of bitfields (the view a
 /// peer has of its neighbor set, and the quantity whose skew defines the
 /// §6 entropy).
+///
+/// The engine no longer calls this on its hot paths: global counts come
+/// from the incrementally maintained [`crate::replication::ReplicationIndex`],
+/// and neighbor-local views are accumulated word-wise by the exchange
+/// stage. This from-scratch rebuild is kept as the *oracle* the
+/// property tests and [`crate::engine::Swarm::assert_invariants`] check
+/// the index against.
 #[must_use]
 pub fn replication_counts<'a, I>(pieces: u32, fields: I) -> Vec<u64>
 where

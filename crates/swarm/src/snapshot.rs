@@ -8,7 +8,6 @@
 use bt_des::stats::Histogram;
 
 use crate::engine::{entropy_of, Swarm};
-use crate::selection::replication_counts;
 
 /// A diagnostic snapshot of the swarm at one round.
 #[derive(Debug, Clone)]
@@ -37,9 +36,10 @@ impl Snapshot {
     /// Never panics: an empty swarm produces an empty snapshot.
     #[must_use]
     pub fn capture(swarm: &Swarm) -> Self {
-        let pieces = swarm.config().pieces;
         let ids = swarm.alive_peer_ids();
-        let replication = replication_counts(pieces, ids.iter().map(|&id| swarm.peer_bitfield(id)));
+        // Straight off the incrementally maintained replication index —
+        // no per-capture rescan of every alive bitfield.
+        let replication = swarm.replication_counts().to_vec();
         let max_rep = replication.iter().max().copied().unwrap_or(0);
         // One unit-width bucket per replication count 0..=max_rep, so the
         // profile is exact even in high-replication swarms (no clamping).

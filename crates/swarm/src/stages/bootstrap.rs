@@ -1,0 +1,121 @@
+//! Bootstrap injection and origin-seed uploads.
+
+use rand::Rng;
+
+use crate::config::BootstrapInjection;
+use crate::engine::SwarmCore;
+use crate::peer::PeerId;
+use crate::stages::RoundStage;
+
+/// First-piece injection for empty peers (the seed / optimistic-unchoke
+/// channel) followed by the origin seed's rarest-first uploads — the
+/// physical source of the model's `γ` channel. Seeds do not enforce
+/// tit-for-tat, so both kinds of pieces are free.
+///
+/// Both sub-phases read the replication index instead of rescanning all
+/// alive bitfields as the old engine did.
+#[derive(Debug, Default)]
+pub struct Bootstrap {
+    empty: Vec<PeerId>,
+    weights: Vec<f64>,
+    wanted: Vec<u32>,
+    rarest: Vec<u32>,
+}
+
+impl Bootstrap {
+    /// Empty peers acquire a first piece via the configured policy.
+    fn inject(&mut self, core: &mut SwarmCore) {
+        let policy = core.config.bootstrap;
+        let pieces = core.config.pieces;
+        self.empty.clear();
+        for &id in core.tracker.peers() {
+            if core.store.peer(id).have.is_empty() {
+                self.empty.push(id);
+            }
+        }
+        if self.empty.is_empty() {
+            return;
+        }
+        match policy {
+            BootstrapInjection::Off => {}
+            BootstrapInjection::Uniform => {
+                for &id in &self.empty {
+                    let p = core.rng.gen_range(0..pieces);
+                    if core.acquire_piece(id, p) {
+                        core.obs.bootstrap_injections.incr();
+                    }
+                }
+            }
+            BootstrapInjection::Weighted { seed_weight } => {
+                // Weights are frozen before the first draw (matching the
+                // old once-per-round rescan), so injections this round do
+                // not skew each other.
+                self.weights.clear();
+                self.weights.extend(
+                    core.replication
+                        .counts()
+                        .iter()
+                        .map(|&d| d as f64 + seed_weight),
+                );
+                for &id in &self.empty {
+                    let p = bt_markov::chain::sample_index(&self.weights, &mut core.rng) as u32;
+                    if core.acquire_piece(id, p) {
+                        core.obs.bootstrap_injections.incr();
+                    }
+                }
+            }
+        }
+    }
+
+    /// The origin seed uploads `seed_uploads_per_round` pieces to random
+    /// leechers, swarm-rarest-first. This is what keeps every piece
+    /// obtainable in a live swarm.
+    fn seed_uploads(&mut self, core: &mut SwarmCore) {
+        let uploads = core.config.seed_uploads_per_round;
+        if uploads == 0 || core.tracker.is_empty() {
+            return;
+        }
+        for _ in 0..uploads {
+            let alive = core.tracker.peers();
+            let target = alive[core.rng.gen_range(0..alive.len())];
+            self.wanted.clear();
+            self.wanted
+                .extend(core.store.peer(target).have.iter_missing());
+            // Each upload sees the counts left by the previous one: the
+            // index advances on acquire, exactly like the old engine's
+            // locally incremented rescan copy.
+            let Some(min_rep) = self
+                .wanted
+                .iter()
+                .map(|&p| core.replication.counts()[p as usize])
+                .min()
+            else {
+                continue;
+            };
+            self.rarest.clear();
+            self.rarest.extend(
+                self.wanted
+                    .iter()
+                    .copied()
+                    .filter(|&p| core.replication.counts()[p as usize] == min_rep),
+            );
+            let piece = self.rarest[core.rng.gen_range(0..self.rarest.len())];
+            core.acquire_piece(target, piece);
+        }
+    }
+}
+
+impl RoundStage for Bootstrap {
+    fn name(&self) -> &'static str {
+        "bootstrap"
+    }
+
+    fn timer_name(&self) -> &'static str {
+        "round.bootstrap"
+    }
+
+    fn run(&mut self, core: &mut SwarmCore) {
+        self.inject(core);
+        self.seed_uploads(core);
+    }
+}

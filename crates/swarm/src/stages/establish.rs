@@ -1,0 +1,94 @@
+//! Connection establishment.
+
+use rand::Rng;
+
+use crate::engine::SwarmCore;
+use crate::peer::PeerId;
+use crate::stages::RoundStage;
+
+/// Fills free connection slots from the potential set: tit-for-tat
+/// preference with an optimistic-unchoke slot, success probability
+/// `p_n`, capped at `k` connections and optionally at
+/// `new_connections_per_round` initiations.
+#[derive(Debug, Default)]
+pub struct EstablishConnections {
+    order: Vec<PeerId>,
+    candidates: Vec<PeerId>,
+}
+
+impl RoundStage for EstablishConnections {
+    fn name(&self) -> &'static str {
+        "establish"
+    }
+
+    fn timer_name(&self) -> &'static str {
+        "round.establish"
+    }
+
+    fn run(&mut self, core: &mut SwarmCore) {
+        let k = core.config.max_connections as usize;
+        // Randomized service order prevents low ids from monopolizing
+        // slots (Fisher–Yates, identical RNG consumption to a shuffle).
+        self.order.clear();
+        self.order.extend_from_slice(core.tracker.peers());
+        for i in (1..self.order.len()).rev() {
+            let j = core.rng.gen_range(0..=i);
+            self.order.swap(i, j);
+        }
+        let attempt_cap = core
+            .config
+            .new_connections_per_round
+            .map_or(usize::MAX, |c| c as usize);
+        for &id in &self.order {
+            let mut initiated = 0usize;
+            loop {
+                if initiated >= attempt_cap || core.store.peer(id).connections.len() >= k {
+                    break;
+                }
+                // Potential candidates; with blind encounters the remote
+                // slot occupancy is unknown at selection time.
+                let blind = core.config.blind_encounters;
+                self.candidates.clear();
+                {
+                    let store = &core.store;
+                    let me = store.peer(id);
+                    for &other in &me.neighbors {
+                        let viable = store.get(other).is_some_and(|o| {
+                            !me.is_connected(other)
+                                && (blind || o.connections.len() < k)
+                                && me.have.can_trade_with(&o.have)
+                        });
+                        if viable {
+                            self.candidates.push(other);
+                        }
+                    }
+                }
+                if self.candidates.is_empty() {
+                    break;
+                }
+                // Optimistic unchoke or tit-for-tat preference.
+                let choice = if core.rng.gen::<f64>() < core.config.optimistic_prob {
+                    self.candidates[core.rng.gen_range(0..self.candidates.len())]
+                } else {
+                    let me = core.store.peer(id);
+                    self.candidates
+                        .sort_by_key(|&c| (std::cmp::Reverse(me.credit_for(c)), c));
+                    self.candidates[0]
+                };
+                // A blind attempt against a fully busy target fails.
+                core.obs.conn_attempts.incr();
+                let target_busy = core.store.peer(choice).connections.len() >= k;
+                if !target_busy && core.rng.gen::<f64>() < core.config.p_new_connection {
+                    core.store.peer_mut(id).connections.push(choice);
+                    core.store.peer_mut(choice).connections.push(id);
+                    core.obs.conn_successes.incr();
+                    initiated += 1;
+                } else {
+                    // Failed attempt consumes the round's chance with this
+                    // candidate; stop trying to avoid infinite retries.
+                    break;
+                }
+            }
+        }
+    }
+}

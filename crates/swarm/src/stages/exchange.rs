@@ -1,0 +1,170 @@
+//! Piece exchange: one piece per direction per connection.
+
+use crate::engine::SwarmCore;
+use crate::peer::{Peer, PeerId};
+use crate::piece::Bitfield;
+use crate::selection::select_piece;
+use crate::stages::RoundStage;
+
+/// Executes the round's exchanges under strict tit-for-tat: every
+/// connection swaps one piece in each direction, or nothing at all.
+///
+/// This is the engine's hot path, and all per-peer state lives in
+/// slot-indexed scratch tables reused across rounds (the generational
+/// store keeps slot indices dense, so the tables stay small):
+///
+/// * `rep` — the downloader's neighbor-local replication view, computed
+///   once per round from pre-exchange bitfields for every pair member;
+/// * `taken` — pieces already claimed this round per peer;
+/// * `budgets` — remaining upload budget (slow-peer bandwidth class).
+///
+/// `stamp` marks which slots were initialized this round; stale entries
+/// from earlier rounds are never read, so nothing needs clearing. The
+/// old engine kept these as `Vec<(PeerId, _)>` association lists with
+/// linear scans per access — O(pairs · population) per round.
+#[derive(Debug, Default)]
+pub struct ExchangePieces {
+    pairs: Vec<(PeerId, PeerId)>,
+    stamp: Vec<u64>,
+    rep: Vec<Vec<u64>>,
+    taken: Vec<Vec<u32>>,
+    budgets: Vec<u32>,
+}
+
+/// Prefer finishing an in-flight partial piece the uploader has (block
+/// continuity); otherwise the caller picks a fresh piece.
+fn continue_piece(downloader: &Peer, uploader_have: &Bitfield) -> Option<u32> {
+    downloader
+        .partial
+        .keys()
+        .copied()
+        .filter(|&piece| uploader_have.contains(piece))
+        .min()
+}
+
+impl ExchangePieces {
+    /// Initializes the scratch tables for every peer appearing in a pair
+    /// this round. Views are computed from pre-exchange bitfields: the
+    /// paper's peers select against the replication state advertised at
+    /// the start of the round, not against in-flight deliveries.
+    fn prepare(&mut self, core: &SwarmCore) {
+        let pieces = core.config.pieces as usize;
+        let round = core.round;
+        let capacity = core.store.capacity();
+        if self.stamp.len() < capacity {
+            self.stamp.resize(capacity, 0);
+            self.rep.resize_with(capacity, Vec::new);
+            self.taken.resize_with(capacity, Vec::new);
+            self.budgets.resize(capacity, 0);
+        }
+        for &(a, b) in &self.pairs {
+            for id in [a, b] {
+                let slot = id.slot() as usize;
+                if self.stamp[slot] == round {
+                    continue;
+                }
+                self.stamp[slot] = round;
+                let peer = core.store.peer(id);
+                // Heterogeneous bandwidth: slow peers can serve only a
+                // bounded number of block-transfers per round.
+                self.budgets[slot] = if peer.slow {
+                    core.config.slow_upload_budget
+                } else {
+                    u32::MAX
+                };
+                self.taken[slot].clear();
+                let counts = &mut self.rep[slot];
+                counts.clear();
+                counts.resize(pieces, 0);
+                for &n in &peer.neighbors {
+                    if let Some(other) = core.store.get(n) {
+                        other.have.accumulate_into(counts);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl RoundStage for ExchangePieces {
+    fn name(&self) -> &'static str {
+        "exchange"
+    }
+
+    fn timer_name(&self) -> &'static str {
+        "round.exchange"
+    }
+
+    fn run(&mut self, core: &mut SwarmCore) {
+        let strategy = core.config.piece_selection;
+        core.collect_connection_pairs(&mut self.pairs);
+        self.prepare(core);
+        for i in 0..self.pairs.len() {
+            let (a, b) = self.pairs[i];
+            let (slot_a, slot_b) = (a.slot() as usize, b.slot() as usize);
+            // Strict tit-for-tat needs upload budget on both sides.
+            if self.budgets[slot_a] == 0 || self.budgets[slot_b] == 0 {
+                continue;
+            }
+            // Re-check tradability: earlier exchanges this round may have
+            // exhausted the novelty.
+            if !core
+                .store
+                .peer(a)
+                .have
+                .can_trade_with(&core.store.peer(b).have)
+            {
+                core.store.peer_mut(a).connections.retain(|&p| p != b);
+                core.store.peer_mut(b).connections.retain(|&p| p != a);
+                continue;
+            }
+            let wanted_a = {
+                let peer_a = core.store.peer(a);
+                let have_b = &core.store.peer(b).have;
+                match continue_piece(peer_a, have_b) {
+                    Some(piece) => Some(piece),
+                    None => select_piece(
+                        strategy,
+                        &peer_a.have,
+                        have_b,
+                        &self.rep[slot_a],
+                        &self.taken[slot_a],
+                        &mut core.rng,
+                    ),
+                }
+            };
+            let wanted_b = {
+                let peer_b = core.store.peer(b);
+                let have_a = &core.store.peer(a).have;
+                match continue_piece(peer_b, have_a) {
+                    Some(piece) => Some(piece),
+                    None => select_piece(
+                        strategy,
+                        &peer_b.have,
+                        have_a,
+                        &self.rep[slot_b],
+                        &self.taken[slot_b],
+                        &mut core.rng,
+                    ),
+                }
+            };
+            // Strict tit-for-tat: the swap happens only if both directions
+            // carry a block.
+            let (Some(piece_a), Some(piece_b)) = (wanted_a, wanted_b) else {
+                continue;
+            };
+            if core.receive_block(a, piece_a) {
+                core.store.peer_mut(a).record_credit(b);
+            }
+            if core.receive_block(b, piece_b) {
+                core.store.peer_mut(b).record_credit(a);
+            }
+            // One block moved in each direction.
+            core.obs.pieces_exchanged.add(2);
+            self.taken[slot_a].push(piece_a);
+            self.taken[slot_b].push(piece_b);
+            self.budgets[slot_a] = self.budgets[slot_a].saturating_sub(1);
+            self.budgets[slot_b] = self.budgets[slot_b].saturating_sub(1);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Neighbor-set maintenance: symmetric top-up from the tracker.
+
+use crate::engine::SwarmCore;
+use crate::peer::PeerId;
+use crate::stages::RoundStage;
+
+/// Tops every under-populated neighbor set back up to `s` with a fresh
+/// tracker handout (paper §2.1: periodic tracker contact).
+///
+/// The handout excludes the peer's current neighbors by borrowing the
+/// neighbor list in place — the old engine cloned it per peer per round.
+#[derive(Debug, Default)]
+pub struct MaintainNeighbors {
+    handout: Vec<PeerId>,
+}
+
+impl RoundStage for MaintainNeighbors {
+    fn name(&self) -> &'static str {
+        "maintain"
+    }
+
+    fn timer_name(&self) -> &'static str {
+        "round.maintain"
+    }
+
+    fn run(&mut self, core: &mut SwarmCore) {
+        let s = core.config.neighbor_set_size as usize;
+        // No stage mutates the tracker's alive list mid-round, so
+        // indexing it afresh each iteration observes a stable order.
+        for i in 0..core.tracker.len() {
+            let id = core.tracker.peers()[i];
+            let need = s.saturating_sub(core.store.peer(id).neighbors.len());
+            if need == 0 {
+                continue;
+            }
+            core.tracker.handout_into(
+                &mut self.handout,
+                id,
+                &core.store.peer(id).neighbors,
+                need,
+                &mut core.rng,
+            );
+            for &other in &self.handout {
+                core.add_symmetric_neighbor(id, other, false);
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Connection pruning.
+
+use rand::Rng;
+
+use crate::engine::SwarmCore;
+use crate::peer::PeerId;
+use crate::stages::RoundStage;
+
+/// Drops connections that lost mutual interest or fail the per-round
+/// `p_r` survival roll (the paper's re-encounter probability).
+#[derive(Debug, Default)]
+pub struct PruneConnections {
+    pairs: Vec<(PeerId, PeerId)>,
+}
+
+impl RoundStage for PruneConnections {
+    fn name(&self) -> &'static str {
+        "prune"
+    }
+
+    fn timer_name(&self) -> &'static str {
+        "round.prune"
+    }
+
+    fn run(&mut self, core: &mut SwarmCore) {
+        core.collect_connection_pairs(&mut self.pairs);
+        for &(a, b) in &self.pairs {
+            let tradable = core
+                .store
+                .peer(a)
+                .have
+                .can_trade_with(&core.store.peer(b).have);
+            let survives = core.rng.gen::<f64>() < core.config.p_reencounter;
+            if !tradable || !survives {
+                core.store.peer_mut(a).connections.retain(|&p| p != b);
+                core.store.peer_mut(b).connections.retain(|&p| p != a);
+            }
+        }
+    }
+}

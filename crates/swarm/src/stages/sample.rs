@@ -1,0 +1,64 @@
+//! Per-round metrics sampling.
+
+use crate::engine::SwarmCore;
+use crate::stages::RoundStage;
+
+/// Samples population, replication entropy (straight off the
+/// replication index — the old engine rescanned every bitfield here),
+/// potential-set sizes bucketed by pieces held, slot utilization, and
+/// the per-observer trajectories.
+#[derive(Debug, Default)]
+pub struct SampleMetrics;
+
+impl RoundStage for SampleMetrics {
+    fn name(&self) -> &'static str {
+        "sample"
+    }
+
+    fn timer_name(&self) -> &'static str {
+        "round.sample"
+    }
+
+    fn run(&mut self, core: &mut SwarmCore) {
+        let round = core.round;
+        let population = core.tracker.len();
+        core.metrics.population.push((round, population as u64));
+        // Replication entropy over the leecher population.
+        core.metrics.entropy.push((round, core.replication.entropy()));
+        // Potential-set sizes and utilization are steady-state
+        // measurements, so they respect the warm-up.
+        let in_steady_state = round >= core.config.metrics_warmup_rounds;
+        let k = f64::from(core.config.max_connections);
+        let obs_lo = u64::from(core.config.observe_from);
+        let obs_hi = obs_lo + u64::from(core.config.observers);
+        let mut conn_total = 0usize;
+        for i in 0..population {
+            let id = core.tracker.peers()[i];
+            let potential = core.potential_size(id);
+            let held = core.store.peer(id).have.count() as usize;
+            if in_steady_state {
+                core.metrics.potential_sum_by_pieces[held] += f64::from(potential);
+                core.metrics.potential_count_by_pieces[held] += 1;
+            }
+            conn_total += core.store.peer(id).connections.len();
+            if (obs_lo..obs_hi).contains(&id.seq()) {
+                let connections = core.store.peer(id).connections.len() as u32;
+                let pieces = core.store.peer(id).have.count();
+                let log = core
+                    .metrics
+                    .observers
+                    .iter_mut()
+                    .find(|l| l.id == id)
+                    .expect("observer log pre-created at spawn");
+                log.rounds.push(round);
+                log.pieces.push(pieces);
+                log.potential.push(potential);
+                log.connections.push(connections);
+            }
+        }
+        if in_steady_state && population > 0 {
+            core.metrics.utilization_sum += conn_total as f64 / (population as f64 * k);
+            core.metrics.utilization_samples += 1;
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Peer-set shaking (§7.1).
+
+use crate::engine::SwarmCore;
+use crate::stages::RoundStage;
+
+/// Peers crossing the `shake_at` completion threshold drop their whole
+/// neighbor set exactly once; the maintenance stage refills them from
+/// the tracker next round. A no-op when `shake_at` is unset (the
+/// default pipeline omits the stage entirely in that case).
+#[derive(Debug, Default)]
+pub struct ShakePeers;
+
+impl RoundStage for ShakePeers {
+    fn name(&self) -> &'static str {
+        "shake"
+    }
+
+    fn timer_name(&self) -> &'static str {
+        "round.shake"
+    }
+
+    fn run(&mut self, core: &mut SwarmCore) {
+        let Some(threshold) = core.config.shake_at else {
+            return;
+        };
+        for i in 0..core.tracker.len() {
+            let id = core.tracker.peers()[i];
+            let peer = core.store.peer(id);
+            if peer.shaken || peer.completion() < threshold {
+                continue;
+            }
+            // Take the neighbor list instead of cloning it; shake()
+            // clears the (now empty) list anyway.
+            let ex_neighbors = std::mem::take(&mut core.store.peer_mut(id).neighbors);
+            core.store.peer_mut(id).shake();
+            core.obs.shakes.incr();
+            for &other in &ex_neighbors {
+                if let Some(o) = core.store.get_mut(other) {
+                    o.remove_neighbor(id);
+                }
+            }
+        }
+    }
+}

@@ -72,19 +72,36 @@ impl Tracker {
         count: usize,
         rng: &mut R,
     ) -> Vec<PeerId> {
-        let mut candidates: Vec<PeerId> = self
-            .alive
-            .iter()
-            .copied()
-            .filter(|&p| p != requester && !exclude.contains(&p))
-            .collect();
-        let take = count.min(candidates.len());
-        for i in 0..take {
-            let j = rng.gen_range(i..candidates.len());
-            candidates.swap(i, j);
-        }
-        candidates.truncate(take);
+        let mut candidates = Vec::new();
+        self.handout_into(&mut candidates, requester, exclude, count, rng);
         candidates
+    }
+
+    /// [`handout`](Self::handout) into a caller-supplied buffer, for hot
+    /// loops that hand out every round: the buffer is cleared and left
+    /// holding the sampled peers, and its capacity is reused across
+    /// calls. RNG consumption is identical to `handout`.
+    pub fn handout_into<R: Rng + ?Sized>(
+        &self,
+        out: &mut Vec<PeerId>,
+        requester: PeerId,
+        exclude: &[PeerId],
+        count: usize,
+        rng: &mut R,
+    ) {
+        out.clear();
+        out.extend(
+            self.alive
+                .iter()
+                .copied()
+                .filter(|&p| p != requester && !exclude.contains(&p)),
+        );
+        let take = count.min(out.len());
+        for i in 0..take {
+            let j = rng.gen_range(i..out.len());
+            out.swap(i, j);
+        }
+        out.truncate(take);
     }
 }
 
@@ -98,44 +115,44 @@ mod tests {
     fn register_and_deregister() {
         let mut t = Tracker::new();
         assert!(t.is_empty());
-        t.register(PeerId(1));
-        t.register(PeerId(2));
+        t.register(PeerId::synthetic(1));
+        t.register(PeerId::synthetic(2));
         assert_eq!(t.len(), 2);
-        assert!(t.deregister(PeerId(1)));
-        assert!(!t.deregister(PeerId(1)));
-        assert_eq!(t.peers(), &[PeerId(2)]);
+        assert!(t.deregister(PeerId::synthetic(1)));
+        assert!(!t.deregister(PeerId::synthetic(1)));
+        assert_eq!(t.peers(), &[PeerId::synthetic(2)]);
     }
 
     #[test]
     #[should_panic(expected = "registered twice")]
     fn duplicate_registration_panics() {
         let mut t = Tracker::new();
-        t.register(PeerId(1));
-        t.register(PeerId(1));
+        t.register(PeerId::synthetic(1));
+        t.register(PeerId::synthetic(1));
     }
 
     #[test]
     fn handout_excludes_requester_and_existing() {
         let mut t = Tracker::new();
         for i in 0..10 {
-            t.register(PeerId(i));
+            t.register(PeerId::synthetic(i));
         }
         let mut rng = StdRng::seed_from_u64(1);
-        let got = t.handout(PeerId(0), &[PeerId(1), PeerId(2)], 20, &mut rng);
+        let got = t.handout(PeerId::synthetic(0), &[PeerId::synthetic(1), PeerId::synthetic(2)], 20, &mut rng);
         assert_eq!(got.len(), 7, "10 minus requester minus 2 excluded");
-        assert!(!got.contains(&PeerId(0)));
-        assert!(!got.contains(&PeerId(1)));
-        assert!(!got.contains(&PeerId(2)));
+        assert!(!got.contains(&PeerId::synthetic(0)));
+        assert!(!got.contains(&PeerId::synthetic(1)));
+        assert!(!got.contains(&PeerId::synthetic(2)));
     }
 
     #[test]
     fn handout_is_without_replacement() {
         let mut t = Tracker::new();
         for i in 0..50 {
-            t.register(PeerId(i));
+            t.register(PeerId::synthetic(i));
         }
         let mut rng = StdRng::seed_from_u64(2);
-        let got = t.handout(PeerId(0), &[], 49, &mut rng);
+        let got = t.handout(PeerId::synthetic(0), &[], 49, &mut rng);
         let mut sorted = got.clone();
         sorted.sort();
         sorted.dedup();
@@ -146,11 +163,11 @@ mod tests {
     fn handout_respects_count() {
         let mut t = Tracker::new();
         for i in 0..30 {
-            t.register(PeerId(i));
+            t.register(PeerId::synthetic(i));
         }
         let mut rng = StdRng::seed_from_u64(3);
-        assert_eq!(t.handout(PeerId(0), &[], 5, &mut rng).len(), 5);
-        assert_eq!(t.handout(PeerId(0), &[], 0, &mut rng).len(), 0);
+        assert_eq!(t.handout(PeerId::synthetic(0), &[], 5, &mut rng).len(), 5);
+        assert_eq!(t.handout(PeerId::synthetic(0), &[], 0, &mut rng).len(), 0);
     }
 
     #[test]
@@ -158,12 +175,12 @@ mod tests {
         // Every candidate is reachable (uniformity smoke test).
         let mut t = Tracker::new();
         for i in 0..6 {
-            t.register(PeerId(i));
+            t.register(PeerId::synthetic(i));
         }
         let mut rng = StdRng::seed_from_u64(4);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..200 {
-            for p in t.handout(PeerId(0), &[], 1, &mut rng) {
+            for p in t.handout(PeerId::synthetic(0), &[], 1, &mut rng) {
                 seen.insert(p);
             }
         }

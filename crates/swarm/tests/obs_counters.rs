@@ -61,6 +61,7 @@ fn phase_timers_record_every_round() {
         "round.prune",
         "round.establish",
         "round.exchange",
+        "round.depart",
         "round.sample",
     ] {
         let snapshot = registry.timer(phase).snapshot();
@@ -70,6 +71,22 @@ fn phase_timers_record_every_round() {
         );
         assert!(snapshot.p50_ns.is_some(), "{phase} has samples");
     }
+    // The shake stage is config-gated: without `shake_at`, the default
+    // pipeline omits it entirely and its timer never records.
+    assert_eq!(registry.timer("round.shake").snapshot().count, 0);
+}
+
+#[test]
+fn shake_timer_records_only_when_configured() {
+    let registry = Registry::new();
+    let mut shaking = config(7);
+    shaking.shake_at = Some(0.5);
+    let metrics = Swarm::with_registry(shaking, registry.clone()).run();
+    assert_eq!(
+        registry.timer("round.shake").snapshot().count,
+        metrics.rounds_run,
+        "round.shake must record once per round when shake_at is set"
+    );
 }
 
 #[test]

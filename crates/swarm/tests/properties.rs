@@ -262,3 +262,82 @@ fn bootstrap_relief_does_not_break_invariants() {
     }
     assert!(swarm.metrics().departures > 0);
 }
+
+/// One event in a synthetic replication-index history. Indices are taken
+/// modulo the live population / piece count so every generated sequence
+/// is applicable.
+#[derive(Debug, Clone)]
+enum IndexEvent {
+    /// A peer joins holding a pseudo-random subset of pieces.
+    Arrival { held: Vec<bool> },
+    /// An alive peer acquires one (possibly already-held) piece.
+    Acquire { peer: usize, piece: usize },
+    /// An alive peer departs with everything it holds.
+    Depart { peer: usize },
+}
+
+fn index_event(pieces: usize) -> impl Strategy<Value = IndexEvent> {
+    (
+        0u32..3,
+        prop::collection::vec(prop::bool::ANY, pieces),
+        any::<usize>(),
+        any::<usize>(),
+    )
+        .prop_map(|(tag, held, peer, piece)| match tag {
+            0 => IndexEvent::Arrival { held },
+            1 => IndexEvent::Acquire { peer, piece },
+            _ => IndexEvent::Depart { peer },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The incrementally maintained index must equal a from-scratch
+    /// rebuild from the surviving bitfields after ANY interleaving of
+    /// arrivals, acquisitions, and departures — `replication_counts` is
+    /// kept around precisely as this oracle.
+    #[test]
+    fn replication_index_matches_rebuild_under_arbitrary_histories(
+        pieces in 1usize..=80,
+        events in prop::collection::vec(index_event(80), 0..120),
+    ) {
+        use bt_swarm::ReplicationIndex;
+
+        let mut index = ReplicationIndex::new(pieces as u32);
+        let mut alive: Vec<Bitfield> = Vec::new();
+        for event in events {
+            match event {
+                IndexEvent::Arrival { held } => {
+                    let mut have = Bitfield::new(pieces as u32);
+                    for (p, &h) in held.iter().take(pieces).enumerate() {
+                        if h {
+                            have.set(p as u32);
+                        }
+                    }
+                    index.on_arrival(&have);
+                    alive.push(have);
+                }
+                IndexEvent::Acquire { peer, piece } => {
+                    if alive.is_empty() {
+                        continue;
+                    }
+                    let peer = peer % alive.len();
+                    let piece = (piece % pieces) as u32;
+                    if alive[peer].set(piece) {
+                        index.on_acquire(piece);
+                    }
+                }
+                IndexEvent::Depart { peer } => {
+                    if alive.is_empty() {
+                        continue;
+                    }
+                    let gone = alive.swap_remove(peer % alive.len());
+                    index.on_departure(&gone);
+                }
+            }
+            let oracle = replication_counts(pieces as u32, alive.iter());
+            prop_assert_eq!(index.counts(), &oracle[..]);
+        }
+    }
+}

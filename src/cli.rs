@@ -162,6 +162,8 @@ pub struct SwarmArgs {
     pub stall_rounds: Option<u64>,
     /// Flight-recorder ring capacity.
     pub flight_capacity: usize,
+    /// Round stages removed from the default pipeline (ablation runs).
+    pub disabled_stages: Vec<String>,
 }
 
 impl Default for SwarmArgs {
@@ -184,6 +186,7 @@ impl Default for SwarmArgs {
             entropy_floor: None,
             stall_rounds: None,
             flight_capacity: 64,
+            disabled_stages: Vec::new(),
         }
     }
 }
@@ -297,7 +300,7 @@ USAGE:
                 [--observers N] [--telemetry FILE]
                 [--telemetry-format jsonl|csv] [--telemetry-stride N]
                 [--flight FILE] [--entropy-floor F] [--stall-rounds N]
-                [--flight-capacity N]
+                [--flight-capacity N] [--disable-stage NAME[,NAME..]]
   btlab model   [--pieces N] [--k N] [--s N] [--alpha F] [--gamma F]
                 [--replications N] [--seed N]
   btlab report  --telemetry FILE [--manifest FILE] [--alpha F] [--gamma F]
@@ -318,6 +321,13 @@ TELEMETRY (btlab swarm):
   --stall-rounds) it dumps the last --flight-capacity per-round events as
   JSON, exactly once per run. `btlab report` summarizes a JSONL stream
   and compares detected phase boundaries against the analytical model.
+
+STAGE ABLATION (btlab swarm):
+  --disable-stage removes stages from the round pipeline for ablation
+  experiments, e.g. --disable-stage shake,depart. Known stages: maintain,
+  bootstrap, prune, establish, exchange, depart, shake, sample. Disabling
+  sample leaves metrics time series empty; disabling depart keeps
+  finished peers in the swarm as de-facto seeds.
 
 GLOBAL OPTIONS (any position):
   --log human|json|quiet   diagnostics format on stderr (default: human,
@@ -372,6 +382,18 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "entropy-floor" => a.entropy_floor = Some(num(key, value)?),
                     "stall-rounds" => a.stall_rounds = Some(num(key, value)?),
                     "flight-capacity" => a.flight_capacity = num(key, value)?,
+                    "disable-stage" => {
+                        for name in required(key, value)?.split(',') {
+                            let name = name.trim();
+                            if !bt_swarm::stages::STAGE_NAMES.contains(&name) {
+                                return Err(format!(
+                                    "--disable-stage: unknown stage `{name}`; known stages: {}",
+                                    bt_swarm::stages::STAGE_NAMES.join(", ")
+                                ));
+                            }
+                            a.disabled_stages.push(name.to_string());
+                        }
+                    }
                     _ => return Err(format!("unknown flag --{key} for swarm")),
                 }
             }
@@ -546,7 +568,17 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), Strin
             }
             let config = builder.build().map_err(|e| e.to_string())?;
             tracing::info!(target: "btlab", pieces = a.pieces, rounds = a.rounds, seed = a.seed; "running swarm simulation");
-            let mut swarm = bt_swarm::Swarm::new(config);
+            let mut swarm = if a.disabled_stages.is_empty() {
+                bt_swarm::Swarm::new(config)
+            } else {
+                let stages: Vec<Box<dyn bt_swarm::RoundStage>> =
+                    bt_swarm::stages::default_pipeline(&config)
+                        .into_iter()
+                        .filter(|s| !a.disabled_stages.iter().any(|d| d == s.name()))
+                        .collect();
+                tracing::info!(target: "btlab", disabled = a.disabled_stages.join(",").as_str(); "stage ablation active");
+                bt_swarm::Swarm::with_pipeline(config, bt_obs::Registry::global(), stages)
+            };
             if a.telemetry.is_some() || a.flight.is_some() {
                 let format: bt_swarm::TelemetryFormat = a.telemetry_format.parse()?;
                 let flight = a.flight.as_ref().map(|path| bt_swarm::FlightOptions {
@@ -920,6 +952,36 @@ mod tests {
         assert_eq!(a.k, SwarmArgs::default().k);
         assert_eq!(a.shake, Some(0.9));
         assert!(a.json);
+    }
+
+    #[test]
+    fn disable_stage_parses_and_validates() {
+        let cmd = parse(&args(&["swarm", "--disable-stage", "shake,depart"])).unwrap();
+        let Command::Swarm(a) = cmd else {
+            panic!("expected swarm");
+        };
+        assert_eq!(a.disabled_stages, vec!["shake", "depart"]);
+        let err = parse(&args(&["swarm", "--disable-stage", "teleport"])).unwrap_err();
+        assert!(err.contains("unknown stage `teleport`"), "{err}");
+        assert!(err.contains("maintain"), "error lists known stages: {err}");
+    }
+
+    #[test]
+    fn disable_stage_runs_an_ablated_pipeline() {
+        // Without departures, completed peers linger: population equals
+        // arrivals and no completions are recorded.
+        let cmd = parse(&args(&[
+            "swarm", "--pieces", "8", "--k", "3", "--s", "6", "--lambda", "0.0",
+            "--initial", "10", "--rounds", "60", "--seed", "5", "--json",
+            "--disable-stage", "depart",
+        ]))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(cmd, &mut buf).unwrap();
+        let metrics: serde_json::Value =
+            serde_json::from_slice(&buf).expect("json metrics");
+        assert_eq!(metrics.get("departures").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(metrics.get("rounds_run").and_then(|v| v.as_u64()), Some(60));
     }
 
     #[test]
