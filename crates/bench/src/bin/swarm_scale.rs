@@ -11,7 +11,10 @@
 //!
 //! * `--smoke` — CI-sized run (500 peers, 30 rounds) that exists to
 //!   prove the binary and the manifest path work, not to measure;
-//! * `--peers N` / `--rounds N` / `--seed N` — override the defaults.
+//! * `--peers N` / `--rounds N` / `--seed N` — override the defaults;
+//! * `--profile FILE` — attach the deterministic cost-attribution
+//!   profiler and write its artifacts (summary, folded stacks,
+//!   per-round series) next to FILE.
 //!
 //! The manifest is written to `$BT_MANIFEST_DIR/BENCH_swarm.json`, or
 //! `results/BENCH_swarm.json` when the variable is unset.
@@ -27,6 +30,7 @@ struct Options {
     peers: u32,
     rounds: u64,
     seed: u64,
+    profile: Option<PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -34,6 +38,7 @@ fn parse_args() -> Options {
         peers: 5_000,
         rounds: 60,
         seed: 7,
+        profile: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -50,7 +55,15 @@ fn parse_args() -> Options {
             "--peers" => options.peers = numeric("--peers") as u32,
             "--rounds" => options.rounds = numeric("--rounds"),
             "--seed" => options.seed = numeric("--seed"),
-            other => panic!("unknown flag {other}; try --smoke / --peers / --rounds / --seed"),
+            "--profile" => {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--profile requires a path argument"));
+                options.profile = Some(PathBuf::from(path));
+            }
+            other => {
+                panic!("unknown flag {other}; try --smoke / --peers / --rounds / --seed / --profile")
+            }
         }
     }
     options
@@ -71,12 +84,24 @@ fn main() {
     let mut manifest = RunManifest::new("swarm_scale", config_hash, options.seed);
 
     let mut swarm = Swarm::with_registry(config, registry.clone());
+    manifest.pipeline = swarm.stage_names().iter().map(|s| s.to_string()).collect();
+    if options.profile.is_some() {
+        swarm.attach_profiler(bt_obs::ProfileOptions {
+            seed: options.seed,
+            ..bt_obs::ProfileOptions::default()
+        });
+    }
     let started = Instant::now();
     for _ in 0..options.rounds {
         swarm.step_round();
     }
     let elapsed = started.elapsed();
     manifest.finish(&registry, elapsed);
+    if let Some(path) = &options.profile {
+        let profile = swarm.take_profile();
+        profile.write_artifacts(path).expect("write profile");
+        println!("profile: {}", path.display());
+    }
 
     let rounds_per_sec = options.rounds as f64 / elapsed.as_secs_f64().max(1e-9);
     let out_dir = std::env::var_os("BT_MANIFEST_DIR")

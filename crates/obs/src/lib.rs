@@ -19,6 +19,12 @@
 //!    backed per-signal sample stores with a configurable sampling
 //!    stride and bounded memory, exportable as JSON lines or CSV — the
 //!    storage layer of the swarm telemetry pipeline.
+//! 5. **Profiling** ([`ProfileSink`], [`ProfileReport`]): a
+//!    zero-cost-when-disabled cost-attribution profiler the swarm round
+//!    loop threads through its stages — per-stage wall time and work
+//!    counters, per-peer attribution, folded-stacks and per-round series
+//!    artifacts. Makes no RNG calls, so attaching it never perturbs a
+//!    deterministic run.
 //!
 //! # Span hierarchy
 //!
@@ -34,12 +40,17 @@
 
 mod filter;
 mod manifest;
+mod profiling;
 mod registry;
 mod subscriber;
 mod timeseries;
 
 pub use filter::EnvFilter;
 pub use manifest::{fnv1a_hex, git_describe, RunManifest};
+pub use profiling::{
+    LatencySummary, PeerWork, ProfileOptions, ProfileReport, ProfileSink, StageProfile,
+    PROFILE_SCHEMA_VERSION,
+};
 pub use registry::{Counter, Histogram, Registry, Timer, TimerGuard, TimerSnapshot};
 pub use subscriber::{init, init_from_env, LogMode};
 pub use timeseries::{RingSeries, SeriesError, SeriesPoint, SeriesStore};

@@ -31,6 +31,14 @@ pub struct RunManifest {
     /// Timer percentile snapshots per named phase.
     #[serde(default)]
     pub phase_timers: Vec<(String, TimerSnapshot)>,
+    /// Active round-pipeline stage names, in execution order (empty for
+    /// commands without a stage pipeline, and in manifests written
+    /// before the field existed).
+    #[serde(default)]
+    pub pipeline: Vec<String>,
+    /// Stage names disabled by configuration for this run.
+    #[serde(default)]
+    pub disabled_stages: Vec<String>,
     /// Final counter totals, sorted by counter name.
     pub counters: Vec<(String, u64)>,
     /// Largest simultaneous peer population observed.
@@ -51,6 +59,8 @@ impl RunManifest {
             wall_clock_secs: 0.0,
             phase_secs: Vec::new(),
             phase_timers: Vec::new(),
+            pipeline: Vec::new(),
+            disabled_stages: Vec::new(),
             counters: Vec::new(),
             peak_population: 0,
         }
@@ -196,6 +206,39 @@ mod tests {
             serde_json::from_str(&serde_json::to_string(&trimmed).unwrap()).unwrap();
         assert!(back.phase_timers.is_empty());
         assert_eq!(back.counter("arrivals"), Some(10));
+    }
+
+    // Manifests written before the pipeline fields existed must still
+    // load, with both lists empty.
+    #[test]
+    fn manifest_tolerates_missing_pipeline_fields() {
+        let manifest = sample_manifest();
+        let text = manifest.to_json().unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let trimmed = match value {
+            serde_json::Value::Object(entries) => serde_json::Value::Object(
+                entries
+                    .into_iter()
+                    .filter(|(key, _)| key != "pipeline" && key != "disabled_stages")
+                    .collect(),
+            ),
+            other => other,
+        };
+        let back: RunManifest =
+            serde_json::from_str(&serde_json::to_string(&trimmed).unwrap()).unwrap();
+        assert!(back.pipeline.is_empty());
+        assert!(back.disabled_stages.is_empty());
+    }
+
+    #[test]
+    fn manifest_carries_pipeline_configuration() {
+        let mut manifest = sample_manifest();
+        manifest.pipeline = vec!["maintain".to_string(), "sample".to_string()];
+        manifest.disabled_stages = vec!["shake".to_string()];
+        let text = manifest.to_json().unwrap();
+        let back: RunManifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.pipeline, manifest.pipeline);
+        assert_eq!(back.disabled_stages, manifest.disabled_stages);
     }
 
     #[test]

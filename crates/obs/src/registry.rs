@@ -133,6 +133,7 @@ impl TimerCell {
             total_secs: self.total_ns.load(Ordering::Relaxed) as f64 / 1e9,
             count: histogram.count(),
             p50_ns: histogram.percentile(50.0),
+            p95_ns: histogram.percentile(95.0),
             p99_ns: histogram.percentile(99.0),
             max_ns: histogram.max(),
         }
@@ -194,6 +195,11 @@ pub struct TimerSnapshot {
     pub count: u64,
     /// Approximate median duration in nanoseconds, `None` when empty.
     pub p50_ns: Option<u64>,
+    /// Approximate 95th-percentile duration, `None` when empty.
+    /// Defaults to `None` when reading snapshots written before the
+    /// field existed.
+    #[serde(default)]
+    pub p95_ns: Option<u64>,
     /// Approximate 99th-percentile duration, `None` when empty.
     pub p99_ns: Option<u64>,
     /// Exact maximum recorded duration, `None` when empty.
@@ -432,11 +438,36 @@ mod tests {
             total_secs: 1.5,
             count: 3,
             p50_ns: Some(10),
+            p95_ns: Some(80),
             p99_ns: Some(90),
             max_ns: Some(95),
         };
         let text = serde_json::to_string(&snapshot).unwrap();
         let back: TimerSnapshot = serde_json::from_str(&text).unwrap();
         assert_eq!(back, snapshot);
+    }
+
+    // Snapshots serialized before `p95_ns` existed must still load.
+    #[test]
+    fn snapshot_tolerates_missing_p95() {
+        let text = r#"{"total_secs":1.5,"count":3,"p50_ns":10,"p99_ns":90,"max_ns":95}"#;
+        let back: TimerSnapshot = serde_json::from_str(text).unwrap();
+        assert_eq!(back.p95_ns, None);
+        assert_eq!(back.p99_ns, Some(90));
+    }
+
+    #[test]
+    fn snapshot_reports_all_three_quantiles() {
+        let registry = Registry::new();
+        let timer = registry.timer("quantiles");
+        for micros in 1..=100 {
+            timer.record(Duration::from_micros(micros));
+        }
+        let snapshot = timer.snapshot();
+        let p50 = snapshot.p50_ns.unwrap();
+        let p95 = snapshot.p95_ns.unwrap();
+        let p99 = snapshot.p99_ns.unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 <= snapshot.max_ns.unwrap());
     }
 }

@@ -68,6 +68,7 @@ pub struct SwarmCore {
     pub(crate) rng: StdRng,
     pub(crate) metrics: SwarmMetrics,
     pub(crate) obs: SwarmObs,
+    pub(crate) profile: bt_obs::ProfileSink,
 }
 
 impl SwarmCore {
@@ -122,6 +123,16 @@ impl SwarmCore {
     #[must_use]
     pub fn rng(&mut self) -> &mut StdRng {
         &mut self.rng
+    }
+
+    /// The cost-attribution profiling sink. Stages report work counters
+    /// ([`bt_obs::ProfileSink::add_work`]) and per-peer attribution
+    /// ([`bt_obs::ProfileSink::add_peer_work`]) here; when profiling is
+    /// disabled (the default) every call is an inlined no-op. The sink
+    /// makes no RNG calls, so reporting to it never perturbs the run.
+    #[must_use]
+    pub fn profile_mut(&mut self) -> &mut bt_obs::ProfileSink {
+        &mut self.profile
     }
 
     /// Grants `id` the given piece at the current round (bootstrap
@@ -445,6 +456,7 @@ impl Swarm {
             round: 0,
             rng,
             obs: SwarmObs::new(registry),
+            profile: bt_obs::ProfileSink::default(),
             config,
         };
         for _ in 0..core.config.initial_leechers {
@@ -548,9 +560,44 @@ impl Swarm {
         recorder
     }
 
+    /// Enables cost-attribution profiling for subsequent rounds (see
+    /// [`bt_obs::ProfileSink`]). The profiler makes no RNG calls and
+    /// never feeds back into stage decisions, so attaching it leaves a
+    /// same-seed run byte-identical — the property
+    /// `crates/swarm/tests/determinism.rs` locks in.
+    pub fn attach_profiler(&mut self, options: bt_obs::ProfileOptions) {
+        self.core.profile = bt_obs::ProfileSink::enabled(options);
+    }
+
+    /// Detaches and returns the profiling sink, leaving profiling
+    /// disabled — e.g. to write artifacts after driving rounds with
+    /// [`Swarm::step_round`]. The returned sink is disabled (and its
+    /// report `None`) when no profiler was attached.
+    pub fn take_profile(&mut self) -> bt_obs::ProfileSink {
+        std::mem::take(&mut self.core.profile)
+    }
+
     /// Runs the simulation to its stop condition and returns the metrics.
     #[must_use]
     pub fn run(mut self) -> SwarmMetrics {
+        self.drive();
+        self.core.metrics
+    }
+
+    /// Like [`Swarm::run`], but also returns the profiling sink so its
+    /// artifacts can be written. The sink is disabled (report `None`)
+    /// unless [`Swarm::attach_profiler`] was called first.
+    #[must_use]
+    pub fn run_profiled(mut self) -> (SwarmMetrics, bt_obs::ProfileSink) {
+        self.drive();
+        let SwarmCore {
+            metrics, profile, ..
+        } = self.core;
+        (metrics, profile)
+    }
+
+    /// Drives the DES event loop to the stop condition.
+    fn drive(&mut self) {
         let _span = tracing::info_span!(target: "bt_swarm", "swarm.run").entered();
         tracing::info!(
             target: "bt_swarm",
@@ -604,7 +651,6 @@ impl Swarm {
             final_population = self.core.metrics.final_population();
             "swarm run finished"
         );
-        self.core.metrics
     }
 
     /// Runs exactly one round without the DES driver (step-level control
@@ -634,10 +680,19 @@ impl Swarm {
     fn execute_round(&mut self) {
         let _span = tracing::debug_span!(target: "bt_swarm::round", "swarm.round").entered();
         self.core.obs.rounds.incr();
+        self.core.profile.begin_round(self.core.round);
         for entry in &mut self.pipeline {
-            let _g = entry.timer.start();
-            entry.stage.run(&mut self.core);
+            self.core.profile.begin_stage(entry.stage.name());
+            let probes_before = self.core.store.probe_count();
+            {
+                let _g = entry.timer.start();
+                entry.stage.run(&mut self.core);
+            }
+            let probes = self.core.store.probe_count().wrapping_sub(probes_before);
+            self.core.profile.add_work("store.slab_probes", probes);
+            self.core.profile.end_stage();
         }
+        self.core.profile.end_round();
         if self.telemetry.is_some() {
             self.record_telemetry();
         }

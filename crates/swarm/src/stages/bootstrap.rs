@@ -24,9 +24,11 @@ pub struct Bootstrap {
 
 impl Bootstrap {
     /// Empty peers acquire a first piece via the configured policy.
-    fn inject(&mut self, core: &mut SwarmCore) {
+    /// Returns the number of successful injections, for cost attribution.
+    fn inject(&mut self, core: &mut SwarmCore) -> u64 {
         let policy = core.config.bootstrap;
         let pieces = core.config.pieces;
+        let mut injected = 0u64;
         self.empty.clear();
         for &id in core.tracker.peers() {
             if core.store.peer(id).have.is_empty() {
@@ -34,7 +36,7 @@ impl Bootstrap {
             }
         }
         if self.empty.is_empty() {
-            return;
+            return 0;
         }
         match policy {
             BootstrapInjection::Off => {}
@@ -43,6 +45,7 @@ impl Bootstrap {
                     let p = core.rng.gen_range(0..pieces);
                     if core.acquire_piece(id, p) {
                         core.obs.bootstrap_injections.incr();
+                        injected += 1;
                     }
                 }
             }
@@ -61,19 +64,23 @@ impl Bootstrap {
                     let p = bt_markov::chain::sample_index(&self.weights, &mut core.rng) as u32;
                     if core.acquire_piece(id, p) {
                         core.obs.bootstrap_injections.incr();
+                        injected += 1;
                     }
                 }
             }
         }
+        injected
     }
 
     /// The origin seed uploads `seed_uploads_per_round` pieces to random
     /// leechers, swarm-rarest-first. This is what keeps every piece
-    /// obtainable in a live swarm.
-    fn seed_uploads(&mut self, core: &mut SwarmCore) {
+    /// obtainable in a live swarm. Returns the number of pieces
+    /// uploaded, for cost attribution.
+    fn seed_uploads(&mut self, core: &mut SwarmCore) -> u64 {
+        let mut uploaded = 0u64;
         let uploads = core.config.seed_uploads_per_round;
         if uploads == 0 || core.tracker.is_empty() {
-            return;
+            return 0;
         }
         for _ in 0..uploads {
             let alive = core.tracker.peers();
@@ -100,8 +107,11 @@ impl Bootstrap {
                     .filter(|&p| core.replication.counts()[p as usize] == min_rep),
             );
             let piece = self.rarest[core.rng.gen_range(0..self.rarest.len())];
-            core.acquire_piece(target, piece);
+            if core.acquire_piece(target, piece) {
+                uploaded += 1;
+            }
         }
+        uploaded
     }
 }
 
@@ -115,7 +125,9 @@ impl RoundStage for Bootstrap {
     }
 
     fn run(&mut self, core: &mut SwarmCore) {
-        self.inject(core);
-        self.seed_uploads(core);
+        let injected = self.inject(core);
+        core.profile.add_work("bootstrap.injections", injected);
+        let uploaded = self.seed_uploads(core);
+        core.profile.add_work("bootstrap.seed_uploads", uploaded);
     }
 }

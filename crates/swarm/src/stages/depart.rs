@@ -33,6 +33,8 @@ impl RoundStage for DepartCompleted {
                 self.done.push(id);
             }
         }
+        core.profile
+            .add_work("depart.departures", self.done.len() as u64);
         for &id in &self.done {
             let peer = core.depart(id);
             // Peers that joined during warm-up carry transient startup

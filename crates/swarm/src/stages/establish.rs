@@ -39,8 +39,12 @@ impl RoundStage for EstablishConnections {
             .config
             .new_connections_per_round
             .map_or(usize::MAX, |c| c as usize);
+        // Candidate-viability comparisons, for cost attribution: each
+        // collection pass scans the peer's full neighbor set.
+        let mut total_comparisons = 0u64;
         for &id in &self.order {
             let mut initiated = 0usize;
+            let mut comparisons = 0u64;
             loop {
                 if initiated >= attempt_cap || core.store.peer(id).connections.len() >= k {
                     break;
@@ -52,6 +56,7 @@ impl RoundStage for EstablishConnections {
                 {
                     let store = &core.store;
                     let me = store.peer(id);
+                    comparisons += me.neighbors.len() as u64;
                     for &other in &me.neighbors {
                         let viable = store.get(other).is_some_and(|o| {
                             !me.is_connected(other)
@@ -89,6 +94,12 @@ impl RoundStage for EstablishConnections {
                     break;
                 }
             }
+            if comparisons > 0 {
+                core.profile.add_peer_work(id.seq(), comparisons);
+            }
+            total_comparisons += comparisons;
         }
+        core.profile
+            .add_work("establish.candidate_comparisons", total_comparisons);
     }
 }

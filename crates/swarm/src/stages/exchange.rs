@@ -47,8 +47,13 @@ impl ExchangePieces {
     /// this round. Views are computed from pre-exchange bitfields: the
     /// paper's peers select against the replication state advertised at
     /// the start of the round, not against in-flight deliveries.
-    fn prepare(&mut self, core: &SwarmCore) {
+    ///
+    /// Returns the number of bitfield words scanned while accumulating
+    /// the neighbor-local replication views, for cost attribution.
+    fn prepare(&mut self, core: &SwarmCore) -> u64 {
         let pieces = core.config.pieces as usize;
+        let words_per_field = (pieces as u64).div_ceil(64);
+        let mut words_scanned = 0u64;
         let round = core.round;
         let capacity = core.store.capacity();
         if self.stamp.len() < capacity {
@@ -79,10 +84,12 @@ impl ExchangePieces {
                 for &n in &peer.neighbors {
                     if let Some(other) = core.store.get(n) {
                         other.have.accumulate_into(counts);
+                        words_scanned += words_per_field;
                     }
                 }
             }
         }
+        words_scanned
     }
 }
 
@@ -98,7 +105,10 @@ impl RoundStage for ExchangePieces {
     fn run(&mut self, core: &mut SwarmCore) {
         let strategy = core.config.piece_selection;
         core.collect_connection_pairs(&mut self.pairs);
-        self.prepare(core);
+        let words_scanned = self.prepare(core);
+        core.profile
+            .add_work("exchange.bitfield_words", words_scanned);
+        let mut transfers = 0u64;
         for i in 0..self.pairs.len() {
             let (a, b) = self.pairs[i];
             let (slot_a, slot_b) = (a.slot() as usize, b.slot() as usize);
@@ -161,10 +171,14 @@ impl RoundStage for ExchangePieces {
             }
             // One block moved in each direction.
             core.obs.pieces_exchanged.add(2);
+            transfers += 2;
+            core.profile.add_peer_work(a.seq(), 1);
+            core.profile.add_peer_work(b.seq(), 1);
             self.taken[slot_a].push(piece_a);
             self.taken[slot_b].push(piece_b);
             self.budgets[slot_a] = self.budgets[slot_a].saturating_sub(1);
             self.budgets[slot_b] = self.budgets[slot_b].saturating_sub(1);
         }
+        core.profile.add_work("exchange.piece_transfers", transfers);
     }
 }

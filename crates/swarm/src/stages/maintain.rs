@@ -25,6 +25,7 @@ impl RoundStage for MaintainNeighbors {
 
     fn run(&mut self, core: &mut SwarmCore) {
         let s = core.config.neighbor_set_size as usize;
+        let mut handed = 0u64;
         // No stage mutates the tracker's alive list mid-round, so
         // indexing it afresh each iteration observes a stable order.
         for i in 0..core.tracker.len() {
@@ -40,9 +41,15 @@ impl RoundStage for MaintainNeighbors {
                 need,
                 &mut core.rng,
             );
+            let entries = self.handout.len() as u64;
+            if entries > 0 {
+                core.profile.add_peer_work(id.seq(), entries);
+            }
+            handed += entries;
             for &other in &self.handout {
                 core.add_symmetric_neighbor(id, other, false);
             }
         }
+        core.profile.add_work("maintain.handout_entries", handed);
     }
 }

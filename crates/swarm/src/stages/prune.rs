@@ -24,6 +24,8 @@ impl RoundStage for PruneConnections {
 
     fn run(&mut self, core: &mut SwarmCore) {
         core.collect_connection_pairs(&mut self.pairs);
+        core.profile
+            .add_work("prune.pairs_checked", self.pairs.len() as u64);
         for &(a, b) in &self.pairs {
             let tradable = core
                 .store

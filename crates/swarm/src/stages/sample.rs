@@ -22,6 +22,8 @@ impl RoundStage for SampleMetrics {
     fn run(&mut self, core: &mut SwarmCore) {
         let round = core.round;
         let population = core.tracker.len();
+        core.profile
+            .add_work("sample.peers_sampled", population as u64);
         core.metrics.population.push((round, population as u64));
         // Replication entropy over the leecher population.
         core.metrics.entropy.push((round, core.replication.entropy()));

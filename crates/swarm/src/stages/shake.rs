@@ -23,6 +23,7 @@ impl RoundStage for ShakePeers {
         let Some(threshold) = core.config.shake_at else {
             return;
         };
+        let mut shaken = 0u64;
         for i in 0..core.tracker.len() {
             let id = core.tracker.peers()[i];
             let peer = core.store.peer(id);
@@ -34,11 +35,13 @@ impl RoundStage for ShakePeers {
             let ex_neighbors = std::mem::take(&mut core.store.peer_mut(id).neighbors);
             core.store.peer_mut(id).shake();
             core.obs.shakes.incr();
+            shaken += 1;
             for &other in &ex_neighbors {
                 if let Some(o) = core.store.get_mut(other) {
                     o.remove_neighbor(id);
                 }
             }
         }
+        core.profile.add_work("shake.peers_shaken", shaken);
     }
 }

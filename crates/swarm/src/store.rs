@@ -131,6 +131,11 @@ pub struct PeerStore {
     free: Vec<u32>,
     next_seq: u64,
     len: usize,
+    /// Lifetime count of slab lookups ([`get`](Self::get) /
+    /// [`get_mut`](Self::get_mut)), for cost-attribution profiling. A
+    /// `Cell` so read paths stay `&self`; wraps on overflow — consumers
+    /// diff consecutive readings, so only deltas are meaningful.
+    probes: std::cell::Cell<u64>,
 }
 
 impl PeerStore {
@@ -190,6 +195,7 @@ impl PeerStore {
     /// synthetic ids.
     #[must_use]
     pub fn get(&self, id: PeerId) -> Option<&Peer> {
+        self.probes.set(self.probes.get().wrapping_add(1));
         let slot = self.slots.get(id.slot as usize)?;
         if slot.generation != id.generation {
             return None;
@@ -200,6 +206,7 @@ impl PeerStore {
     /// Mutable variant of [`get`](Self::get).
     #[must_use]
     pub fn get_mut(&mut self, id: PeerId) -> Option<&mut Peer> {
+        self.probes.set(self.probes.get().wrapping_add(1));
         let slot = self.slots.get_mut(id.slot as usize)?;
         if slot.generation != id.generation {
             return None;
@@ -248,6 +255,15 @@ impl PeerStore {
         self.free.push(id.slot);
         self.len -= 1;
         Some(peer)
+    }
+
+    /// Lifetime number of slab lookups performed through
+    /// [`get`](Self::get) / [`get_mut`](Self::get_mut) (and everything
+    /// built on them). Wraps on overflow; diff consecutive readings to
+    /// attribute probes to a code region.
+    #[must_use]
+    pub fn probe_count(&self) -> u64 {
+        self.probes.get()
     }
 
     /// Iterates over live peers in slot order.
@@ -338,6 +354,16 @@ mod tests {
         let back: PeerId = serde_json::from_str(&json).expect("deserializes");
         assert_eq!(back, id);
         assert_eq!(back.to_string(), "peer#42");
+    }
+
+    #[test]
+    fn probe_count_tracks_lookups() {
+        let (mut store, ids) = store_with(2);
+        let before = store.probe_count();
+        let _ = store.get(ids[0]);
+        let _ = store.get_mut(ids[1]);
+        let _ = store.peer(ids[0]); // goes through get
+        assert_eq!(store.probe_count() - before, 3);
     }
 
     #[test]

@@ -48,17 +48,38 @@ fn config(seed: u64) -> SwarmConfig {
 
 /// Runs the swarm for `rounds` rounds with telemetry attached and
 /// returns the raw telemetry bytes plus a digest of the engine metrics.
-fn run_once(seed: u64, rounds: u64) -> (Vec<u8>, String) {
+/// With `profiled` set, the cost-attribution profiler rides along; it
+/// must not change either output.
+fn run_with_profiler(seed: u64, rounds: u64, profiled: bool) -> (Vec<u8>, String) {
     let mut swarm = Swarm::new(config(seed));
     let buf = SharedBuf::default();
     swarm.attach_telemetry(
         TelemetryRecorder::new(TelemetryOptions::default()).to_writer(Box::new(buf.clone())),
     );
+    if profiled {
+        swarm.attach_profiler(bt_obs::ProfileOptions {
+            seed,
+            ..bt_obs::ProfileOptions::default()
+        });
+    }
     for _ in 0..rounds {
         swarm.step_round();
     }
+    if profiled {
+        let profile = swarm.take_profile();
+        let report = profile.report().expect("profiler was attached");
+        assert_eq!(report.rounds, rounds, "profiler saw every round");
+        assert!(
+            !report.stages.is_empty(),
+            "profiler recorded per-stage costs"
+        );
+    }
     let digest = format!("{:?}", swarm.metrics());
     (buf.contents(), digest)
+}
+
+fn run_once(seed: u64, rounds: u64) -> (Vec<u8>, String) {
+    run_with_profiler(seed, rounds, false)
 }
 
 #[test]
@@ -71,6 +92,23 @@ fn same_seed_runs_are_byte_identical() {
         "same-seed telemetry streams must be byte-identical"
     );
     assert_eq!(metrics_a, metrics_b, "same-seed metrics must agree");
+}
+
+#[test]
+fn profiler_does_not_perturb_the_run() {
+    // The profiler observes wall time and work counters but makes no
+    // RNG calls and feeds nothing back into stage decisions, so a
+    // profiled run must be byte-identical to an unprofiled one.
+    let (plain_stream, plain_metrics) = run_with_profiler(42, 120, false);
+    let (profiled_stream, profiled_metrics) = run_with_profiler(42, 120, true);
+    assert_eq!(
+        plain_stream, profiled_stream,
+        "attaching the profiler must not change the telemetry stream"
+    );
+    assert_eq!(
+        plain_metrics, profiled_metrics,
+        "attaching the profiler must not change engine metrics"
+    );
 }
 
 #[test]

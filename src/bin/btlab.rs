@@ -29,6 +29,10 @@ fn main() {
         bt_obs::fnv1a_hex(format!("{command:?}").as_bytes()),
         command.seed().unwrap_or(0),
     );
+    if let cli::Command::Swarm(a) = &command {
+        manifest.pipeline = cli::swarm_pipeline_names(a);
+        manifest.disabled_stages = a.disabled_stages.clone();
+    }
     let wants_manifest = !matches!(command, cli::Command::Help);
     let start = std::time::Instant::now();
 

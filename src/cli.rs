@@ -27,6 +27,10 @@ pub enum Command {
     Figure(FigureArgs),
     /// Summarize a telemetry stream and compare it with the model.
     Report(ReportArgs),
+    /// Summarize a profile.json produced by `swarm --profile`.
+    Profile(ProfileArgs),
+    /// Compare two profiles (or bench manifests) stage by stage.
+    Compare(CompareArgs),
     /// Run the repo's static analysis pass (`bt-lint`).
     Lint(LintArgs),
     /// Print usage.
@@ -44,6 +48,8 @@ impl Command {
             Command::Analyze(_) => "analyze",
             Command::Figure(_) => "figure",
             Command::Report(_) => "report",
+            Command::Profile(_) => "profile",
+            Command::Compare(_) => "compare",
             Command::Lint(_) => "lint",
             Command::Help => "help",
         }
@@ -57,7 +63,12 @@ impl Command {
             Command::Model(a) => Some(a.seed),
             Command::Traces(a) => Some(a.seed),
             Command::Report(a) => Some(a.seed),
-            Command::Analyze(_) | Command::Figure(_) | Command::Lint(_) | Command::Help => None,
+            Command::Analyze(_)
+            | Command::Figure(_)
+            | Command::Profile(_)
+            | Command::Compare(_)
+            | Command::Lint(_)
+            | Command::Help => None,
         }
     }
 }
@@ -164,6 +175,9 @@ pub struct SwarmArgs {
     pub flight_capacity: usize,
     /// Round stages removed from the default pipeline (ablation runs).
     pub disabled_stages: Vec<String>,
+    /// Cost-attribution profile output path (`profile.json`; folded
+    /// stacks and per-round series land next to it).
+    pub profile: Option<String>,
 }
 
 impl Default for SwarmArgs {
@@ -187,8 +201,29 @@ impl Default for SwarmArgs {
             stall_rounds: None,
             flight_capacity: 64,
             disabled_stages: Vec::new(),
+            profile: None,
         }
     }
+}
+
+/// Arguments of `btlab profile`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileArgs {
+    /// The profile.json to summarize.
+    pub input: String,
+    /// How many hottest peers to list.
+    pub top: usize,
+}
+
+/// Arguments of `btlab compare`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareArgs {
+    /// Baseline profile.json or BENCH manifest.
+    pub baseline: String,
+    /// Candidate profile.json or BENCH manifest.
+    pub candidate: String,
+    /// Allowed relative regression before the command fails (0.1 = 10%).
+    pub tolerance: f64,
 }
 
 /// Arguments of `btlab report`.
@@ -301,10 +336,13 @@ USAGE:
                 [--telemetry-format jsonl|csv] [--telemetry-stride N]
                 [--flight FILE] [--entropy-floor F] [--stall-rounds N]
                 [--flight-capacity N] [--disable-stage NAME[,NAME..]]
+                [--profile FILE]
   btlab model   [--pieces N] [--k N] [--s N] [--alpha F] [--gamma F]
                 [--replications N] [--seed N]
   btlab report  --telemetry FILE [--manifest FILE] [--alpha F] [--gamma F]
                 [--replications N] [--seed N]
+  btlab profile PROFILE.json [--top N]
+  btlab compare BASELINE CANDIDATE [--tolerance F]
   btlab traces  --out FILE [--scenario smooth|last-phase|bootstrap-stall]
                 [--clients N] [--seed N]
   btlab analyze --input FILE
@@ -321,6 +359,19 @@ TELEMETRY (btlab swarm):
   --stall-rounds) it dumps the last --flight-capacity per-round events as
   JSON, exactly once per run. `btlab report` summarizes a JSONL stream
   and compares detected phase boundaries against the analytical model.
+
+PROFILING (btlab swarm / profile / compare):
+  --profile FILE records a deterministic cost-attribution profile: per
+  round x per stage wall time plus work counters (candidate comparisons,
+  handout entries, bitfield words, piece transfers, slab probes). It
+  writes FILE (summary JSON), FILE with a .folded extension (flamegraph
+  folded stacks), and FILE with a .rounds.jsonl extension (per-round
+  series). Profiling never touches the simulation RNG, so profiled runs
+  are byte-identical to unprofiled ones. `btlab profile` summarizes a
+  recorded profile (hottest stages, work per round, top peers);
+  `btlab compare` diffs two profiles — or two BENCH_swarm.json bench
+  manifests — stage by stage and exits 1 when the candidate regresses
+  beyond --tolerance (default 0.10 = 10%).
 
 STAGE ABLATION (btlab swarm):
   --disable-stage removes stages from the round pipeline for ablation
@@ -351,6 +402,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Ok(Command::Help);
     };
+    // profile/compare take positional paths, which parse_flags rejects.
+    match cmd.as_str() {
+        "profile" => return parse_profile(rest),
+        "compare" => return parse_compare(rest),
+        _ => {}
+    }
     let flags = parse_flags(rest)?;
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -382,6 +439,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "entropy-floor" => a.entropy_floor = Some(num(key, value)?),
                     "stall-rounds" => a.stall_rounds = Some(num(key, value)?),
                     "flight-capacity" => a.flight_capacity = num(key, value)?,
+                    "profile" => a.profile = Some(required(key, value)?),
                     "disable-stage" => {
                         for name in required(key, value)?.split(',') {
                             let name = name.trim();
@@ -499,6 +557,81 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
 }
 
+fn parse_profile(rest: &[String]) -> Result<Command, String> {
+    let (positionals, flag_tokens) = split_positionals(rest);
+    let flags = parse_flags(&flag_tokens)?;
+    let mut input = None;
+    let mut top = 10usize;
+    for (key, value) in &flags {
+        match key.as_str() {
+            "input" => input = Some(required(key, value)?),
+            "top" => top = num(key, value)?,
+            _ => return Err(format!("unknown flag --{key} for profile")),
+        }
+    }
+    if positionals.len() > 1 {
+        return Err(format!(
+            "profile takes one PROFILE.json path, got {}",
+            positionals.len()
+        ));
+    }
+    let input = positionals
+        .into_iter()
+        .next()
+        .or(input)
+        .ok_or("profile requires a PROFILE.json path")?;
+    Ok(Command::Profile(ProfileArgs { input, top }))
+}
+
+fn parse_compare(rest: &[String]) -> Result<Command, String> {
+    let (mut positionals, flag_tokens) = split_positionals(rest);
+    let flags = parse_flags(&flag_tokens)?;
+    let mut tolerance = 0.10f64;
+    for (key, value) in &flags {
+        match key.as_str() {
+            "tolerance" => tolerance = num(key, value)?,
+            _ => return Err(format!("unknown flag --{key} for compare")),
+        }
+    }
+    if tolerance < 0.0 {
+        return Err(format!("--tolerance must be >= 0, got {tolerance}"));
+    }
+    if positionals.len() != 2 {
+        return Err(format!(
+            "compare takes BASELINE and CANDIDATE paths, got {} positional argument(s)",
+            positionals.len()
+        ));
+    }
+    let candidate = positionals.pop().unwrap_or_default();
+    let baseline = positionals.pop().unwrap_or_default();
+    Ok(Command::Compare(CompareArgs {
+        baseline,
+        candidate,
+        tolerance,
+    }))
+}
+
+/// Separates bare positional arguments from `--flag [value]` tokens so
+/// the latter can go through [`parse_flags`] (which rejects positionals).
+fn split_positionals(rest: &[String]) -> (Vec<String>, Vec<String>) {
+    let mut positionals = Vec::new();
+    let mut flag_tokens = Vec::new();
+    let mut iter = rest.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if arg.starts_with("--") {
+            flag_tokens.push(arg.clone());
+            if let Some(next) = iter.peek() {
+                if !next.starts_with("--") {
+                    flag_tokens.push(iter.next().cloned().unwrap_or_default());
+                }
+            }
+        } else {
+            positionals.push(arg.clone());
+        }
+    }
+    (positionals, flag_tokens)
+}
+
 /// Splits `--key value` pairs; a trailing `--key` with no value maps to an
 /// empty string (boolean flags).
 fn parse_flags(rest: &[String]) -> Result<BTreeMap<String, String>, String> {
@@ -600,7 +733,20 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), Strin
                 }
                 swarm.attach_telemetry(recorder);
             }
-            let metrics = swarm.run();
+            let metrics = if let Some(profile_path) = &a.profile {
+                swarm.attach_profiler(bt_obs::ProfileOptions {
+                    seed: a.seed,
+                    ..bt_obs::ProfileOptions::default()
+                });
+                let (metrics, profile) = swarm.run_profiled();
+                profile
+                    .write_artifacts(std::path::Path::new(profile_path))
+                    .map_err(|e| format!("cannot write profile {profile_path}: {e}"))?;
+                tracing::info!(target: "btlab", path = profile_path.as_str(); "profile written");
+                metrics
+            } else {
+                swarm.run()
+            };
             if let Some(path) = &a.telemetry {
                 tracing::info!(target: "btlab", path = path.as_str(); "telemetry stream written");
             }
@@ -684,6 +830,8 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), Strin
             Ok(())
         }
         Command::Report(a) => run_report(&a, out),
+        Command::Profile(a) => run_profile(&a, out),
+        Command::Compare(a) => run_compare(&a, out),
         Command::Lint(a) => {
             let root = a.root.clone().unwrap_or_else(|| ".".to_string());
             tracing::info!(target: "btlab", root = root.as_str(); "running static analysis");
@@ -920,8 +1068,332 @@ fn run_report<W: std::io::Write>(a: &ReportArgs, out: &mut W) -> Result<(), Stri
             )
             .map_err(io_err)?;
         }
+        if !manifest.phase_timers.is_empty() {
+            writeln!(
+                out,
+                "{:<18} {:>9} {:>7} {:>9} {:>9} {:>9} {:>9}",
+                "phase", "total_s", "count", "p50_ms", "p95_ms", "p99_ms", "max_ms"
+            )
+            .map_err(io_err)?;
+            for (name, t) in &manifest.phase_timers {
+                writeln!(
+                    out,
+                    "{:<18} {:>9.3} {:>7} {:>9} {:>9} {:>9} {:>9}",
+                    name,
+                    t.total_secs,
+                    t.count,
+                    ms(t.p50_ns),
+                    ms(t.p95_ns),
+                    ms(t.p99_ns),
+                    ms(t.max_ns)
+                )
+                .map_err(io_err)?;
+            }
+        }
+        if !manifest.pipeline.is_empty() {
+            writeln!(out, "pipeline: {}", manifest.pipeline.join(" -> ")).map_err(io_err)?;
+            if !manifest.disabled_stages.is_empty() {
+                writeln!(out, "disabled stages: {}", manifest.disabled_stages.join(", "))
+                    .map_err(io_err)?;
+            }
+            // Cross-check the recorded configuration against the timers
+            // the run actually exercised: a `round.<stage>` timer with
+            // samples for a stage missing from the pipeline (or a listed
+            // stage that never ran) means the manifest and the run
+            // disagree.
+            for (name, t) in &manifest.phase_timers {
+                if let Some(stage) = name.strip_prefix("round.") {
+                    if t.count > 0 && !manifest.pipeline.iter().any(|s| s == stage) {
+                        writeln!(
+                            out,
+                            "warning: timer {name} recorded {} samples but stage `{stage}` \
+                             is not in the manifest pipeline",
+                            t.count
+                        )
+                        .map_err(io_err)?;
+                    }
+                }
+            }
+            for stage in &manifest.pipeline {
+                let timer = format!("round.{stage}");
+                let ran = manifest
+                    .phase_timers
+                    .iter()
+                    .any(|(name, t)| *name == timer && t.count > 0);
+                if !ran {
+                    writeln!(
+                        out,
+                        "warning: pipeline stage `{stage}` has no recorded {timer} timer samples"
+                    )
+                    .map_err(io_err)?;
+                }
+            }
+        }
     }
     Ok(())
+}
+
+/// Formats an optional nanosecond quantile as milliseconds.
+fn ms(ns: Option<u64>) -> String {
+    ns.map_or("-".to_string(), |n| format!("{:.3}", n as f64 / 1e6))
+}
+
+/// The stage names `btlab swarm` will run for `a`, in pipeline order.
+///
+/// Mirrors `bt_swarm::stages::default_pipeline` (shake participates only
+/// when `--shake` is set) minus the `--disable-stage` ablations; recorded
+/// in the run manifest so `btlab report` can cross-check it.
+pub fn swarm_pipeline_names(a: &SwarmArgs) -> Vec<String> {
+    let mut names: Vec<&str> = vec![
+        "maintain",
+        "bootstrap",
+        "prune",
+        "establish",
+        "exchange",
+        "depart",
+    ];
+    if a.shake.is_some() {
+        names.push("shake");
+    }
+    names.push("sample");
+    names
+        .into_iter()
+        .filter(|name| !a.disabled_stages.iter().any(|d| d == name))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Executes `btlab profile`: summarizes a recorded `profile.json` —
+/// hottest stages by wall time, work counters with per-round averages,
+/// and the hottest peers by attributed work.
+fn run_profile<W: std::io::Write>(a: &ProfileArgs, out: &mut W) -> Result<(), String> {
+    let io_err = |e: std::io::Error| format!("i/o error: {e}");
+    let report = bt_obs::ProfileReport::read_from(std::path::Path::new(&a.input))
+        .map_err(|e| format!("cannot read profile {}: {e}", a.input))?;
+    writeln!(out, "profile report: {}", a.input).map_err(io_err)?;
+    writeln!(
+        out,
+        "seed={} rounds={} total={:.3}s rounds_per_sec={:.1}",
+        report.seed, report.rounds, report.total_secs, report.rounds_per_sec
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "round latency (ms): p50={} p95={} p99={} max={}",
+        ms(report.round_latency.p50_ns),
+        ms(report.round_latency.p95_ns),
+        ms(report.round_latency.p99_ns),
+        ms(report.round_latency.max_ns)
+    )
+    .map_err(io_err)?;
+
+    writeln!(out, "\nhottest stages:").map_err(io_err)?;
+    writeln!(
+        out,
+        "{:<12} {:>10} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "stage", "total_s", "share", "p50_ms", "p95_ms", "p99_ms", "max_ms"
+    )
+    .map_err(io_err)?;
+    let mut stages: Vec<&bt_obs::StageProfile> = report.stages.iter().collect();
+    stages.sort_by(|x, y| y.total_secs.total_cmp(&x.total_secs));
+    for s in &stages {
+        writeln!(
+            out,
+            "{:<12} {:>10.6} {:>6.1}% {:>9} {:>9} {:>9} {:>9}",
+            s.name,
+            s.total_secs,
+            s.share * 100.0,
+            ms(s.latency.p50_ns),
+            ms(s.latency.p95_ns),
+            ms(s.latency.p99_ns),
+            ms(s.latency.max_ns)
+        )
+        .map_err(io_err)?;
+    }
+
+    let has_work = report.stages.iter().any(|s| !s.work.is_empty());
+    if has_work && report.rounds > 0 {
+        writeln!(
+            out,
+            "\nwork counters (totals and per-round average over {} rounds):",
+            report.rounds
+        )
+        .map_err(io_err)?;
+        writeln!(
+            out,
+            "{:<12} {:<30} {:>14} {:>12}",
+            "stage", "counter", "total", "per_round"
+        )
+        .map_err(io_err)?;
+        for s in &stages {
+            for (counter, total) in &s.work {
+                writeln!(
+                    out,
+                    "{:<12} {:<30} {:>14} {:>12.1}",
+                    s.name,
+                    counter,
+                    total,
+                    *total as f64 / report.rounds as f64
+                )
+                .map_err(io_err)?;
+            }
+        }
+    }
+
+    if report.top_peers.is_empty() {
+        writeln!(out, "\ntop peers: none attributed").map_err(io_err)?;
+    } else {
+        writeln!(out, "\ntop peers by attributed work:").map_err(io_err)?;
+        writeln!(out, "{:>8} {:>14}", "peer", "work").map_err(io_err)?;
+        for p in report.top_peers.iter().take(a.top) {
+            writeln!(out, "{:>8} {:>14}", p.peer, p.work).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// One side of a `btlab compare`: per-stage wall seconds plus an
+/// optional throughput figure, extracted from either artifact shape.
+struct CompareSide {
+    stages: Vec<(String, f64)>,
+    rounds_per_sec: Option<f64>,
+}
+
+/// Loads `path` as either a [`bt_obs::ProfileReport`] (from
+/// `swarm --profile`) or a [`bt_obs::RunManifest`] (e.g. the
+/// `BENCH_swarm.json` the bench binaries write), detected by shape.
+fn load_compare_side(path: &str) -> Result<CompareSide, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    if value.get("stages").is_some() && value.get("round_latency").is_some() {
+        let report: bt_obs::ProfileReport = serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse profile {path}: {e}"))?;
+        Ok(CompareSide {
+            stages: report
+                .stages
+                .iter()
+                .map(|s| (s.name.clone(), s.total_secs))
+                .collect(),
+            rounds_per_sec: (report.rounds_per_sec > 0.0).then_some(report.rounds_per_sec),
+        })
+    } else if value.get("phase_secs").is_some() {
+        let manifest: bt_obs::RunManifest = serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse manifest {path}: {e}"))?;
+        let stages = manifest
+            .phase_secs
+            .iter()
+            .filter_map(|(name, secs)| {
+                name.strip_prefix("round.").map(|s| (s.to_string(), *secs))
+            })
+            .collect();
+        let rounds_per_sec = manifest.counter("swarm.rounds").and_then(|rounds| {
+            (rounds > 0 && manifest.wall_clock_secs > 0.0)
+                .then(|| rounds as f64 / manifest.wall_clock_secs)
+        });
+        Ok(CompareSide {
+            stages,
+            rounds_per_sec,
+        })
+    } else {
+        Err(format!(
+            "{path}: neither a profile report (stages + round_latency) nor a run manifest \
+             (phase_secs)"
+        ))
+    }
+}
+
+/// Baseline stage times below this floor are noise; they never flag a
+/// regression no matter the relative delta.
+const COMPARE_MIN_STAGE_SECS: f64 = 1e-6;
+
+/// Executes `btlab compare`: prints a stage-by-stage delta table and
+/// fails when the candidate regresses beyond the tolerance.
+fn run_compare<W: std::io::Write>(a: &CompareArgs, out: &mut W) -> Result<(), String> {
+    let io_err = |e: std::io::Error| format!("i/o error: {e}");
+    let baseline = load_compare_side(&a.baseline)?;
+    let candidate = load_compare_side(&a.candidate)?;
+    writeln!(
+        out,
+        "comparing baseline {} vs candidate {} (tolerance {:.1}%)",
+        a.baseline,
+        a.candidate,
+        a.tolerance * 100.0
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "{:<16} {:>12} {:>12} {:>9} verdict",
+        "stage", "baseline_s", "candidate_s", "delta"
+    )
+    .map_err(io_err)?;
+
+    let mut names: Vec<&str> = baseline.stages.iter().map(|(n, _)| n.as_str()).collect();
+    for (n, _) in &candidate.stages {
+        if !names.contains(&n.as_str()) {
+            names.push(n.as_str());
+        }
+    }
+    let lookup = |side: &CompareSide, name: &str| -> Option<f64> {
+        side.stages
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, secs)| *secs)
+    };
+    let mut regressions: Vec<String> = Vec::new();
+    for name in &names {
+        match (lookup(&baseline, name), lookup(&candidate, name)) {
+            (Some(b), Some(c)) => {
+                let delta_pct = if b > 0.0 { (c - b) / b * 100.0 } else { 0.0 };
+                let regressed = b >= COMPARE_MIN_STAGE_SECS && c > b * (1.0 + a.tolerance);
+                let verdict = if regressed { "REGRESSED" } else { "ok" };
+                writeln!(
+                    out,
+                    "{name:<16} {b:>12.6} {c:>12.6} {delta_pct:>+8.1}% {verdict}"
+                )
+                .map_err(io_err)?;
+                if regressed {
+                    regressions.push(format!("stage {name}: {b:.6}s -> {c:.6}s ({delta_pct:+.1}%)"));
+                }
+            }
+            (Some(b), None) => {
+                writeln!(out, "{name:<16} {b:>12.6} {:>12} {:>9} ok", "-", "-").map_err(io_err)?;
+            }
+            (None, Some(c)) => {
+                writeln!(out, "{name:<16} {:>12} {c:>12.6} {:>9} ok", "-", "-").map_err(io_err)?;
+            }
+            (None, None) => {}
+        }
+    }
+    if let (Some(b), Some(c)) = (baseline.rounds_per_sec, candidate.rounds_per_sec) {
+        let delta_pct = (c - b) / b * 100.0;
+        let regressed = c < b * (1.0 - a.tolerance);
+        let verdict = if regressed { "REGRESSED" } else { "ok" };
+        writeln!(
+            out,
+            "{:<16} {b:>12.1} {c:>12.1} {delta_pct:>+8.1}% {verdict}",
+            "rounds_per_sec"
+        )
+        .map_err(io_err)?;
+        if regressed {
+            regressions.push(format!(
+                "rounds_per_sec: {b:.1} -> {c:.1} ({delta_pct:+.1}%)"
+            ));
+        }
+    }
+
+    if regressions.is_empty() {
+        writeln!(out, "no regressions beyond tolerance").map_err(io_err)?;
+        Ok(())
+    } else {
+        Err(format!(
+            "{} regression(s) beyond tolerance {:.1}%:\n  {}",
+            regressions.len(),
+            a.tolerance * 100.0,
+            regressions.join("\n  ")
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -1309,5 +1781,369 @@ mod tests {
         let mut buf = Vec::new();
         run(Command::Help, &mut buf).unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn profile_command_parses_positionals_and_flags() {
+        let cmd = parse(&args(&["profile", "p.json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Profile(ProfileArgs {
+                input: "p.json".into(),
+                top: 10,
+            })
+        );
+        assert_eq!(cmd.name(), "profile");
+        assert_eq!(cmd.seed(), None);
+        let cmd = parse(&args(&["profile", "--top", "3", "p.json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Profile(ProfileArgs {
+                input: "p.json".into(),
+                top: 3,
+            })
+        );
+        assert!(parse(&args(&["profile"])).is_err());
+        assert!(parse(&args(&["profile", "a.json", "b.json"])).is_err());
+        assert!(parse(&args(&["profile", "p.json", "--warp", "9"])).is_err());
+    }
+
+    #[test]
+    fn compare_command_parses_positionals_and_flags() {
+        let cmd = parse(&args(&["compare", "base.json", "cand.json"])).unwrap();
+        let Command::Compare(a) = &cmd else {
+            panic!("expected compare");
+        };
+        assert_eq!(a.baseline, "base.json");
+        assert_eq!(a.candidate, "cand.json");
+        assert!((a.tolerance - 0.10).abs() < 1e-12);
+        assert_eq!(cmd.name(), "compare");
+        assert_eq!(cmd.seed(), None);
+        let cmd =
+            parse(&args(&["compare", "--tolerance", "0.25", "base.json", "cand.json"])).unwrap();
+        let Command::Compare(a) = cmd else {
+            panic!("expected compare");
+        };
+        assert!((a.tolerance - 0.25).abs() < 1e-12);
+        assert!(parse(&args(&["compare", "only-one.json"])).is_err());
+        assert!(parse(&args(&["compare", "a", "b", "c"])).is_err());
+        assert!(parse(&args(&["compare", "a", "b", "--tolerance", "-0.5"])).is_err());
+        assert!(parse(&args(&["compare", "a", "b", "--warp", "9"])).is_err());
+    }
+
+    #[test]
+    fn swarm_profile_flag_parses() {
+        let cmd = parse(&args(&["swarm", "--profile", "out/profile.json"])).unwrap();
+        let Command::Swarm(a) = cmd else {
+            panic!("expected swarm");
+        };
+        assert_eq!(a.profile.as_deref(), Some("out/profile.json"));
+        assert!(parse(&args(&["swarm", "--profile"])).is_err());
+    }
+
+    #[test]
+    fn swarm_pipeline_names_match_engine() {
+        // The CLI-side prediction must agree with what the engine
+        // actually assembles, including the shake_at conditional.
+        for shake in [None, Some(0.9)] {
+            let a = SwarmArgs {
+                shake,
+                ..SwarmArgs::default()
+            };
+            let mut builder = bt_swarm::SwarmConfig::builder();
+            builder
+                .pieces(a.pieces)
+                .max_connections(a.k)
+                .neighbor_set_size(a.s)
+                .arrival_rate(a.lambda)
+                .initial_leechers(a.initial)
+                .max_rounds(a.rounds)
+                .seed(a.seed);
+            if let Some(f) = a.shake {
+                builder.shake_at(f);
+            }
+            let config = builder.build().unwrap();
+            let swarm = bt_swarm::Swarm::new(config);
+            assert_eq!(swarm_pipeline_names(&a), swarm.stage_names());
+        }
+        // Ablations drop the disabled stages from the prediction.
+        let a = SwarmArgs {
+            disabled_stages: vec!["depart".into(), "sample".into()],
+            ..SwarmArgs::default()
+        };
+        let names = swarm_pipeline_names(&a);
+        assert!(!names.contains(&"depart".to_string()));
+        assert!(!names.contains(&"sample".to_string()));
+        assert!(names.contains(&"exchange".to_string()));
+    }
+
+    /// A handcrafted profile report with one second-scale stage, safely
+    /// above the comparison noise floor.
+    fn sample_report(establish_secs: f64, exchange_secs: f64) -> bt_obs::ProfileReport {
+        let latency = bt_obs::LatencySummary {
+            count: 10,
+            total_secs: establish_secs + exchange_secs,
+            p50_ns: Some(1_000_000),
+            p95_ns: Some(2_000_000),
+            p99_ns: Some(4_000_000),
+            max_ns: Some(5_000_000),
+        };
+        let total = establish_secs + exchange_secs;
+        bt_obs::ProfileReport {
+            schema_version: bt_obs::PROFILE_SCHEMA_VERSION,
+            seed: 7,
+            rounds: 10,
+            total_secs: total,
+            rounds_per_sec: 10.0 / total,
+            round_latency: latency.clone(),
+            stages: vec![
+                bt_obs::StageProfile {
+                    name: "establish".into(),
+                    rounds: 10,
+                    total_secs: establish_secs,
+                    share: establish_secs / total,
+                    latency: latency.clone(),
+                    work: vec![("establish.candidate_comparisons".into(), 1234)],
+                },
+                bt_obs::StageProfile {
+                    name: "exchange".into(),
+                    rounds: 10,
+                    total_secs: exchange_secs,
+                    share: exchange_secs / total,
+                    latency,
+                    work: vec![("exchange.piece_transfers".into(), 88)],
+                },
+            ],
+            top_peers: vec![
+                bt_obs::PeerWork { peer: 3, work: 900 },
+                bt_obs::PeerWork { peer: 1, work: 400 },
+            ],
+        }
+    }
+
+    #[test]
+    fn run_profile_summarizes_a_report() {
+        let path = std::env::temp_dir().join("btlab-cli-profile-unit.json");
+        sample_report(1.0, 0.5).write_to(&path).unwrap();
+        let mut buf = Vec::new();
+        run(
+            Command::Profile(ProfileArgs {
+                input: path.to_str().unwrap().into(),
+                top: 1,
+            }),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("hottest stages"), "{text}");
+        assert!(text.contains("establish"), "{text}");
+        assert!(text.contains("establish.candidate_comparisons"), "{text}");
+        assert!(text.contains("top peers"), "{text}");
+        // --top 1 keeps only the hottest peer.
+        assert!(text.contains('3'), "{text}");
+        assert!(!text.lines().any(|l| l.trim_start().starts_with("1 ")), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_profile_reports_missing_file() {
+        let mut buf = Vec::new();
+        let err = run(
+            Command::Profile(ProfileArgs {
+                input: "/nonexistent/profile.json".into(),
+                top: 10,
+            }),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot read profile"), "{err}");
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance_and_fails_beyond_it() {
+        let base = std::env::temp_dir().join("btlab-cli-compare-base.json");
+        let cand = std::env::temp_dir().join("btlab-cli-compare-cand.json");
+        sample_report(1.0, 0.5).write_to(&base).unwrap();
+        // Candidate: establish 5% slower (within 10%), exchange equal.
+        sample_report(1.05, 0.5).write_to(&cand).unwrap();
+        let compare = |tolerance: f64, out: &mut Vec<u8>| {
+            run(
+                Command::Compare(CompareArgs {
+                    baseline: base.to_str().unwrap().into(),
+                    candidate: cand.to_str().unwrap().into(),
+                    tolerance,
+                }),
+                out,
+            )
+        };
+        let mut buf = Vec::new();
+        compare(0.10, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("no regressions beyond tolerance"), "{text}");
+        assert!(text.contains("establish"), "{text}");
+        assert!(text.contains("rounds_per_sec"), "{text}");
+
+        // Candidate: establish 2x slower — beyond any sane tolerance.
+        sample_report(2.0, 0.5).write_to(&cand).unwrap();
+        let mut buf = Vec::new();
+        let err = compare(0.10, &mut buf).unwrap_err();
+        assert!(err.contains("regression(s) beyond tolerance"), "{err}");
+        assert!(err.contains("establish"), "{err}");
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("REGRESSED"), "{text}");
+        std::fs::remove_file(&base).ok();
+        std::fs::remove_file(&cand).ok();
+    }
+
+    /// A handcrafted bench manifest in the `BENCH_swarm.json` shape.
+    fn sample_manifest(exchange_secs: f64, rounds: u64, wall: f64) -> bt_obs::RunManifest {
+        let mut manifest = bt_obs::RunManifest::new("swarm_scale", "cafebabe".into(), 7);
+        manifest.wall_clock_secs = wall;
+        manifest.phase_secs = vec![
+            ("round.exchange".into(), exchange_secs),
+            ("round.establish".into(), 0.4),
+            ("telemetry.flush".into(), 0.01),
+        ];
+        manifest.counters = vec![("swarm.rounds".into(), rounds)];
+        manifest
+    }
+
+    #[test]
+    fn compare_accepts_bench_manifests() {
+        let base = std::env::temp_dir().join("btlab-cli-compare-bench-base.json");
+        let cand = std::env::temp_dir().join("btlab-cli-compare-bench-cand.json");
+        sample_manifest(1.0, 60, 2.0).write_to(&base).unwrap();
+        // Same stage cost but halved throughput: rounds/sec regresses.
+        sample_manifest(1.0, 60, 4.0).write_to(&cand).unwrap();
+        let mut buf = Vec::new();
+        let err = run(
+            Command::Compare(CompareArgs {
+                baseline: base.to_str().unwrap().into(),
+                candidate: cand.to_str().unwrap().into(),
+                tolerance: 0.25,
+            }),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("rounds_per_sec"), "{err}");
+        let text = String::from_utf8(buf).unwrap();
+        // Non-round phases are not stages and stay out of the table.
+        assert!(!text.contains("telemetry.flush"), "{text}");
+        assert!(text.contains("exchange"), "{text}");
+        std::fs::remove_file(&base).ok();
+        std::fs::remove_file(&cand).ok();
+    }
+
+    #[test]
+    fn compare_rejects_unrecognized_shapes() {
+        let path = std::env::temp_dir().join("btlab-cli-compare-shape.json");
+        std::fs::write(&path, "{\"hello\": 1}").unwrap();
+        let mut buf = Vec::new();
+        let err = run(
+            Command::Compare(CompareArgs {
+                baseline: path.to_str().unwrap().into(),
+                candidate: path.to_str().unwrap().into(),
+                tolerance: 0.1,
+            }),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("neither a profile report"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn report_prints_phase_timer_quantiles_and_pipeline_warnings() {
+        // A real telemetry stream (for the Meta header) plus a crafted
+        // manifest whose pipeline disagrees with its timers.
+        let telemetry = std::env::temp_dir().join("btlab-cli-report-quantiles.jsonl");
+        let manifest_path = std::env::temp_dir().join("btlab-cli-report-quantiles-manifest.json");
+        let swarm_args = SwarmArgs {
+            pieces: 10,
+            k: 3,
+            s: 6,
+            lambda: 0.0,
+            initial: 8,
+            rounds: 60,
+            seed: 3,
+            telemetry: Some(telemetry.to_str().unwrap().into()),
+            ..SwarmArgs::default()
+        };
+        let mut buf = Vec::new();
+        run(Command::Swarm(swarm_args), &mut buf).unwrap();
+
+        let mut manifest = bt_obs::RunManifest::new("swarm", "cafebabe".into(), 3);
+        manifest.phase_timers = vec![(
+            "round.exchange".into(),
+            bt_obs::TimerSnapshot {
+                total_secs: 1.5,
+                count: 60,
+                p50_ns: Some(1_000_000),
+                p95_ns: Some(2_000_000),
+                p99_ns: Some(3_000_000),
+                max_ns: Some(4_000_000),
+            },
+        )];
+        // `exchange` ran but is missing here; `depart` is listed but
+        // never recorded a timer.
+        manifest.pipeline = vec!["maintain".into(), "depart".into()];
+        manifest.disabled_stages = vec!["shake".into()];
+        manifest.write_to(&manifest_path).unwrap();
+
+        let mut report = Vec::new();
+        run(
+            Command::Report(ReportArgs {
+                telemetry: telemetry.to_str().unwrap().into(),
+                manifest: Some(manifest_path.to_str().unwrap().into()),
+                replications: 5,
+                seed: 3,
+                ..ReportArgs::default()
+            }),
+            &mut report,
+        )
+        .unwrap();
+        let text = String::from_utf8(report).unwrap();
+        assert!(text.contains("p95_ms"), "{text}");
+        assert!(text.contains("2.000"), "{text}");
+        assert!(text.contains("pipeline: maintain -> depart"), "{text}");
+        assert!(text.contains("disabled stages: shake"), "{text}");
+        assert!(
+            text.contains("is not in the manifest pipeline"),
+            "{text}"
+        );
+        assert!(
+            text.contains("no recorded round.depart timer samples"),
+            "{text}"
+        );
+        std::fs::remove_file(&telemetry).ok();
+        std::fs::remove_file(&manifest_path).ok();
+    }
+
+    #[test]
+    fn run_swarm_with_profile_writes_artifacts() {
+        let dir = std::env::temp_dir().join("btlab-cli-swarm-profile-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let profile = dir.join("profile.json");
+        let swarm_args = SwarmArgs {
+            pieces: 10,
+            k: 3,
+            s: 6,
+            lambda: 0.0,
+            initial: 8,
+            rounds: 40,
+            seed: 5,
+            profile: Some(profile.to_str().unwrap().into()),
+            ..SwarmArgs::default()
+        };
+        let mut buf = Vec::new();
+        run(Command::Swarm(swarm_args), &mut buf).unwrap();
+        let report = bt_obs::ProfileReport::read_from(&profile).unwrap();
+        assert_eq!(report.rounds, 40);
+        assert_eq!(report.seed, 5);
+        assert!(report.stage("exchange").is_some());
+        let folded = std::fs::read_to_string(profile.with_extension("folded")).unwrap();
+        assert!(folded.contains("swarm;exchange"), "{folded}");
+        assert!(profile.with_extension("rounds.jsonl").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -343,3 +343,159 @@ fn swarm_telemetry_then_report_pipeline() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn unknown_disable_stage_exits_two_listing_stage_names() {
+    let out = btlab()
+        .args(["swarm", "--disable-stage", "frobnicate"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown stage `frobnicate`"), "{stderr}");
+    for stage in ["maintain", "bootstrap", "prune", "establish", "exchange", "depart", "shake", "sample"] {
+        assert!(stderr.contains(stage), "missing {stage} in: {stderr}");
+    }
+}
+
+#[test]
+fn swarm_profile_records_artifacts_and_manifest_pipeline() {
+    let dir = std::env::temp_dir().join("btlab-e2e-profile");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let profile = dir.join("profile.json");
+    let out = btlab()
+        .args([
+            "swarm",
+            "--pieces",
+            "10",
+            "--rounds",
+            "60",
+            "--initial",
+            "10",
+            "--seed",
+            "5",
+            "--profile",
+            profile.to_str().unwrap(),
+        ])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The three profile artifacts landed next to each other.
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&profile).expect("profile written"))
+            .expect("profile is JSON");
+    assert_eq!(report.get("seed").and_then(|v| v.as_u64()), Some(5));
+    assert_eq!(report.get("rounds").and_then(|v| v.as_u64()), Some(60));
+    assert!(report.get("stages").and_then(|v| v.as_array()).is_some_and(|s| !s.is_empty()));
+    let folded =
+        std::fs::read_to_string(profile.with_extension("folded")).expect("folded written");
+    assert!(folded.contains("swarm;exchange"), "{folded}");
+    let series =
+        std::fs::read_to_string(profile.with_extension("rounds.jsonl")).expect("series written");
+    assert!(series.lines().any(|l| l.contains("round.ns")), "{series}");
+
+    // The run manifest records the active pipeline configuration.
+    let manifest: serde_json::Value = serde_json::from_str(
+        &std::fs::read_to_string(dir.join("manifest-swarm.json")).expect("manifest written"),
+    )
+    .expect("manifest is JSON");
+    let pipeline: Vec<&str> = manifest
+        .get("pipeline")
+        .and_then(|v| v.as_array())
+        .expect("pipeline recorded")
+        .iter()
+        .map(|v| v.as_str().expect("stage name"))
+        .collect();
+    assert_eq!(
+        pipeline,
+        ["maintain", "bootstrap", "prune", "establish", "exchange", "depart", "sample"],
+        "{manifest:?}"
+    );
+
+    // `btlab profile` summarizes the recorded artifact.
+    let out = btlab()
+        .args(["profile", profile.to_str().unwrap(), "--top", "5"])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("hottest stages"), "{stdout}");
+    assert!(stdout.contains("exchange"), "{stdout}");
+    assert!(stdout.contains("top peers"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_exits_zero_on_parity_and_one_on_regression() {
+    let dir = std::env::temp_dir().join("btlab-e2e-compare");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    // Handcrafted profiles with second-scale stage costs, far above the
+    // comparison noise floor.
+    let report = |establish_secs: f64| {
+        format!(
+            r#"{{
+  "schema_version": 1,
+  "seed": 7,
+  "rounds": 10,
+  "total_secs": {establish_secs},
+  "rounds_per_sec": 100.0,
+  "round_latency": {{"count": 10, "total_secs": {establish_secs}, "p50_ns": 1000, "p95_ns": 2000, "p99_ns": 3000, "max_ns": 4000}},
+  "stages": [
+    {{"name": "establish", "rounds": 10, "total_secs": {establish_secs}, "share": 1.0,
+      "latency": {{"count": 10, "total_secs": {establish_secs}, "p50_ns": 1000, "p95_ns": 2000, "p99_ns": 3000, "max_ns": 4000}},
+      "work": [["establish.candidate_comparisons", 500]]}}
+  ],
+  "top_peers": []
+}}"#
+        )
+    };
+    let base = dir.join("base.json");
+    let cand = dir.join("cand.json");
+    std::fs::write(&base, report(1.0)).unwrap();
+    std::fs::write(&cand, report(3.0)).unwrap();
+
+    let out = btlab()
+        .args(["compare", base.to_str().unwrap(), base.to_str().unwrap()])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no regressions beyond tolerance"), "{stdout}");
+
+    let out = btlab()
+        .args([
+            "compare",
+            base.to_str().unwrap(),
+            cand.to_str().unwrap(),
+            "--tolerance",
+            "0.25",
+        ])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "regressions exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("regression(s) beyond tolerance"), "{stderr}");
+    assert!(stderr.contains("establish"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
