@@ -104,6 +104,7 @@ fn main() {
     }
 
     let rounds_per_sec = options.rounds as f64 / elapsed.as_secs_f64().max(1e-9);
+    manifest.peak_population = registry.counter("swarm.peak_population").get();
     let out_dir = std::env::var_os("BT_MANIFEST_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"));
@@ -111,6 +112,18 @@ fn main() {
     manifest
         .write_to(&out_path)
         .expect("write BENCH_swarm.json");
+
+    // One compact record per bench run lands in the cross-run ledger so
+    // `btlab trend` can plot throughput across bench history.
+    let ledger_path = bt_obs::default_ledger_path();
+    let record = bt_obs::LedgerRecord::from_manifest(&manifest, 0);
+    match bt_obs::append_record(&ledger_path, &record) {
+        Ok(()) => println!("ledger: {}", ledger_path.display()),
+        Err(e) => eprintln!(
+            "warning: cannot append ledger {}: {e}",
+            ledger_path.display()
+        ),
+    }
 
     println!(
         "swarm_scale: peers={} rounds={} elapsed={:.3}s throughput={:.2} rounds/sec",

@@ -1,0 +1,284 @@
+//! The cross-run regression ledger.
+//!
+//! A single frozen baseline (`results/baseline/BENCH_swarm.json`) tells
+//! you whether today's build regressed against one blessed run; it says
+//! nothing about the *trajectory* — a 2 % slide per PR that never trips
+//! a 10 % tolerance, or a monitor violation that appeared three runs
+//! ago. The ledger is the longitudinal complement: every `swarm`,
+//! `doctor`, and bench run appends one compact [`LedgerRecord`] line to
+//! `results/ledger.jsonl`, and `btlab trend` reads the file back to
+//! render per-metric trajectories over the last K runs.
+//!
+//! Records separate **identity** fields (command, seed, config hash,
+//! pipeline, rounds, population, violations — a pure function of the
+//! run's inputs) from **timing** fields (wall clock, rounds/sec, stage
+//! p95s — machine-dependent). [`LedgerRecord::normalized`] zeroes the
+//! timing fields so the determinism suite can assert that two same-seed
+//! runs produce byte-identical records up to wall-clock noise.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::manifest::RunManifest;
+
+/// Schema version stamped into every ledger record.
+pub const LEDGER_SCHEMA_VERSION: u32 = 1;
+
+/// One run's compact health-and-performance record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerRecord {
+    /// Record schema version ([`LEDGER_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The subcommand or binary that produced the run.
+    pub command: String,
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// FNV-1a hash of the serialized configuration, as hex.
+    pub config_hash: String,
+    /// Active round-pipeline stage names, in execution order.
+    pub pipeline: Vec<String>,
+    /// Largest simultaneous peer population observed.
+    pub peak_population: u64,
+    /// Rounds the run executed.
+    pub rounds: u64,
+    /// Total wall-clock time of the run, in seconds (timing field).
+    pub wall_clock_secs: f64,
+    /// Sustained round throughput (timing field; 0 when unknown).
+    pub rounds_per_sec: f64,
+    /// Per-stage p95 latency in nanoseconds, from the `round.*` phase
+    /// timers, in pipeline order (timing field).
+    pub stage_p95_ns: Vec<(String, u64)>,
+    /// Invariant violations the run's monitors found (0 for unmonitored
+    /// runs).
+    pub violations: u64,
+}
+
+impl LedgerRecord {
+    /// Builds a record from a finished [`RunManifest`] plus the monitor
+    /// violation count. Rounds come from the `swarm.rounds` counter and
+    /// stage p95s from the `round.*` phase timers.
+    #[must_use]
+    pub fn from_manifest(manifest: &RunManifest, violations: u64) -> LedgerRecord {
+        let rounds = manifest.counter("swarm.rounds").unwrap_or(0);
+        let rounds_per_sec = if rounds > 0 && manifest.wall_clock_secs > 0.0 {
+            rounds as f64 / manifest.wall_clock_secs
+        } else {
+            0.0
+        };
+        let stage_p95_ns = manifest
+            .phase_timers
+            .iter()
+            .filter(|(name, _)| name.starts_with("round."))
+            .map(|(name, t)| (name.clone(), t.p95_ns.unwrap_or(0)))
+            .collect();
+        LedgerRecord {
+            schema_version: LEDGER_SCHEMA_VERSION,
+            command: manifest.command.clone(),
+            seed: manifest.seed,
+            config_hash: manifest.config_hash.clone(),
+            pipeline: manifest.pipeline.clone(),
+            peak_population: manifest.peak_population,
+            rounds,
+            wall_clock_secs: manifest.wall_clock_secs,
+            rounds_per_sec,
+            stage_p95_ns,
+            violations,
+        }
+    }
+
+    /// A copy with the timing fields (wall clock, rounds/sec, stage
+    /// p95 values) zeroed, leaving only the deterministic identity of
+    /// the run. Two same-seed monitored runs must serialize normalized
+    /// records to identical bytes — the determinism suite asserts this.
+    #[must_use]
+    pub fn normalized(&self) -> LedgerRecord {
+        LedgerRecord {
+            wall_clock_secs: 0.0,
+            rounds_per_sec: 0.0,
+            stage_p95_ns: self
+                .stage_p95_ns
+                .iter()
+                .map(|(name, _)| (name.clone(), 0))
+                .collect(),
+            ..self.clone()
+        }
+    }
+
+    /// The p95 of a `round.<stage>` timer, if recorded.
+    #[must_use]
+    pub fn stage_p95(&self, timer: &str) -> Option<u64> {
+        self.stage_p95_ns
+            .iter()
+            .find(|(name, _)| name == timer)
+            .map(|(_, ns)| *ns)
+    }
+
+    /// Serializes to one compact JSON line (no trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (which would indicate a schema bug).
+    pub fn to_jsonl(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+}
+
+/// The ledger path every producer shares: `$BT_LEDGER_PATH` when set,
+/// else `ledger.jsonl` under `$BT_MANIFEST_DIR` (or `results/`), so the
+/// ledger lands next to the run manifests by default.
+#[must_use]
+pub fn default_ledger_path() -> std::path::PathBuf {
+    if let Some(path) = std::env::var_os("BT_LEDGER_PATH") {
+        return std::path::PathBuf::from(path);
+    }
+    let dir = std::env::var_os("BT_MANIFEST_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results"));
+    dir.join("ledger.jsonl")
+}
+
+/// Appends one record to the ledger at `path`, creating parent
+/// directories and the file itself on first use.
+///
+/// # Errors
+///
+/// Propagates filesystem errors, and serializer errors mapped to
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn append_record(path: &Path, record: &LedgerRecord) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let line = record
+        .to_jsonl()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(line.as_bytes())?;
+    file.write_all(b"\n")
+}
+
+/// Reads every record from the ledger at `path`, oldest first. Blank
+/// lines are skipped; a malformed line is an error naming its 1-based
+/// line number (the ledger is append-only machine output, so damage
+/// means something is wrong enough to surface, not skip).
+///
+/// # Errors
+///
+/// Propagates filesystem errors; malformed lines map to
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn read_ledger(path: &Path) -> std::io::Result<Vec<LedgerRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut records = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: LedgerRecord = serde_json::from_str(line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("ledger line {}: {e}", index + 1),
+            )
+        })?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::fnv1a_hex;
+    use crate::registry::Registry;
+    use std::time::Duration;
+
+    fn sample_record(seed: u64) -> LedgerRecord {
+        let registry = Registry::new();
+        registry.counter("swarm.rounds").add(50);
+        registry
+            .timer("round.exchange")
+            .record(Duration::from_millis(4));
+        registry.timer("setup").record(Duration::from_millis(1));
+        let mut manifest = RunManifest::new("swarm", fnv1a_hex(b"cfg"), seed);
+        manifest.pipeline = vec!["exchange".to_string()];
+        manifest.peak_population = 99;
+        manifest.finish(&registry, Duration::from_secs(2));
+        LedgerRecord::from_manifest(&manifest, 3)
+    }
+
+    #[test]
+    fn record_derives_from_manifest() {
+        let record = sample_record(7);
+        assert_eq!(record.schema_version, LEDGER_SCHEMA_VERSION);
+        assert_eq!(record.command, "swarm");
+        assert_eq!(record.seed, 7);
+        assert_eq!(record.rounds, 50);
+        assert_eq!(record.violations, 3);
+        assert!((record.rounds_per_sec - 25.0).abs() < 1e-9);
+        assert!(record.stage_p95("round.exchange").is_some());
+        assert!(
+            record.stage_p95("setup").is_none(),
+            "non-round timers stay out of the ledger"
+        );
+    }
+
+    #[test]
+    fn normalized_zeroes_timing_but_keeps_identity() {
+        let record = sample_record(7);
+        let normal = record.normalized();
+        assert_eq!(normal.wall_clock_secs, 0.0);
+        assert_eq!(normal.rounds_per_sec, 0.0);
+        assert_eq!(normal.stage_p95("round.exchange"), Some(0));
+        assert_eq!(normal.seed, record.seed);
+        assert_eq!(normal.rounds, record.rounds);
+        assert_eq!(normal.violations, record.violations);
+        assert_eq!(normal.config_hash, record.config_hash);
+    }
+
+    #[test]
+    fn append_then_read_round_trips() {
+        let dir = std::env::temp_dir().join("bt-obs-ledger-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("ledger.jsonl");
+        for seed in [1u64, 2, 3] {
+            append_record(&path, &sample_record(seed)).unwrap();
+        }
+        let records = read_ledger(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records.iter().map(|r| r.seed).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "append order is read order"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_line_errors_with_line_number() {
+        let dir = std::env::temp_dir().join("bt-obs-ledger-bad-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("ledger.jsonl");
+        append_record(&path, &sample_record(1)).unwrap();
+        let mut file = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"{not json\n").unwrap();
+        drop(file);
+        let err = read_ledger(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("ledger line 2"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jsonl_is_single_line_and_stable() {
+        let record = sample_record(9).normalized();
+        let line = record.to_jsonl().unwrap();
+        assert!(!line.contains('\n'));
+        let again = sample_record(9).normalized().to_jsonl().unwrap();
+        assert_eq!(line, again, "normalized records serialize identically");
+    }
+}

@@ -25,6 +25,15 @@
 //!    counters, per-peer attribution, folded-stacks and per-round series
 //!    artifacts. Makes no RNG calls, so attaching it never perturbs a
 //!    deterministic run.
+//! 6. **Monitors** ([`Monitor`], [`MonitorSet`], [`MonitorReport`],
+//!    [`DiagnosisBundle`]): runtime invariant checks sampled at a round
+//!    cadence, with a diagnosis-bundle writer that captures forensic
+//!    context when an invariant breaks. Generic over the sample type;
+//!    the simulation crate supplies the concrete invariants.
+//! 7. **Regression ledger** ([`LedgerRecord`], [`append_record`],
+//!    [`read_ledger`]): every run appends one compact health-and-perf
+//!    record to `results/ledger.jsonl` so `btlab trend` can track
+//!    trajectories across runs instead of against a single baseline.
 //!
 //! # Span hierarchy
 //!
@@ -39,14 +48,22 @@
 #![deny(missing_docs)]
 
 mod filter;
+mod ledger;
 mod manifest;
+mod monitor;
 mod profiling;
 mod registry;
 mod subscriber;
 mod timeseries;
 
 pub use filter::EnvFilter;
-pub use manifest::{fnv1a_hex, git_describe, RunManifest};
+pub use ledger::{
+    append_record, default_ledger_path, read_ledger, LedgerRecord, LEDGER_SCHEMA_VERSION,
+};
+pub use manifest::{fnv1a_hex, git_describe, RunManifest, MANIFEST_SCHEMA_VERSION};
+pub use monitor::{
+    DiagnosisBundle, Monitor, MonitorReport, MonitorSet, Violation, MONITOR_SCHEMA_VERSION,
+};
 pub use profiling::{
     LatencySummary, PeerWork, ProfileOptions, ProfileReport, ProfileSink, StageProfile,
     PROFILE_SCHEMA_VERSION,

@@ -26,8 +26,13 @@ use rand::Rng;
 use bt_des::{Duration, SeedStream, SimTime, Simulator};
 use bt_markov::dist::sample_exponential;
 
+use crate::audit::SwarmAudit;
 use crate::config::{InitialPieces, SwarmConfig};
 use crate::metrics::{ObserverLog, SwarmMetrics};
+use crate::monitors::{
+    peer_slice, BundleContext, DoctorOptions, DoctorReport, FaultKind, FaultSpec, MonitorSample,
+    SwarmDoctor,
+};
 use crate::obs::SwarmObs;
 use crate::peer::{Peer, PeerId};
 use crate::replication::ReplicationIndex;
@@ -35,7 +40,7 @@ use crate::selection::replication_counts;
 use crate::snapshot::Snapshot;
 use crate::stages::{default_pipeline, RoundStage};
 use crate::store::PeerStore;
-use crate::telemetry::{ObserverSample, TelemetryRecorder};
+use crate::telemetry::{ObserverSample, TelemetryRecorder, TelemetrySample};
 use crate::tracker::Tracker;
 
 /// Events driving the simulation.
@@ -69,6 +74,7 @@ pub struct SwarmCore {
     pub(crate) metrics: SwarmMetrics,
     pub(crate) obs: SwarmObs,
     pub(crate) profile: bt_obs::ProfileSink,
+    pub(crate) audit: SwarmAudit,
 }
 
 impl SwarmCore {
@@ -135,6 +141,13 @@ impl SwarmCore {
         &mut self.profile
     }
 
+    /// The always-on mutation audit (ground truth for the conservation
+    /// and slot-balance monitors).
+    #[must_use]
+    pub fn audit(&self) -> &SwarmAudit {
+        &self.audit
+    }
+
     /// Grants `id` the given piece at the current round (bootstrap
     /// injection, seed upload, initial endowment). Returns `true` and
     /// updates the replication index if the piece was new.
@@ -146,6 +159,7 @@ impl SwarmCore {
         let round = self.round;
         if self.store.peer_mut(id).acquire(piece, round) {
             self.replication.on_acquire(piece);
+            self.audit.pieces_acquired += 1;
             true
         } else {
             false
@@ -163,6 +177,7 @@ impl SwarmCore {
         let blocks = self.config.blocks_per_piece;
         if self.store.peer_mut(id).receive_block(piece, blocks, round) {
             self.replication.on_acquire(piece);
+            self.audit.pieces_acquired += 1;
             true
         } else {
             false
@@ -183,6 +198,9 @@ impl SwarmCore {
             .remove(id)
             .expect("departing peer must be alive");
         self.replication.on_departure(&peer.have);
+        self.audit.pieces_departed += u64::from(peer.have.count());
+        self.audit.conn_closed += peer.connections.len() as u64;
+        self.audit.departures += 1;
         self.tracker.deregister(id);
         for &other in &peer.neighbors {
             if let Some(o) = self.store.get_mut(other) {
@@ -359,6 +377,62 @@ impl SwarmCore {
             }
         }
     }
+
+    /// Applies a scheduled fault (see [`FaultKind`]): deliberate
+    /// corruption that bypasses the accounting paths, so the seeded-fault
+    /// tests can prove the monitors fire. Makes no RNG calls — targets
+    /// are picked deterministically in join order.
+    pub(crate) fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::UnaccountedPiece => {
+                // Prefer a piece some other peer also holds, so a later
+                // departure of the corrupted peer cannot underflow the
+                // replication index.
+                let target = self
+                    .tracker
+                    .peers()
+                    .iter()
+                    .copied()
+                    .find(|&id| !self.store.peer(id).have.is_complete());
+                if let Some(id) = target {
+                    let piece = self
+                        .store
+                        .peer(id)
+                        .have
+                        .iter_missing()
+                        .find(|&p| self.replication.counts()[p as usize] > 0)
+                        .or_else(|| self.store.peer(id).have.iter_missing().next());
+                    if let Some(piece) = piece {
+                        self.store.peer_mut(id).have.set(piece);
+                    }
+                }
+            }
+            FaultKind::IndexDrift => {
+                if self.config.pieces > 0 {
+                    self.replication.on_acquire(0);
+                }
+            }
+            FaultKind::HalfOpenConnection => {
+                let k = self.config.max_connections as usize;
+                let mut found = None;
+                'outer: for &id in self.tracker.peers() {
+                    let peer = self.store.peer(id);
+                    if peer.connections.len() >= k {
+                        continue;
+                    }
+                    for &n in &peer.neighbors {
+                        if !peer.is_connected(n) && self.store.get(n).is_some() {
+                            found = Some((id, n));
+                            break 'outer;
+                        }
+                    }
+                }
+                if let Some((a, b)) = found {
+                    self.store.peer_mut(a).connections.push(b);
+                }
+            }
+        }
+    }
 }
 
 /// One pipeline slot: a stage plus its pre-resolved phase timer.
@@ -394,6 +468,8 @@ pub struct Swarm {
     core: SwarmCore,
     pipeline: Vec<PipelineEntry>,
     telemetry: Option<TelemetryRecorder>,
+    doctor: Option<SwarmDoctor>,
+    fault: Option<FaultSpec>,
 }
 
 impl std::fmt::Debug for Swarm {
@@ -457,6 +533,7 @@ impl Swarm {
             rng,
             obs: SwarmObs::new(registry),
             profile: bt_obs::ProfileSink::default(),
+            audit: SwarmAudit::default(),
             config,
         };
         for _ in 0..core.config.initial_leechers {
@@ -467,6 +544,8 @@ impl Swarm {
             core,
             pipeline,
             telemetry: None,
+            doctor: None,
+            fault: None,
         }
     }
 
@@ -577,6 +656,29 @@ impl Swarm {
         std::mem::take(&mut self.core.profile)
     }
 
+    /// Attaches a [`SwarmDoctor`]: subsequent rounds are checked against
+    /// the built-in invariant monitors at the doctor's cadence. Like the
+    /// profiler and telemetry, the doctor only reads state and makes no
+    /// RNG calls, so attaching it leaves a same-seed run byte-identical.
+    pub fn attach_doctor(&mut self, options: DoctorOptions) {
+        self.doctor = Some(SwarmDoctor::new(options));
+    }
+
+    /// Detaches the doctor and returns its report, e.g. after driving
+    /// rounds with [`Swarm::step_round`]. `None` when no doctor was
+    /// attached.
+    pub fn take_doctor_report(&mut self) -> Option<DoctorReport> {
+        self.doctor.take().map(SwarmDoctor::finish)
+    }
+
+    /// Schedules a deliberate invariant-breaking fault (see
+    /// [`FaultKind`]) to be applied after the stages of the given round —
+    /// the test-only hook behind `btlab doctor --inject-fault`, proving
+    /// the monitors fire and the diagnosis bundle lands.
+    pub fn schedule_fault(&mut self, fault: FaultSpec) {
+        self.fault = Some(fault);
+    }
+
     /// Runs the simulation to its stop condition and returns the metrics.
     #[must_use]
     pub fn run(mut self) -> SwarmMetrics {
@@ -594,6 +696,19 @@ impl Swarm {
             metrics, profile, ..
         } = self.core;
         (metrics, profile)
+    }
+
+    /// Like [`Swarm::run_profiled`], but also returns the doctor's
+    /// report. The report is `None` unless [`Swarm::attach_doctor`] was
+    /// called first.
+    #[must_use]
+    pub fn run_diagnosed(mut self) -> (SwarmMetrics, bt_obs::ProfileSink, Option<DoctorReport>) {
+        self.drive();
+        let report = self.doctor.take().map(SwarmDoctor::finish);
+        let SwarmCore {
+            metrics, profile, ..
+        } = self.core;
+        (metrics, profile, report)
     }
 
     /// Drives the DES event loop to the stop condition.
@@ -693,6 +808,11 @@ impl Swarm {
             self.core.profile.end_stage();
         }
         self.core.profile.end_round();
+        if self.fault.is_some_and(|f| f.round == self.core.round) {
+            let fault = self.fault.take().expect("fault presence just checked");
+            self.core.apply_fault(fault.kind);
+        }
+        self.check_doctor();
         if self.telemetry.is_some() {
             self.record_telemetry();
         }
@@ -703,6 +823,57 @@ impl Swarm {
             departures = self.core.metrics.departures;
             "round complete"
         );
+    }
+
+    /// Runs the attached doctor's monitors if this round is on its
+    /// cadence, writing the diagnosis bundle on the first violation. A
+    /// no-op (no scan, no allocation) when no doctor is attached.
+    fn check_doctor(&mut self) {
+        let Some(mut doctor) = self.doctor.take() else {
+            return;
+        };
+        if doctor.due(self.core.round) {
+            let sample = MonitorSample::capture(&self.core);
+            let snapshot = Snapshot::capture(self);
+            let telemetry =
+                TelemetrySample::from_snapshot(&snapshot, self.core.config.max_connections);
+            let violations = doctor.observe(&sample, telemetry);
+            if !violations.is_empty() {
+                for v in &violations {
+                    tracing::warn!(target: "bt_swarm::doctor", "{}", v);
+                }
+                if !doctor.bundle_written() {
+                    let subjects: Vec<u64> = violations
+                        .iter()
+                        .flat_map(|v| v.subjects.iter().copied())
+                        .collect();
+                    let context = BundleContext {
+                        seed: self.core.config.seed,
+                        pipeline: self
+                            .pipeline
+                            .iter()
+                            .map(|entry| entry.stage.name().to_string())
+                            .collect(),
+                        peers: peer_slice(&self.core, &subjects, 32),
+                        profile: self.core.profile.report(),
+                    };
+                    match doctor.emit_bundle(&sample, &violations, &context) {
+                        Ok(Some(dir)) => tracing::warn!(
+                            target: "bt_swarm::doctor",
+                            "diagnosis bundle written to {}",
+                            dir.display()
+                        ),
+                        Ok(None) => {}
+                        Err(e) => tracing::warn!(
+                            target: "bt_swarm::doctor",
+                            "failed to write diagnosis bundle: {}",
+                            e
+                        ),
+                    }
+                }
+            }
+        }
+        self.doctor = Some(doctor);
     }
 
     /// Feeds the attached telemetry recorder one round: the full

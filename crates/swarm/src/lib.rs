@@ -41,9 +41,11 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod audit;
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod monitors;
 mod obs;
 pub mod peer;
 pub mod piece;
@@ -56,9 +58,15 @@ pub mod store;
 pub mod telemetry;
 pub mod tracker;
 
+pub use audit::SwarmAudit;
 pub use config::{BootstrapInjection, InitialPieces, PieceSelection, SwarmConfig};
 pub use engine::{Swarm, SwarmCore};
 pub use metrics::SwarmMetrics;
+pub use monitors::{
+    default_monitors, DoctorOptions, DoctorReport, EntropyCollapse, FaultKind, FaultSpec,
+    MonitorSample, ObserverPhase, PhaseMonotonic, PieceConservation, ReplicationOracle,
+    SlotBalance, SwarmDoctor,
+};
 pub use replication::ReplicationIndex;
 pub use stages::RoundStage;
 pub use store::{PeerId, PeerStore};

@@ -127,7 +127,9 @@ impl RoundStage for Bootstrap {
     fn run(&mut self, core: &mut SwarmCore) {
         let injected = self.inject(core);
         core.profile.add_work("bootstrap.injections", injected);
+        core.audit.bootstrap_injections += injected;
         let uploaded = self.seed_uploads(core);
         core.profile.add_work("bootstrap.seed_uploads", uploaded);
+        core.audit.seed_uploads += uploaded;
     }
 }

@@ -36,6 +36,8 @@ impl RoundStage for DepartCompleted {
         core.profile
             .add_work("depart.departures", self.done.len() as u64);
         for &id in &self.done {
+            // core.depart is the audit hook: it tallies the departure,
+            // the pieces carried away, and the connections closed.
             let peer = core.depart(id);
             // Peers that joined during warm-up carry transient startup
             // dynamics; they depart normally but leave no record.

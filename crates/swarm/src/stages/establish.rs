@@ -87,6 +87,7 @@ impl RoundStage for EstablishConnections {
                     core.store.peer_mut(id).connections.push(choice);
                     core.store.peer_mut(choice).connections.push(id);
                     core.obs.conn_successes.incr();
+                    core.audit.conn_opened += 1;
                     initiated += 1;
                 } else {
                     // Failed attempt consumes the round's chance with this

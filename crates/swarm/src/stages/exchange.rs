@@ -126,6 +126,7 @@ impl RoundStage for ExchangePieces {
             {
                 core.store.peer_mut(a).connections.retain(|&p| p != b);
                 core.store.peer_mut(b).connections.retain(|&p| p != a);
+                core.audit.conn_closed += 1;
                 continue;
             }
             let wanted_a = {

@@ -51,5 +51,6 @@ impl RoundStage for MaintainNeighbors {
             }
         }
         core.profile.add_work("maintain.handout_entries", handed);
+        core.audit.neighbor_handouts += handed;
     }
 }

@@ -36,6 +36,7 @@ impl RoundStage for PruneConnections {
             if !tradable || !survives {
                 core.store.peer_mut(a).connections.retain(|&p| p != b);
                 core.store.peer_mut(b).connections.retain(|&p| p != a);
+                core.audit.conn_closed += 1;
             }
         }
     }

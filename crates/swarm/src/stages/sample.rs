@@ -24,6 +24,7 @@ impl RoundStage for SampleMetrics {
         let population = core.tracker.len();
         core.profile
             .add_work("sample.peers_sampled", population as u64);
+        core.audit.metric_samples += population as u64;
         core.metrics.population.push((round, population as u64));
         // Replication entropy over the leecher population.
         core.metrics.entropy.push((round, core.replication.entropy()));

@@ -32,6 +32,7 @@ impl RoundStage for ShakePeers {
             }
             // Take the neighbor list instead of cloning it; shake()
             // clears the (now empty) list anyway.
+            core.audit.conn_closed += core.store.peer(id).connections.len() as u64;
             let ex_neighbors = std::mem::take(&mut core.store.peer_mut(id).neighbors);
             core.store.peer_mut(id).shake();
             core.obs.shakes.incr();
@@ -43,5 +44,6 @@ impl RoundStage for ShakePeers {
             }
         }
         core.profile.add_work("shake.peers_shaken", shaken);
+        core.audit.shaken_peers += shaken;
     }
 }

@@ -7,7 +7,7 @@
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
-use bt_swarm::{InitialPieces, Swarm, SwarmConfig, TelemetryOptions, TelemetryRecorder};
+use bt_swarm::{DoctorOptions, InitialPieces, Swarm, SwarmConfig, TelemetryOptions, TelemetryRecorder};
 
 /// An in-memory `Write` sink readable after the recorder (which owns a
 /// `Box<dyn Write>`) is done with it.
@@ -108,6 +108,87 @@ fn profiler_does_not_perturb_the_run() {
     assert_eq!(
         plain_metrics, profiled_metrics,
         "attaching the profiler must not change engine metrics"
+    );
+}
+
+/// Runs the swarm with telemetry (and optionally the doctor) attached,
+/// returning the telemetry bytes, a metrics digest, the doctor's
+/// report, and the run's normalized ledger record as one JSON line.
+fn run_with_doctor(
+    seed: u64,
+    rounds: u64,
+    doctored: bool,
+) -> (Vec<u8>, String, Option<bt_swarm::DoctorReport>, String) {
+    let registry = bt_obs::Registry::new();
+    let mut swarm = Swarm::with_registry(config(seed), registry.clone());
+    let buf = SharedBuf::default();
+    swarm.attach_telemetry(
+        TelemetryRecorder::new(TelemetryOptions::default()).to_writer(Box::new(buf.clone())),
+    );
+    if doctored {
+        swarm.attach_doctor(DoctorOptions {
+            cadence: 4,
+            ..DoctorOptions::default()
+        });
+    }
+    let pipeline = swarm.stage_names();
+    for _ in 0..rounds {
+        swarm.step_round();
+    }
+    let report = swarm.take_doctor_report();
+    let digest = format!("{:?}", swarm.metrics());
+    let mut manifest = bt_obs::RunManifest::new("swarm", bt_obs::fnv1a_hex(b"det"), seed);
+    manifest.pipeline = pipeline.iter().map(|s| (*s).to_string()).collect();
+    manifest.finish(&registry, std::time::Duration::from_secs(1));
+    manifest.peak_population = registry.counter("swarm.peak_population").get();
+    let violations = report
+        .as_ref()
+        .map_or(0, |r| r.report.violations.len() as u64);
+    let ledger = bt_obs::LedgerRecord::from_manifest(&manifest, violations)
+        .normalized()
+        .to_jsonl()
+        .expect("ledger record serializes");
+    (buf.contents(), digest, report, ledger)
+}
+
+#[test]
+fn doctor_does_not_perturb_the_run() {
+    // The doctor only reads state (its sample capture makes no RNG
+    // calls), so a monitored run must be byte-identical to a bare one.
+    let (plain_stream, plain_metrics, no_report, _) = run_with_doctor(42, 120, false);
+    let (doctored_stream, doctored_metrics, report, _) = run_with_doctor(42, 120, true);
+    assert!(no_report.is_none());
+    let report = report.expect("doctor was attached");
+    assert!(report.report.checks > 0, "monitors actually sampled rounds");
+    assert_eq!(
+        plain_stream, doctored_stream,
+        "attaching the doctor must not change the telemetry stream"
+    );
+    assert_eq!(
+        plain_metrics, doctored_metrics,
+        "attaching the doctor must not change engine metrics"
+    );
+}
+
+#[test]
+fn same_seed_doctored_runs_and_ledger_records_agree() {
+    let (stream_a, metrics_a, report_a, ledger_a) = run_with_doctor(42, 120, true);
+    let (stream_b, metrics_b, report_b, ledger_b) = run_with_doctor(42, 120, true);
+    assert_eq!(
+        stream_a, stream_b,
+        "same-seed monitored telemetry must be byte-identical"
+    );
+    assert_eq!(metrics_a, metrics_b);
+    let (report_a, report_b) = (report_a.unwrap(), report_b.unwrap());
+    assert_eq!(report_a.report.checks, report_b.report.checks);
+    assert_eq!(
+        format!("{:?}", report_a.report.violations),
+        format!("{:?}", report_b.report.violations),
+        "monitor verdicts are deterministic"
+    );
+    assert_eq!(
+        ledger_a, ledger_b,
+        "same-seed normalized ledger records must serialize identically"
     );
 }
 

@@ -4,7 +4,11 @@
 //! to stderr under the `--log` / `--log-filter` global flags. Every
 //! run except `help` writes a JSON manifest (config hash, seed, counter
 //! totals, per-phase wall clock) to `results/manifest-<command>.json`,
-//! or `$BT_MANIFEST_DIR` when set.
+//! or `$BT_MANIFEST_DIR` when set. `swarm` and `doctor` runs also
+//! append one compact record to the cross-run ledger
+//! (`$BT_LEDGER_PATH`, default `results/ledger.jsonl`) — including
+//! failing doctor runs, so regressions are on the record. Exit codes:
+//! 0 success, 1 run failure, 2 usage or data error.
 
 use std::path::PathBuf;
 
@@ -29,19 +33,33 @@ fn main() {
         bt_obs::fnv1a_hex(format!("{command:?}").as_bytes()),
         command.seed().unwrap_or(0),
     );
-    if let cli::Command::Swarm(a) = &command {
-        manifest.pipeline = cli::swarm_pipeline_names(a);
-        manifest.disabled_stages = a.disabled_stages.clone();
+    match &command {
+        cli::Command::Swarm(a) => {
+            manifest.pipeline = cli::swarm_pipeline_names(a);
+            manifest.disabled_stages = a.disabled_stages.clone();
+        }
+        cli::Command::Doctor(a) => {
+            manifest.pipeline = cli::swarm_pipeline_names(&a.swarm);
+            manifest.disabled_stages = a.swarm.disabled_stages.clone();
+        }
+        _ => {}
     }
     let wants_manifest = !matches!(command, cli::Command::Help);
+    // The ledger tracks simulation runs; one record per swarm or
+    // doctor invocation, appended even when the run fails so a
+    // violation shows up in `btlab trend`.
+    let wants_ledger = matches!(
+        command,
+        cli::Command::Swarm(_) | cli::Command::Doctor(_)
+    );
     let start = std::time::Instant::now();
 
     let mut stdout = std::io::stdout().lock();
-    if let Err(msg) = cli::run(command, &mut stdout) {
-        eprintln!("error: {msg}");
-        std::process::exit(1);
-    }
+    let result = cli::run(command, &mut stdout);
     drop(stdout);
+    if let Err(e) = &result {
+        eprintln!("error: {e}");
+    }
 
     if wants_manifest {
         let registry = bt_obs::Registry::global();
@@ -57,6 +75,23 @@ fn main() {
                 tracing::warn!(target: "btlab", path = path.display().to_string(), error = e.to_string(); "failed to write run manifest");
             }
         }
+        if wants_ledger {
+            let violations = manifest.counter("doctor.violations").unwrap_or(0);
+            let record = bt_obs::LedgerRecord::from_manifest(&manifest, violations);
+            let ledger = bt_obs::default_ledger_path();
+            match bt_obs::append_record(&ledger, &record) {
+                Ok(()) => {
+                    tracing::info!(target: "btlab", path = ledger.display().to_string(); "ledger record appended");
+                }
+                Err(e) => {
+                    tracing::warn!(target: "btlab", path = ledger.display().to_string(), error = e.to_string(); "failed to append ledger record");
+                }
+            }
+        }
+    }
+
+    if let Err(e) = result {
+        std::process::exit(e.exit_code());
     }
 }
 

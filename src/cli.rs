@@ -31,6 +31,10 @@ pub enum Command {
     Profile(ProfileArgs),
     /// Compare two profiles (or bench manifests) stage by stage.
     Compare(CompareArgs),
+    /// Run a swarm with the runtime invariant monitors attached.
+    Doctor(DoctorArgs),
+    /// Render per-metric trajectories from the cross-run ledger.
+    Trend(TrendArgs),
     /// Run the repo's static analysis pass (`bt-lint`).
     Lint(LintArgs),
     /// Print usage.
@@ -50,6 +54,8 @@ impl Command {
             Command::Report(_) => "report",
             Command::Profile(_) => "profile",
             Command::Compare(_) => "compare",
+            Command::Doctor(_) => "doctor",
+            Command::Trend(_) => "trend",
             Command::Lint(_) => "lint",
             Command::Help => "help",
         }
@@ -63,13 +69,54 @@ impl Command {
             Command::Model(a) => Some(a.seed),
             Command::Traces(a) => Some(a.seed),
             Command::Report(a) => Some(a.seed),
+            Command::Doctor(a) => Some(a.swarm.seed),
             Command::Analyze(_)
             | Command::Figure(_)
             | Command::Profile(_)
             | Command::Compare(_)
+            | Command::Trend(_)
             | Command::Lint(_)
             | Command::Help => None,
         }
+    }
+}
+
+/// A command-execution failure, carrying the process exit code it maps
+/// to: [`CliError::Failure`] (exit 1) for runtime failures — a
+/// regression beyond tolerance, a monitor violation, an I/O error —
+/// and [`CliError::Invalid`] (exit 2) for malformed or mismatched input
+/// data, matching the exit-2 convention for unparsable command lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The run itself failed; the process should exit 1.
+    Failure(String),
+    /// Input data was malformed or mismatched; the process should
+    /// exit 2.
+    Invalid(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Failure(_) => 1,
+            CliError::Invalid(_) => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Failure(message) | CliError::Invalid(message) => f.write_str(message),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Failure(message)
     }
 }
 
@@ -213,6 +260,63 @@ pub struct ProfileArgs {
     pub input: String,
     /// How many hottest peers to list.
     pub top: usize,
+    /// Emit the report as stable machine-readable JSON instead of the
+    /// human table.
+    pub json: bool,
+}
+
+/// Arguments of `btlab doctor`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoctorArgs {
+    /// The underlying swarm run; every `btlab swarm` flag applies.
+    pub swarm: SwarmArgs,
+    /// Monitor sampling cadence: check every Nth round.
+    pub cadence: u64,
+    /// Entropy floor below which the one-club monitor fires.
+    pub floor: f64,
+    /// Minimum population before the entropy monitor engages.
+    pub min_population: u64,
+    /// Where diagnosis bundles land; defaults to the manifest directory
+    /// (`$BT_MANIFEST_DIR` or `results/`).
+    pub bundle_dir: Option<String>,
+    /// Seeded fault for monitor validation, parsed from `KIND@ROUND`.
+    pub inject_fault: Option<bt_swarm::FaultSpec>,
+}
+
+impl Default for DoctorArgs {
+    fn default() -> Self {
+        let defaults = bt_swarm::DoctorOptions::default();
+        DoctorArgs {
+            swarm: SwarmArgs::default(),
+            cadence: defaults.cadence,
+            floor: defaults.entropy_floor,
+            min_population: defaults.entropy_min_population,
+            bundle_dir: None,
+            inject_fault: None,
+        }
+    }
+}
+
+/// Arguments of `btlab trend`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendArgs {
+    /// Ledger file to read; defaults to `$BT_LEDGER_PATH`, then
+    /// `ledger.jsonl` under the manifest directory.
+    pub ledger: Option<String>,
+    /// How many trailing records to render.
+    pub last: usize,
+    /// Relative slack before a metric is flagged as regressed.
+    pub tolerance: f64,
+}
+
+impl Default for TrendArgs {
+    fn default() -> Self {
+        TrendArgs {
+            ledger: None,
+            last: 10,
+            tolerance: 0.10,
+        }
+    }
 }
 
 /// Arguments of `btlab compare`.
@@ -241,6 +345,8 @@ pub struct ReportArgs {
     pub replications: usize,
     /// RNG seed of the model comparison.
     pub seed: u64,
+    /// Fail (exit 1) when the manifest cross-check prints a warning.
+    pub strict: bool,
 }
 
 impl Default for ReportArgs {
@@ -252,6 +358,7 @@ impl Default for ReportArgs {
             gamma: 0.15,
             replications: 200,
             seed: 0,
+            strict: false,
         }
     }
 }
@@ -340,9 +447,13 @@ USAGE:
   btlab model   [--pieces N] [--k N] [--s N] [--alpha F] [--gamma F]
                 [--replications N] [--seed N]
   btlab report  --telemetry FILE [--manifest FILE] [--alpha F] [--gamma F]
-                [--replications N] [--seed N]
-  btlab profile PROFILE.json [--top N]
+                [--replications N] [--seed N] [--strict]
+  btlab profile PROFILE.json [--top N] [--json]
   btlab compare BASELINE CANDIDATE [--tolerance F]
+  btlab doctor  [all swarm flags] [--cadence N] [--floor F]
+                [--min-population N] [--bundle-dir DIR]
+                [--inject-fault KIND@ROUND]
+  btlab trend   [--ledger FILE] [--last N] [--tolerance F]
   btlab traces  --out FILE [--scenario smooth|last-phase|bootstrap-stall]
                 [--clients N] [--seed N]
   btlab analyze --input FILE
@@ -372,6 +483,29 @@ PROFILING (btlab swarm / profile / compare):
   `btlab compare` diffs two profiles — or two BENCH_swarm.json bench
   manifests — stage by stage and exits 1 when the candidate regresses
   beyond --tolerance (default 0.10 = 10%).
+
+DOCTOR (btlab doctor / trend):
+  `btlab doctor` runs a swarm with the runtime invariant monitors
+  sampling every --cadence rounds: piece conservation, replication
+  index vs oracle recount, entropy floor (one-club collapse),
+  per-observer phase monotonicity, and connection-slot balance. On the
+  first violation it writes a diagnosis bundle (meta.json, flight.json,
+  telemetry.jsonl, peers.json, profile.json when profiling) to
+  `--bundle-dir/diagnosis-<run>/` and exits 1. --inject-fault KIND@ROUND
+  corrupts the swarm deliberately to validate the monitors; kinds:
+  unaccounted-piece, index-drift, half-open-connection. Every swarm,
+  doctor, and bench run appends one compact record (seed, config hash,
+  pipeline, rounds/sec, stage p95s, violation count) to the cross-run
+  ledger (`$BT_LEDGER_PATH`, default results/ledger.jsonl); `btlab
+  trend` renders per-metric trajectories over the last --last records
+  and flags values drifting beyond --tolerance against the median of
+  matching prior runs (advisory: trend itself always exits 0 on
+  readable ledgers).
+
+EXIT CODES:
+  0 success; 1 run failure (simulation error, compare regression,
+  doctor violation, report --strict warning); 2 usage error or
+  malformed/mismatched input data.
 
 STAGE ABLATION (btlab swarm):
   --disable-stage removes stages from the round pipeline for ablation
@@ -414,48 +548,49 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "swarm" => {
             let mut a = SwarmArgs::default();
             for (key, value) in &flags {
-                match key.as_str() {
-                    "pieces" => a.pieces = num(key, value)?,
-                    "k" => a.k = num(key, value)?,
-                    "s" => a.s = num(key, value)?,
-                    "lambda" => a.lambda = num(key, value)?,
-                    "initial" => a.initial = num(key, value)?,
-                    "rounds" => a.rounds = num(key, value)?,
-                    "seed" => a.seed = num(key, value)?,
-                    "shake" => a.shake = Some(num(key, value)?),
-                    "json" => a.json = flag(key, value)?,
-                    "observers" => a.observers = num(key, value)?,
-                    "telemetry" => a.telemetry = Some(required(key, value)?),
-                    "telemetry-format" => {
-                        let format = required(key, value)?;
-                        // Validate eagerly; the recorder re-parses at run time.
-                        format
-                            .parse::<bt_swarm::TelemetryFormat>()
-                            .map_err(|e| format!("--{key}: {e}"))?;
-                        a.telemetry_format = format;
-                    }
-                    "telemetry-stride" => a.telemetry_stride = num(key, value)?,
-                    "flight" => a.flight = Some(required(key, value)?),
-                    "entropy-floor" => a.entropy_floor = Some(num(key, value)?),
-                    "stall-rounds" => a.stall_rounds = Some(num(key, value)?),
-                    "flight-capacity" => a.flight_capacity = num(key, value)?,
-                    "profile" => a.profile = Some(required(key, value)?),
-                    "disable-stage" => {
-                        for name in required(key, value)?.split(',') {
-                            let name = name.trim();
-                            if !bt_swarm::stages::STAGE_NAMES.contains(&name) {
-                                return Err(format!(
-                                    "--disable-stage: unknown stage `{name}`; known stages: {}",
-                                    bt_swarm::stages::STAGE_NAMES.join(", ")
-                                ));
-                            }
-                            a.disabled_stages.push(name.to_string());
-                        }
-                    }
-                    _ => return Err(format!("unknown flag --{key} for swarm")),
+                if !apply_swarm_flag(&mut a, key, value)? {
+                    return Err(format!("unknown flag --{key} for swarm"));
                 }
             }
             Ok(Command::Swarm(a))
+        }
+        "doctor" => {
+            let mut a = DoctorArgs::default();
+            for (key, value) in &flags {
+                match key.as_str() {
+                    "cadence" => a.cadence = num(key, value)?,
+                    "floor" => a.floor = num(key, value)?,
+                    "min-population" => a.min_population = num(key, value)?,
+                    "bundle-dir" => a.bundle_dir = Some(required(key, value)?),
+                    "inject-fault" => {
+                        a.inject_fault = Some(parse_fault(&required(key, value)?)?);
+                    }
+                    _ => {
+                        if !apply_swarm_flag(&mut a.swarm, key, value)? {
+                            return Err(format!("unknown flag --{key} for doctor"));
+                        }
+                    }
+                }
+            }
+            Ok(Command::Doctor(a))
+        }
+        "trend" => {
+            let mut a = TrendArgs::default();
+            for (key, value) in &flags {
+                match key.as_str() {
+                    "ledger" => a.ledger = Some(required(key, value)?),
+                    "last" => a.last = num(key, value)?,
+                    "tolerance" => a.tolerance = num(key, value)?,
+                    _ => return Err(format!("unknown flag --{key} for trend")),
+                }
+            }
+            if a.last == 0 {
+                return Err("--last must be >= 1".to_string());
+            }
+            if a.tolerance < 0.0 {
+                return Err(format!("--tolerance must be >= 0, got {}", a.tolerance));
+            }
+            Ok(Command::Trend(a))
         }
         "report" => {
             let mut a = ReportArgs::default();
@@ -468,6 +603,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "gamma" => a.gamma = num(key, value)?,
                     "replications" => a.replications = num(key, value)?,
                     "seed" => a.seed = num(key, value)?,
+                    "strict" => a.strict = flag(key, value)?,
                     _ => return Err(format!("unknown flag --{key} for report")),
                 }
             }
@@ -557,15 +693,78 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
 }
 
+/// Applies one `--key value` pair to `a` when the key is a swarm-run
+/// flag, so commands embedding a swarm run (`swarm`, `doctor`) share
+/// one flag table. Returns `Ok(false)` for keys the swarm does not
+/// know, leaving the caller to reject or claim them.
+fn apply_swarm_flag(a: &mut SwarmArgs, key: &str, value: &str) -> Result<bool, String> {
+    match key {
+        "pieces" => a.pieces = num(key, value)?,
+        "k" => a.k = num(key, value)?,
+        "s" => a.s = num(key, value)?,
+        "lambda" => a.lambda = num(key, value)?,
+        "initial" => a.initial = num(key, value)?,
+        "rounds" => a.rounds = num(key, value)?,
+        "seed" => a.seed = num(key, value)?,
+        "shake" => a.shake = Some(num(key, value)?),
+        "json" => a.json = flag(key, value)?,
+        "observers" => a.observers = num(key, value)?,
+        "telemetry" => a.telemetry = Some(required(key, value)?),
+        "telemetry-format" => {
+            let format = required(key, value)?;
+            // Validate eagerly; the recorder re-parses at run time.
+            format
+                .parse::<bt_swarm::TelemetryFormat>()
+                .map_err(|e| format!("--{key}: {e}"))?;
+            a.telemetry_format = format;
+        }
+        "telemetry-stride" => a.telemetry_stride = num(key, value)?,
+        "flight" => a.flight = Some(required(key, value)?),
+        "entropy-floor" => a.entropy_floor = Some(num(key, value)?),
+        "stall-rounds" => a.stall_rounds = Some(num(key, value)?),
+        "flight-capacity" => a.flight_capacity = num(key, value)?,
+        "profile" => a.profile = Some(required(key, value)?),
+        "disable-stage" => {
+            for name in required(key, value)?.split(',') {
+                let name = name.trim();
+                if !bt_swarm::stages::STAGE_NAMES.contains(&name) {
+                    return Err(format!(
+                        "--disable-stage: unknown stage `{name}`; known stages: {}",
+                        bt_swarm::stages::STAGE_NAMES.join(", ")
+                    ));
+                }
+                a.disabled_stages.push(name.to_string());
+            }
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Parses a `--inject-fault` value of the form `KIND@ROUND`, e.g.
+/// `unaccounted-piece@10`.
+fn parse_fault(text: &str) -> Result<bt_swarm::FaultSpec, String> {
+    let (kind, round) = text
+        .split_once('@')
+        .ok_or_else(|| format!("--inject-fault needs KIND@ROUND, got `{text}`"))?;
+    let kind: bt_swarm::FaultKind = kind.parse()?;
+    let round: u64 = round
+        .parse()
+        .map_err(|_| format!("--inject-fault round must be a number, got `{round}`"))?;
+    Ok(bt_swarm::FaultSpec { round, kind })
+}
+
 fn parse_profile(rest: &[String]) -> Result<Command, String> {
     let (positionals, flag_tokens) = split_positionals(rest);
     let flags = parse_flags(&flag_tokens)?;
     let mut input = None;
     let mut top = 10usize;
+    let mut json = false;
     for (key, value) in &flags {
         match key.as_str() {
             "input" => input = Some(required(key, value)?),
             "top" => top = num(key, value)?,
+            "json" => json = flag(key, value)?,
             _ => return Err(format!("unknown flag --{key} for profile")),
         }
     }
@@ -580,7 +779,7 @@ fn parse_profile(rest: &[String]) -> Result<Command, String> {
         .next()
         .or(input)
         .ok_or("profile requires a PROFILE.json path")?;
-    Ok(Command::Profile(ProfileArgs { input, top }))
+    Ok(Command::Profile(ProfileArgs { input, top, json }))
 }
 
 fn parse_compare(rest: &[String]) -> Result<Command, String> {
@@ -674,65 +873,74 @@ fn required(key: &str, value: &str) -> Result<String, String> {
     }
 }
 
+/// Builds the swarm a `btlab swarm` / `btlab doctor` run drives:
+/// config, optional stage ablation, optional telemetry stream and
+/// flight recorder. The caller attaches profilers or doctors and runs.
+fn build_swarm(a: &SwarmArgs) -> Result<bt_swarm::Swarm, String> {
+    let mut builder = bt_swarm::SwarmConfig::builder();
+    builder
+        .pieces(a.pieces)
+        .max_connections(a.k)
+        .neighbor_set_size(a.s)
+        .arrival_rate(a.lambda)
+        .initial_leechers(a.initial)
+        .max_rounds(a.rounds)
+        .seed(a.seed);
+    if let Some(f) = a.shake {
+        builder.shake_at(f);
+    }
+    if a.observers > 0 {
+        builder.observers(a.observers);
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
+    let mut swarm = if a.disabled_stages.is_empty() {
+        bt_swarm::Swarm::new(config)
+    } else {
+        let stages: Vec<Box<dyn bt_swarm::RoundStage>> =
+            bt_swarm::stages::default_pipeline(&config)
+                .into_iter()
+                .filter(|s| !a.disabled_stages.iter().any(|d| d == s.name()))
+                .collect();
+        tracing::info!(target: "btlab", disabled = a.disabled_stages.join(",").as_str(); "stage ablation active");
+        bt_swarm::Swarm::with_pipeline(config, bt_obs::Registry::global(), stages)
+    };
+    if a.telemetry.is_some() || a.flight.is_some() {
+        let format: bt_swarm::TelemetryFormat = a.telemetry_format.parse()?;
+        let flight = a.flight.as_ref().map(|path| bt_swarm::FlightOptions {
+            capacity: a.flight_capacity,
+            entropy_floor: a.entropy_floor,
+            stall_rounds: a.stall_rounds,
+            path: Some(std::path::PathBuf::from(path)),
+        });
+        let mut recorder = bt_swarm::TelemetryRecorder::new(bt_swarm::TelemetryOptions {
+            stride: a.telemetry_stride,
+            format,
+            flight,
+            ..bt_swarm::TelemetryOptions::default()
+        });
+        if let Some(path) = &a.telemetry {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create telemetry file {path}: {e}"))?;
+            recorder = recorder.to_writer(Box::new(std::io::BufWriter::new(file)));
+        }
+        swarm.attach_telemetry(recorder);
+    }
+    Ok(swarm)
+}
+
 /// Executes a parsed command, writing human-readable output to `out`.
 ///
 /// # Errors
 ///
-/// Returns a message for configuration or I/O failures.
-pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), String> {
-    let io_err = |e: std::io::Error| format!("i/o error: {e}");
+/// Returns a [`CliError`] for configuration, data, or I/O failures;
+/// its [`CliError::exit_code`] tells the binary how to exit.
+pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), CliError> {
+    let io_err = |e: std::io::Error| CliError::from(format!("i/o error: {e}"));
     match command {
         Command::Help => write!(out, "{USAGE}").map_err(io_err),
         Command::Swarm(a) => {
-            let mut builder = bt_swarm::SwarmConfig::builder();
-            builder
-                .pieces(a.pieces)
-                .max_connections(a.k)
-                .neighbor_set_size(a.s)
-                .arrival_rate(a.lambda)
-                .initial_leechers(a.initial)
-                .max_rounds(a.rounds)
-                .seed(a.seed);
-            if let Some(f) = a.shake {
-                builder.shake_at(f);
-            }
-            if a.observers > 0 {
-                builder.observers(a.observers);
-            }
-            let config = builder.build().map_err(|e| e.to_string())?;
             tracing::info!(target: "btlab", pieces = a.pieces, rounds = a.rounds, seed = a.seed; "running swarm simulation");
-            let mut swarm = if a.disabled_stages.is_empty() {
-                bt_swarm::Swarm::new(config)
-            } else {
-                let stages: Vec<Box<dyn bt_swarm::RoundStage>> =
-                    bt_swarm::stages::default_pipeline(&config)
-                        .into_iter()
-                        .filter(|s| !a.disabled_stages.iter().any(|d| d == s.name()))
-                        .collect();
-                tracing::info!(target: "btlab", disabled = a.disabled_stages.join(",").as_str(); "stage ablation active");
-                bt_swarm::Swarm::with_pipeline(config, bt_obs::Registry::global(), stages)
-            };
-            if a.telemetry.is_some() || a.flight.is_some() {
-                let format: bt_swarm::TelemetryFormat = a.telemetry_format.parse()?;
-                let flight = a.flight.as_ref().map(|path| bt_swarm::FlightOptions {
-                    capacity: a.flight_capacity,
-                    entropy_floor: a.entropy_floor,
-                    stall_rounds: a.stall_rounds,
-                    path: Some(std::path::PathBuf::from(path)),
-                });
-                let mut recorder = bt_swarm::TelemetryRecorder::new(bt_swarm::TelemetryOptions {
-                    stride: a.telemetry_stride,
-                    format,
-                    flight,
-                    ..bt_swarm::TelemetryOptions::default()
-                });
-                if let Some(path) = &a.telemetry {
-                    let file = std::fs::File::create(path)
-                        .map_err(|e| format!("cannot create telemetry file {path}: {e}"))?;
-                    recorder = recorder.to_writer(Box::new(std::io::BufWriter::new(file)));
-                }
-                swarm.attach_telemetry(recorder);
-            }
+            let mut swarm = build_swarm(&a)?;
             let metrics = if let Some(profile_path) = &a.profile {
                 swarm.attach_profiler(bt_obs::ProfileOptions {
                     seed: a.seed,
@@ -805,7 +1013,7 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), Strin
                 "smooth" => bt_traces::generator::TraceScenario::Smooth,
                 "last-phase" => bt_traces::generator::TraceScenario::LastPhase,
                 "bootstrap-stall" => bt_traces::generator::TraceScenario::BootstrapStall,
-                other => return Err(format!("unknown scenario `{other}`")),
+                other => return Err(format!("unknown scenario `{other}`").into()),
             };
             tracing::info!(target: "btlab", scenario = a.scenario.as_str(), clients = a.clients, seed = a.seed; "generating traces");
             let traces = bt_traces::generator::generate(scenario, a.clients, a.seed)
@@ -825,13 +1033,15 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), Strin
                 "fig4b" => bt_bench::fig4bc::print_fig4b(&bt_bench::fig4bc::fig4bc(5)),
                 "fig4c" => bt_bench::fig4bc::print_fig4c(&bt_bench::fig4bc::fig4bc(5)),
                 "fig4d" => bt_bench::fig4d::print_fig4d(&bt_bench::fig4d::fig4d(30, 6)),
-                other => return Err(format!("unknown figure id `{other}`")),
+                other => return Err(format!("unknown figure id `{other}`").into()),
             }
             Ok(())
         }
         Command::Report(a) => run_report(&a, out),
         Command::Profile(a) => run_profile(&a, out),
         Command::Compare(a) => run_compare(&a, out),
+        Command::Doctor(a) => run_doctor(&a, out),
+        Command::Trend(a) => run_trend(&a, out),
         Command::Lint(a) => {
             let root = a.root.clone().unwrap_or_else(|| ".".to_string());
             tracing::info!(target: "btlab", root = root.as_str(); "running static analysis");
@@ -844,7 +1054,7 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), Strin
             }
             let blocking = report.blocking_count();
             if blocking > 0 {
-                return Err(format!("bt-lint found {blocking} blocking finding(s)"));
+                return Err(format!("bt-lint found {blocking} blocking finding(s)").into());
             }
             Ok(())
         }
@@ -879,10 +1089,12 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), Strin
 /// Executes `btlab report`: summarizes a JSONL telemetry stream —
 /// entropy trajectory, per-observer phase boundaries, flight dumps —
 /// and compares mean observer boundaries against the analytical model.
-fn run_report<W: std::io::Write>(a: &ReportArgs, out: &mut W) -> Result<(), String> {
+/// Under `--strict`, any manifest cross-check warning fails the run.
+fn run_report<W: std::io::Write>(a: &ReportArgs, out: &mut W) -> Result<(), CliError> {
     use bt_swarm::telemetry::{ObserverBoundaries, TelemetryRecord};
 
     let io_err = |e: std::io::Error| format!("i/o error: {e}");
+    let mut warnings: Vec<String> = Vec::new();
     tracing::info!(target: "btlab", telemetry = a.telemetry.as_str(); "reporting on telemetry");
     let records = bt_swarm::telemetry::read_records_from_path(std::path::Path::new(&a.telemetry))
         .map_err(|e| format!("cannot read telemetry {}: {e}", a.telemetry))?;
@@ -892,7 +1104,9 @@ fn run_report<W: std::io::Write>(a: &ReportArgs, out: &mut W) -> Result<(), Stri
             TelemetryRecord::Meta(m) => Some(m.clone()),
             _ => None,
         })
-        .ok_or("telemetry stream has no Meta header; report needs the jsonl format")?;
+        .ok_or_else(|| {
+            "telemetry stream has no Meta header; report needs the jsonl format".to_string()
+        })?;
 
     writeln!(out, "telemetry report: {}", a.telemetry).map_err(io_err)?;
     writeln!(
@@ -1061,12 +1275,12 @@ fn run_report<W: std::io::Write>(a: &ReportArgs, out: &mut W) -> Result<(), Stri
         )
         .map_err(io_err)?;
         if manifest.seed != meta.seed {
-            writeln!(
-                out,
-                "warning: manifest seed {} differs from telemetry seed {}",
+            let warning = format!(
+                "manifest seed {} differs from telemetry seed {}",
                 manifest.seed, meta.seed
-            )
-            .map_err(io_err)?;
+            );
+            writeln!(out, "warning: {warning}").map_err(io_err)?;
+            warnings.push(warning);
         }
         if !manifest.phase_timers.is_empty() {
             writeln!(
@@ -1104,13 +1318,13 @@ fn run_report<W: std::io::Write>(a: &ReportArgs, out: &mut W) -> Result<(), Stri
             for (name, t) in &manifest.phase_timers {
                 if let Some(stage) = name.strip_prefix("round.") {
                     if t.count > 0 && !manifest.pipeline.iter().any(|s| s == stage) {
-                        writeln!(
-                            out,
-                            "warning: timer {name} recorded {} samples but stage `{stage}` \
+                        let warning = format!(
+                            "timer {name} recorded {} samples but stage `{stage}` \
                              is not in the manifest pipeline",
                             t.count
-                        )
-                        .map_err(io_err)?;
+                        );
+                        writeln!(out, "warning: {warning}").map_err(io_err)?;
+                        warnings.push(warning);
                     }
                 }
             }
@@ -1121,14 +1335,21 @@ fn run_report<W: std::io::Write>(a: &ReportArgs, out: &mut W) -> Result<(), Stri
                     .iter()
                     .any(|(name, t)| *name == timer && t.count > 0);
                 if !ran {
-                    writeln!(
-                        out,
-                        "warning: pipeline stage `{stage}` has no recorded {timer} timer samples"
-                    )
-                    .map_err(io_err)?;
+                    let warning = format!(
+                        "pipeline stage `{stage}` has no recorded {timer} timer samples"
+                    );
+                    writeln!(out, "warning: {warning}").map_err(io_err)?;
+                    warnings.push(warning);
                 }
             }
         }
+    }
+    if a.strict && !warnings.is_empty() {
+        return Err(CliError::Failure(format!(
+            "--strict: {} manifest warning(s):\n  {}",
+            warnings.len(),
+            warnings.join("\n  ")
+        )));
     }
     Ok(())
 }
@@ -1165,11 +1386,17 @@ pub fn swarm_pipeline_names(a: &SwarmArgs) -> Vec<String> {
 
 /// Executes `btlab profile`: summarizes a recorded `profile.json` —
 /// hottest stages by wall time, work counters with per-round averages,
-/// and the hottest peers by attributed work.
-fn run_profile<W: std::io::Write>(a: &ProfileArgs, out: &mut W) -> Result<(), String> {
+/// and the hottest peers by attributed work. With `--json`, re-emits
+/// the validated report as stable machine-readable JSON instead.
+fn run_profile<W: std::io::Write>(a: &ProfileArgs, out: &mut W) -> Result<(), CliError> {
     let io_err = |e: std::io::Error| format!("i/o error: {e}");
     let report = bt_obs::ProfileReport::read_from(std::path::Path::new(&a.input))
         .map_err(|e| format!("cannot read profile {}: {e}", a.input))?;
+    if a.json {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("serialization error: {e}"))?;
+        return writeln!(out, "{json}").map_err(io_err).map_err(CliError::from);
+    }
     writeln!(out, "profile report: {}", a.input).map_err(io_err)?;
     writeln!(
         out,
@@ -1262,14 +1489,27 @@ struct CompareSide {
 /// Loads `path` as either a [`bt_obs::ProfileReport`] (from
 /// `swarm --profile`) or a [`bt_obs::RunManifest`] (e.g. the
 /// `BENCH_swarm.json` the bench binaries write), detected by shape.
-fn load_compare_side(path: &str) -> Result<CompareSide, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let value: serde_json::Value =
-        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+///
+/// Every data problem — unreadable file, malformed JSON, an
+/// unrecognized document shape, or a schema-version mismatch — maps to
+/// [`CliError::Invalid`] (exit 2), so CI can tell "the candidate
+/// regressed" (exit 1) apart from "the inputs were garbage".
+fn load_compare_side(path: &str) -> Result<CompareSide, CliError> {
+    let invalid = |message: String| CliError::Invalid(message);
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| invalid(format!("cannot read {path}: {e}")))?;
+    let value: serde_json::Value = serde_json::from_str(&text)
+        .map_err(|e| invalid(format!("cannot parse {path}: {e}")))?;
     if value.get("stages").is_some() && value.get("round_latency").is_some() {
         let report: bt_obs::ProfileReport = serde_json::from_str(&text)
-            .map_err(|e| format!("cannot parse profile {path}: {e}"))?;
+            .map_err(|e| invalid(format!("cannot parse profile {path}: {e}")))?;
+        if report.schema_version != bt_obs::PROFILE_SCHEMA_VERSION {
+            return Err(invalid(format!(
+                "{path}: profile schema_version {} does not match the supported version {}",
+                report.schema_version,
+                bt_obs::PROFILE_SCHEMA_VERSION
+            )));
+        }
         Ok(CompareSide {
             stages: report
                 .stages
@@ -1280,7 +1520,14 @@ fn load_compare_side(path: &str) -> Result<CompareSide, String> {
         })
     } else if value.get("phase_secs").is_some() {
         let manifest: bt_obs::RunManifest = serde_json::from_str(&text)
-            .map_err(|e| format!("cannot parse manifest {path}: {e}"))?;
+            .map_err(|e| invalid(format!("cannot parse manifest {path}: {e}")))?;
+        if manifest.schema_version != bt_obs::MANIFEST_SCHEMA_VERSION {
+            return Err(invalid(format!(
+                "{path}: manifest schema_version {} does not match the supported version {}",
+                manifest.schema_version,
+                bt_obs::MANIFEST_SCHEMA_VERSION
+            )));
+        }
         let stages = manifest
             .phase_secs
             .iter()
@@ -1297,10 +1544,10 @@ fn load_compare_side(path: &str) -> Result<CompareSide, String> {
             rounds_per_sec,
         })
     } else {
-        Err(format!(
+        Err(invalid(format!(
             "{path}: neither a profile report (stages + round_latency) nor a run manifest \
              (phase_secs)"
-        ))
+        )))
     }
 }
 
@@ -1309,8 +1556,9 @@ fn load_compare_side(path: &str) -> Result<CompareSide, String> {
 const COMPARE_MIN_STAGE_SECS: f64 = 1e-6;
 
 /// Executes `btlab compare`: prints a stage-by-stage delta table and
-/// fails when the candidate regresses beyond the tolerance.
-fn run_compare<W: std::io::Write>(a: &CompareArgs, out: &mut W) -> Result<(), String> {
+/// fails when the candidate regresses beyond the tolerance (exit 1) or
+/// either input is malformed (exit 2).
+fn run_compare<W: std::io::Write>(a: &CompareArgs, out: &mut W) -> Result<(), CliError> {
     let io_err = |e: std::io::Error| format!("i/o error: {e}");
     let baseline = load_compare_side(&a.baseline)?;
     let candidate = load_compare_side(&a.candidate)?;
@@ -1387,13 +1635,280 @@ fn run_compare<W: std::io::Write>(a: &CompareArgs, out: &mut W) -> Result<(), St
         writeln!(out, "no regressions beyond tolerance").map_err(io_err)?;
         Ok(())
     } else {
-        Err(format!(
+        Err(CliError::Failure(format!(
             "{} regression(s) beyond tolerance {:.1}%:\n  {}",
             regressions.len(),
             a.tolerance * 100.0,
             regressions.join("\n  ")
-        ))
+        )))
     }
+}
+
+/// The directory run artifacts default to: `$BT_MANIFEST_DIR`, then
+/// `results/`.
+fn manifest_dir() -> std::path::PathBuf {
+    std::env::var_os("BT_MANIFEST_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results"))
+}
+
+/// How many violations `btlab doctor` prints in full before eliding;
+/// a broken invariant usually fires on every subsequent check, so the
+/// tail repeats the head.
+const DOCTOR_MAX_PRINTED_VIOLATIONS: usize = 20;
+
+/// Executes `btlab doctor`: a swarm run with the invariant monitors
+/// sampling at `--cadence`, summarizing violations (and the diagnosis
+/// bundle, when one was written) and failing when any invariant broke.
+fn run_doctor<W: std::io::Write>(a: &DoctorArgs, out: &mut W) -> Result<(), CliError> {
+    let io_err = |e: std::io::Error| format!("i/o error: {e}");
+    let config_hash = bt_obs::fnv1a_hex(format!("{:?}", a.swarm).as_bytes());
+    let run_id = format!(
+        "doctor-{}-{}",
+        a.swarm.seed,
+        &config_hash[..config_hash.len().min(8)]
+    );
+    tracing::info!(target: "btlab", seed = a.swarm.seed, cadence = a.cadence, run_id = run_id.as_str(); "running doctored swarm");
+    let mut swarm = build_swarm(&a.swarm)?;
+    let bundle_root = a
+        .bundle_dir
+        .clone()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(manifest_dir);
+    swarm.attach_doctor(bt_swarm::DoctorOptions {
+        cadence: a.cadence,
+        entropy_floor: a.floor,
+        entropy_min_population: a.min_population,
+        bundle_root: Some(bundle_root),
+        run_id,
+        ..bt_swarm::DoctorOptions::default()
+    });
+    if let Some(fault) = a.inject_fault {
+        tracing::warn!(target: "btlab", kind = format!("{:?}", fault.kind).as_str(), round = fault.round; "seeded fault scheduled");
+        swarm.schedule_fault(fault);
+    }
+    if a.swarm.profile.is_some() {
+        swarm.attach_profiler(bt_obs::ProfileOptions {
+            seed: a.swarm.seed,
+            ..bt_obs::ProfileOptions::default()
+        });
+    }
+    let (metrics, profile, report) = swarm.run_diagnosed();
+    if let Some(profile_path) = &a.swarm.profile {
+        profile
+            .write_artifacts(std::path::Path::new(profile_path))
+            .map_err(|e| format!("cannot write profile {profile_path}: {e}"))?;
+        tracing::info!(target: "btlab", path = profile_path.as_str(); "profile written");
+    }
+    let report = report.ok_or_else(|| "doctor report missing after run".to_string())?;
+
+    writeln!(
+        out,
+        "rounds={} completions={} final_entropy={:.3} final_population={}",
+        metrics.rounds_run,
+        metrics.completions.len(),
+        metrics.final_entropy(),
+        metrics.final_population(),
+    )
+    .map_err(io_err)?;
+    let violations = &report.report.violations;
+    writeln!(
+        out,
+        "doctor: monitors={} checks={} violations={}",
+        report.monitors.join(","),
+        report.report.checks,
+        violations.len()
+    )
+    .map_err(io_err)?;
+    for v in violations.iter().take(DOCTOR_MAX_PRINTED_VIOLATIONS) {
+        writeln!(out, "violation {v}").map_err(io_err)?;
+    }
+    if violations.len() > DOCTOR_MAX_PRINTED_VIOLATIONS {
+        writeln!(
+            out,
+            "... and {} more violation(s)",
+            violations.len() - DOCTOR_MAX_PRINTED_VIOLATIONS
+        )
+        .map_err(io_err)?;
+    }
+    if let Some(dir) = &report.bundle_dir {
+        writeln!(out, "diagnosis bundle: {}", dir.display()).map_err(io_err)?;
+    }
+
+    // Expose the count so the binary's manifest/ledger writer records
+    // it even on the failing path.
+    bt_obs::Registry::global()
+        .counter("doctor.violations")
+        .add(violations.len() as u64);
+
+    if report.is_clean() {
+        writeln!(out, "doctor: all invariants held").map_err(io_err)?;
+        Ok(())
+    } else {
+        Err(CliError::Failure(format!(
+            "doctor found {} invariant violation(s)",
+            violations.len()
+        )))
+    }
+}
+
+/// The median of `values`; 0 when empty.
+fn median(mut values: Vec<f64>) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(f64::total_cmp);
+    values[values.len() / 2]
+}
+
+/// Executes `btlab trend`: renders per-record summaries and per-metric
+/// trajectories from the cross-run ledger, flagging the latest run's
+/// metrics that drifted beyond the tolerance against the median of
+/// matching prior runs. Advisory: exits 0 on any readable ledger.
+fn run_trend<W: std::io::Write>(a: &TrendArgs, out: &mut W) -> Result<(), CliError> {
+    let io_err = |e: std::io::Error| format!("i/o error: {e}");
+    let path = a
+        .ledger
+        .clone()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(bt_obs::default_ledger_path);
+    let records = bt_obs::read_ledger(&path)
+        .map_err(|e| CliError::Invalid(format!("cannot read ledger {}: {e}", path.display())))?;
+    if records.is_empty() {
+        return Err(CliError::Invalid(format!(
+            "ledger {} has no records; run `btlab swarm`, `btlab doctor`, or a bench first",
+            path.display()
+        )));
+    }
+    let window = &records[records.len().saturating_sub(a.last)..];
+    writeln!(
+        out,
+        "ledger trend: {} ({} of {} record(s), tolerance {:.1}%)",
+        path.display(),
+        window.len(),
+        records.len(),
+        a.tolerance * 100.0
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "{:>4} {:<12} {:>6} {:>10} {:>8} {:>10} {:>14} {:>6}",
+        "#", "command", "seed", "config", "rounds", "peak_pop", "rounds_per_sec", "viol"
+    )
+    .map_err(io_err)?;
+    let first_index = records.len() - window.len();
+    for (i, r) in window.iter().enumerate() {
+        writeln!(
+            out,
+            "{:>4} {:<12} {:>6} {:>10} {:>8} {:>10} {:>14.1} {:>6}",
+            first_index + i + 1,
+            r.command,
+            r.seed,
+            &r.config_hash[..r.config_hash.len().min(10)],
+            r.rounds,
+            r.peak_population,
+            r.rounds_per_sec,
+            r.violations
+        )
+        .map_err(io_err)?;
+    }
+
+    let latest = window.last().expect("window non-empty");
+    // Timing comparisons only make sense between runs of the same
+    // command and configuration; a config change resets the baseline.
+    let prior: Vec<&bt_obs::LedgerRecord> = window[..window.len() - 1]
+        .iter()
+        .filter(|r| r.command == latest.command && r.config_hash == latest.config_hash)
+        .collect();
+    if prior.is_empty() {
+        writeln!(
+            out,
+            "\nno prior record in the window matches the latest run's command and config \
+             hash; no verdicts"
+        )
+        .map_err(io_err)?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "\ntrajectories (latest vs median of {} matching prior run(s)):",
+        prior.len()
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "{:<22} {:>14} {:>14} {:>9} verdict",
+        "metric", "median_prior", "latest", "delta"
+    )
+    .map_err(io_err)?;
+    let mut flagged = 0usize;
+    let mut row = |out: &mut W,
+                   name: &str,
+                   prior_median: f64,
+                   latest_value: f64,
+                   higher_is_better: bool|
+     -> Result<(), CliError> {
+        if prior_median <= 0.0 || latest_value <= 0.0 {
+            // One side never recorded the metric (e.g. an unprofiled
+            // run); there is no trajectory to judge.
+            return Ok(());
+        }
+        let delta_pct = (latest_value - prior_median) / prior_median * 100.0;
+        let regressed = if higher_is_better {
+            latest_value < prior_median * (1.0 - a.tolerance)
+        } else {
+            latest_value > prior_median * (1.0 + a.tolerance)
+        };
+        let verdict = if regressed { "REGRESSED" } else { "ok" };
+        if regressed {
+            flagged += 1;
+        }
+        writeln!(
+            out,
+            "{name:<22} {prior_median:>14.3} {latest_value:>14.3} {delta_pct:>+8.1}% {verdict}"
+        )
+        .map_err(io_err)?;
+        Ok(())
+    };
+    row(
+        out,
+        "rounds_per_sec",
+        median(prior.iter().map(|r| r.rounds_per_sec).collect()),
+        latest.rounds_per_sec,
+        true,
+    )?;
+    for (timer, latest_ns) in &latest.stage_p95_ns {
+        let prior_values: Vec<f64> = prior
+            .iter()
+            .filter_map(|r| r.stage_p95(timer))
+            .map(|ns| ns as f64 / 1e6)
+            .collect();
+        row(
+            out,
+            &format!("{timer} p95_ms"),
+            median(prior_values),
+            *latest_ns as f64 / 1e6,
+            false,
+        )?;
+    }
+    if latest.violations > 0 {
+        flagged += 1;
+        writeln!(
+            out,
+            "{:<22} {:>14} {:>14} {:>9} VIOLATIONS",
+            "violations",
+            median(prior.iter().map(|r| r.violations as f64).collect()),
+            latest.violations,
+            "-"
+        )
+        .map_err(io_err)?;
+    }
+    if flagged == 0 {
+        writeln!(out, "no metrics drifted beyond tolerance").map_err(io_err)?;
+    } else {
+        writeln!(out, "flagged metrics: {flagged}").map_err(io_err)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1598,7 +2113,8 @@ mod tests {
         assert_eq!(cmd, Command::Figure(FigureArgs { id: "fig4a".into() }));
         let mut buf = Vec::new();
         let err = run(Command::Figure(FigureArgs { id: "nope".into() }), &mut buf).unwrap_err();
-        assert!(err.contains("unknown figure id"));
+        assert!(err.to_string().contains("unknown figure id"));
+        assert_eq!(err.exit_code(), 1);
     }
 
     #[test]
@@ -1759,7 +2275,7 @@ mod tests {
             &mut buf,
         )
         .unwrap_err();
-        assert!(err.contains("cannot read telemetry"), "{err}");
+        assert!(err.to_string().contains("cannot read telemetry"), "{err}");
 
         // A CSV stream has no Meta header, which the report calls out.
         let path = std::env::temp_dir().join("btlab-cli-report-headerless.jsonl");
@@ -1772,7 +2288,7 @@ mod tests {
             &mut buf,
         )
         .unwrap_err();
-        assert!(err.contains("no Meta header"), "{err}");
+        assert!(err.to_string().contains("no Meta header"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 
@@ -1791,6 +2307,7 @@ mod tests {
             Command::Profile(ProfileArgs {
                 input: "p.json".into(),
                 top: 10,
+                json: false,
             })
         );
         assert_eq!(cmd.name(), "profile");
@@ -1801,6 +2318,7 @@ mod tests {
             Command::Profile(ProfileArgs {
                 input: "p.json".into(),
                 top: 3,
+                json: false,
             })
         );
         assert!(parse(&args(&["profile"])).is_err());
@@ -1930,6 +2448,7 @@ mod tests {
             Command::Profile(ProfileArgs {
                 input: path.to_str().unwrap().into(),
                 top: 1,
+                json: false,
             }),
             &mut buf,
         )
@@ -1952,11 +2471,12 @@ mod tests {
             Command::Profile(ProfileArgs {
                 input: "/nonexistent/profile.json".into(),
                 top: 10,
+                json: false,
             }),
             &mut buf,
         )
         .unwrap_err();
-        assert!(err.contains("cannot read profile"), "{err}");
+        assert!(err.to_string().contains("cannot read profile"), "{err}");
     }
 
     #[test]
@@ -1987,8 +2507,9 @@ mod tests {
         sample_report(2.0, 0.5).write_to(&cand).unwrap();
         let mut buf = Vec::new();
         let err = compare(0.10, &mut buf).unwrap_err();
-        assert!(err.contains("regression(s) beyond tolerance"), "{err}");
-        assert!(err.contains("establish"), "{err}");
+        assert_eq!(err.exit_code(), 1, "regressions are failures, not data errors");
+        assert!(err.to_string().contains("regression(s) beyond tolerance"), "{err}");
+        assert!(err.to_string().contains("establish"), "{err}");
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("REGRESSED"), "{text}");
         std::fs::remove_file(&base).ok();
@@ -2025,7 +2546,7 @@ mod tests {
             &mut buf,
         )
         .unwrap_err();
-        assert!(err.contains("rounds_per_sec"), "{err}");
+        assert!(err.to_string().contains("rounds_per_sec"), "{err}");
         let text = String::from_utf8(buf).unwrap();
         // Non-round phases are not stages and stay out of the table.
         assert!(!text.contains("telemetry.flush"), "{text}");
@@ -2048,7 +2569,8 @@ mod tests {
             &mut buf,
         )
         .unwrap_err();
-        assert!(err.contains("neither a profile report"), "{err}");
+        assert_eq!(err.exit_code(), 2, "malformed inputs are data errors");
+        assert!(err.to_string().contains("neither a profile report"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 
@@ -2145,5 +2667,364 @@ mod tests {
         assert!(folded.contains("swarm;exchange"), "{folded}");
         assert!(profile.with_extension("rounds.jsonl").exists());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn doctor_parses_flags_with_swarm_fallback() {
+        let cmd = parse(&args(&[
+            "doctor",
+            "--seed",
+            "9",
+            "--rounds",
+            "50",
+            "--cadence",
+            "4",
+            "--floor",
+            "0.05",
+            "--min-population",
+            "32",
+            "--bundle-dir",
+            "/tmp/bundles",
+            "--inject-fault",
+            "index-drift@12",
+        ]))
+        .unwrap();
+        let Command::Doctor(a) = cmd else {
+            panic!("expected doctor, got {cmd:?}");
+        };
+        assert_eq!(a.swarm.seed, 9, "swarm flags fall through");
+        assert_eq!(a.swarm.rounds, 50);
+        assert_eq!(a.cadence, 4);
+        assert!((a.floor - 0.05).abs() < 1e-12);
+        assert_eq!(a.min_population, 32);
+        assert_eq!(a.bundle_dir.as_deref(), Some("/tmp/bundles"));
+        assert_eq!(
+            a.inject_fault,
+            Some(bt_swarm::FaultSpec {
+                round: 12,
+                kind: bt_swarm::FaultKind::IndexDrift,
+            })
+        );
+
+        let err = parse(&args(&["doctor", "--bogus", "1"])).unwrap_err();
+        assert!(err.contains("unknown flag --bogus for doctor"), "{err}");
+    }
+
+    #[test]
+    fn doctor_rejects_bad_fault_specs() {
+        let err = parse(&args(&["doctor", "--inject-fault", "nope"])).unwrap_err();
+        assert!(err.contains("KIND@ROUND"), "{err}");
+        let err = parse(&args(&["doctor", "--inject-fault", "bogus@3"])).unwrap_err();
+        assert!(err.contains("unknown fault kind"), "{err}");
+        let err = parse(&args(&["doctor", "--inject-fault", "index-drift@x"])).unwrap_err();
+        assert!(err.contains("round must be a number"), "{err}");
+    }
+
+    #[test]
+    fn trend_parses_and_validates() {
+        let cmd = parse(&args(&["trend"])).unwrap();
+        let Command::Trend(a) = cmd else {
+            panic!("expected trend, got {cmd:?}");
+        };
+        assert_eq!(a.ledger, None);
+        assert_eq!(a.last, 10);
+        assert!((a.tolerance - 0.10).abs() < 1e-12);
+
+        let cmd = parse(&args(&[
+            "trend", "--ledger", "l.jsonl", "--last", "3", "--tolerance", "0.2",
+        ]))
+        .unwrap();
+        let Command::Trend(a) = cmd else {
+            panic!("expected trend, got {cmd:?}");
+        };
+        assert_eq!(a.ledger.as_deref(), Some("l.jsonl"));
+        assert_eq!(a.last, 3);
+        assert!((a.tolerance - 0.2).abs() < 1e-12);
+
+        let err = parse(&args(&["trend", "--last", "0"])).unwrap_err();
+        assert!(err.contains("--last must be >= 1"), "{err}");
+        let err = parse(&args(&["trend", "--tolerance", "-0.5"])).unwrap_err();
+        assert!(err.contains("--tolerance must be >= 0"), "{err}");
+        let err = parse(&args(&["trend", "--bogus", "1"])).unwrap_err();
+        assert!(err.contains("unknown flag --bogus for trend"), "{err}");
+    }
+
+    #[test]
+    fn run_profile_json_emits_parseable_report() {
+        let path = std::env::temp_dir().join("btlab-cli-profile-json-unit.json");
+        sample_report(1.0, 0.5).write_to(&path).unwrap();
+        let mut buf = Vec::new();
+        run(
+            Command::Profile(ProfileArgs {
+                input: path.to_str().unwrap().into(),
+                top: 10,
+                json: true,
+            }),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed: bt_obs::ProfileReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed.schema_version, bt_obs::PROFILE_SCHEMA_VERSION);
+        assert_eq!(parsed.seed, 7);
+        assert_eq!(parsed.stages.len(), 2);
+        assert!(
+            !text.contains("hottest stages"),
+            "--json must not mix in the human summary: {text}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn report_strict_promotes_warnings_to_failure() {
+        let telemetry = std::env::temp_dir().join("btlab-cli-report-strict.jsonl");
+        let manifest_path = std::env::temp_dir().join("btlab-cli-report-strict-manifest.json");
+        let swarm_args = SwarmArgs {
+            pieces: 10,
+            k: 3,
+            s: 6,
+            lambda: 0.0,
+            initial: 8,
+            rounds: 60,
+            seed: 3,
+            telemetry: Some(telemetry.to_str().unwrap().into()),
+            ..SwarmArgs::default()
+        };
+        let mut buf = Vec::new();
+        run(Command::Swarm(swarm_args), &mut buf).unwrap();
+
+        // A manifest whose pipeline lists a stage that never ran.
+        let mut manifest = bt_obs::RunManifest::new("swarm", "cafebabe".into(), 3);
+        manifest.pipeline = vec!["depart".into()];
+        manifest.write_to(&manifest_path).unwrap();
+
+        let report_args = |strict: bool| ReportArgs {
+            telemetry: telemetry.to_str().unwrap().into(),
+            manifest: Some(manifest_path.to_str().unwrap().into()),
+            replications: 5,
+            seed: 3,
+            strict,
+            ..ReportArgs::default()
+        };
+        // Non-strict: the warning prints but the run succeeds.
+        let mut buf = Vec::new();
+        run(Command::Report(report_args(false)), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("warning:"), "{text}");
+
+        let mut buf = Vec::new();
+        let err = run(Command::Report(report_args(true)), &mut buf).unwrap_err();
+        assert_eq!(err.exit_code(), 1, "strict warnings are run failures");
+        assert!(err.to_string().contains("--strict"), "{err}");
+        assert!(
+            err.to_string().contains("no recorded round.depart timer samples"),
+            "{err}"
+        );
+
+        // Strict with nothing to warn about stays green.
+        let mut buf = Vec::new();
+        run(
+            Command::Report(ReportArgs {
+                telemetry: telemetry.to_str().unwrap().into(),
+                replications: 5,
+                seed: 3,
+                strict: true,
+                ..ReportArgs::default()
+            }),
+            &mut buf,
+        )
+        .unwrap();
+        std::fs::remove_file(&telemetry).ok();
+        std::fs::remove_file(&manifest_path).ok();
+    }
+
+    #[test]
+    fn compare_rejects_schema_version_mismatch() {
+        let good = std::env::temp_dir().join("btlab-cli-compare-schema-good.json");
+        let bad = std::env::temp_dir().join("btlab-cli-compare-schema-bad.json");
+        sample_report(1.0, 0.5).write_to(&good).unwrap();
+        let mut future = sample_report(1.0, 0.5);
+        future.schema_version = bt_obs::PROFILE_SCHEMA_VERSION + 1;
+        future.write_to(&bad).unwrap();
+        let mut buf = Vec::new();
+        let err = run(
+            Command::Compare(CompareArgs {
+                baseline: good.to_str().unwrap().into(),
+                candidate: bad.to_str().unwrap().into(),
+                tolerance: 0.1,
+            }),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "schema drift is a data error");
+        assert!(err.to_string().contains("schema"), "{err}");
+        std::fs::remove_file(&good).ok();
+        std::fs::remove_file(&bad).ok();
+    }
+
+    fn doctor_swarm_args(seed: u64) -> SwarmArgs {
+        SwarmArgs {
+            pieces: 10,
+            k: 3,
+            s: 6,
+            lambda: 0.0,
+            initial: 8,
+            rounds: 40,
+            seed,
+            ..SwarmArgs::default()
+        }
+    }
+
+    #[test]
+    fn run_doctor_clean_run_holds_all_invariants() {
+        let dir = std::env::temp_dir().join("btlab-cli-doctor-clean-unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut buf = Vec::new();
+        run(
+            Command::Doctor(DoctorArgs {
+                swarm: doctor_swarm_args(5),
+                cadence: 1,
+                bundle_dir: Some(dir.to_str().unwrap().into()),
+                ..DoctorArgs::default()
+            }),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("doctor: all invariants held"), "{text}");
+        assert!(text.contains("violations=0"), "{text}");
+        assert!(
+            !dir.exists() || std::fs::read_dir(&dir).unwrap().next().is_none(),
+            "clean runs write no bundle"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_doctor_seeded_fault_fails_and_writes_bundle() {
+        let dir = std::env::temp_dir().join("btlab-cli-doctor-fault-unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Bootstrap is disabled so the unaccounted piece stays the only
+        // piece in the swarm: no completion ever departs it, keeping the
+        // corruption visible without tripping the departure accounting.
+        let mut swarm = doctor_swarm_args(5);
+        swarm.disabled_stages = vec!["bootstrap".into()];
+        let mut buf = Vec::new();
+        let err = run(
+            Command::Doctor(DoctorArgs {
+                swarm,
+                cadence: 1,
+                bundle_dir: Some(dir.to_str().unwrap().into()),
+                inject_fault: Some(bt_swarm::FaultSpec {
+                    round: 5,
+                    kind: bt_swarm::FaultKind::UnaccountedPiece,
+                }),
+                ..DoctorArgs::default()
+            }),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("invariant violation"), "{err}");
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("violation [piece-conservation]"), "{text}");
+        assert!(text.contains("diagnosis bundle:"), "{text}");
+        let bundle = std::fs::read_dir(&dir)
+            .expect("bundle root exists")
+            .filter_map(Result::ok)
+            .find(|e| e.file_name().to_string_lossy().starts_with("diagnosis-"))
+            .expect("one diagnosis bundle");
+        assert!(bundle.path().join("meta.json").exists());
+        assert!(bundle.path().join("flight.json").exists());
+        assert!(bundle.path().join("telemetry.jsonl").exists());
+        assert!(bundle.path().join("peers.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn ledger_record(seed: u64, rps: f64, violations: u64) -> bt_obs::LedgerRecord {
+        bt_obs::LedgerRecord {
+            schema_version: bt_obs::LEDGER_SCHEMA_VERSION,
+            command: "swarm".into(),
+            seed,
+            config_hash: "cafebabe42".into(),
+            pipeline: vec!["exchange".into()],
+            peak_population: 100,
+            rounds: 60,
+            wall_clock_secs: 60.0 / rps,
+            rounds_per_sec: rps,
+            stage_p95_ns: vec![("round.exchange".into(), 2_000_000)],
+            violations,
+        }
+    }
+
+    #[test]
+    fn run_trend_flags_regressions_and_violations() {
+        let path = std::env::temp_dir().join("btlab-cli-trend-unit.jsonl");
+        let _ = std::fs::remove_file(&path);
+        for record in [
+            ledger_record(1, 100.0, 0),
+            ledger_record(2, 102.0, 0),
+            ledger_record(3, 50.0, 2),
+        ] {
+            bt_obs::append_record(&path, &record).unwrap();
+        }
+        let trend_args = TrendArgs {
+            ledger: Some(path.to_str().unwrap().into()),
+            ..TrendArgs::default()
+        };
+        let mut buf = Vec::new();
+        run(Command::Trend(trend_args.clone()), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("3 of 3 record(s)"), "{text}");
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("VIOLATIONS"), "{text}");
+        assert!(text.contains("flagged metrics: 2"), "{text}");
+
+        // A healthy latest record reports a quiet trajectory.
+        bt_obs::append_record(&path, &ledger_record(4, 101.0, 0)).unwrap();
+        let mut buf = Vec::new();
+        run(Command::Trend(trend_args.clone()), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("no metrics drifted beyond tolerance"), "{text}");
+
+        // A config change resets the comparison baseline.
+        let mut fresh = ledger_record(5, 10.0, 0);
+        fresh.config_hash = "0ddba11".into();
+        bt_obs::append_record(&path, &fresh).unwrap();
+        let mut buf = Vec::new();
+        run(Command::Trend(trend_args), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("no verdicts"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_trend_rejects_missing_or_empty_ledger() {
+        let mut buf = Vec::new();
+        let err = run(
+            Command::Trend(TrendArgs {
+                ledger: Some("/nonexistent/ledger.jsonl".into()),
+                ..TrendArgs::default()
+            }),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "unreadable ledgers are data errors");
+        assert!(err.to_string().contains("cannot read ledger"), "{err}");
+
+        let path = std::env::temp_dir().join("btlab-cli-trend-empty-unit.jsonl");
+        std::fs::write(&path, "").unwrap();
+        let mut buf = Vec::new();
+        let err = run(
+            Command::Trend(TrendArgs {
+                ledger: Some(path.to_str().unwrap().into()),
+                ..TrendArgs::default()
+            }),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("has no records"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -499,3 +499,231 @@ fn compare_exits_zero_on_parity_and_one_on_regression() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn compare_malformed_input_exits_two() {
+    let dir = std::env::temp_dir().join("btlab-e2e-compare-malformed");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("garbage.json");
+    std::fs::write(&path, "{\"hello\": 1}").unwrap();
+    let out = btlab()
+        .args(["compare", path.to_str().unwrap(), path.to_str().unwrap()])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "malformed comparison input is a data error, not a regression"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("neither a profile report"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_json_flag_emits_machine_readable_report() {
+    let dir = std::env::temp_dir().join("btlab-e2e-profile-json");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let profile = dir.join("profile.json");
+    let out = btlab()
+        .args([
+            "swarm", "--pieces", "10", "--rounds", "40", "--initial", "8", "--seed", "5",
+            "--profile", profile.to_str().unwrap(),
+        ])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let out = btlab()
+        .args(["profile", profile.to_str().unwrap(), "--json"])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("--json output parses as JSON");
+    assert_eq!(report.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(report.get("seed").and_then(|v| v.as_u64()), Some(5));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_strict_promotes_manifest_warnings_to_exit_one() {
+    let dir = std::env::temp_dir().join("btlab-e2e-report-strict");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let telemetry = dir.join("run.jsonl");
+    let swarm = |seed: &str, telemetry: Option<&str>| {
+        let mut cmd = btlab();
+        cmd.args(["swarm", "--pieces", "10", "--rounds", "40", "--initial", "8", "--seed", seed]);
+        if let Some(path) = telemetry {
+            cmd.args(["--telemetry", path]);
+        }
+        cmd.env("BT_MANIFEST_DIR", &dir).output().expect("binary runs")
+    };
+    assert!(swarm("5", Some(telemetry.to_str().unwrap())).status.success());
+    // A second run under another seed overwrites manifest-swarm.json,
+    // so the manifest on disk now disagrees with the telemetry stream.
+    assert!(swarm("6", None).status.success());
+    let manifest = dir.join("manifest-swarm.json");
+    let report_args = |strict: bool| {
+        let mut args = vec![
+            "report",
+            "--telemetry",
+            telemetry.to_str().unwrap(),
+            "--manifest",
+            manifest.to_str().unwrap(),
+        ];
+        if strict {
+            args.push("--strict");
+        }
+        args.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+    };
+    let out = btlab()
+        .args(report_args(false))
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "warnings alone stay advisory");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("warning: manifest seed 6"), "{stdout}");
+
+    let out = btlab()
+        .args(report_args(true))
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "--strict turns warnings into failures");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--strict"), "{stderr}");
+    assert!(stderr.contains("manifest seed 6"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+const DOCTOR_FAULT_RUN: [&str; 19] = [
+    "doctor",
+    "--pieces",
+    "10",
+    "--rounds",
+    "30",
+    "--initial",
+    "8",
+    "--lambda",
+    "0",
+    "--seed",
+    "5",
+    "--cadence",
+    "1",
+    "--disable-stage",
+    "bootstrap",
+    "--inject-fault",
+    "unaccounted-piece@5",
+    "--log",
+    "quiet",
+];
+
+#[test]
+fn doctor_seeded_fault_exits_one_with_bundle_and_ledger_record() {
+    let dir = std::env::temp_dir().join("btlab-e2e-doctor-fault");
+    std::fs::remove_dir_all(&dir).ok();
+    let out = btlab()
+        .args(DOCTOR_FAULT_RUN)
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "violations fail the run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("violation [piece-conservation]"), "{stdout}");
+    assert!(stdout.contains("diagnosis bundle:"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invariant violation"), "{stderr}");
+
+    // The bundle landed under the manifest directory with its full
+    // forensic contents.
+    let bundle = std::fs::read_dir(&dir)
+        .expect("manifest dir exists")
+        .filter_map(Result::ok)
+        .find(|e| e.file_name().to_string_lossy().starts_with("diagnosis-doctor-5-"))
+        .expect("diagnosis bundle directory");
+    for file in ["meta.json", "flight.json", "telemetry.jsonl", "peers.json"] {
+        assert!(bundle.path().join(file).exists(), "bundle is missing {file}");
+    }
+    let meta: serde_json::Value = serde_json::from_str(
+        &std::fs::read_to_string(bundle.path().join("meta.json")).expect("meta written"),
+    )
+    .expect("meta is JSON");
+    assert_eq!(meta.get("seed").and_then(|v| v.as_u64()), Some(5));
+    assert!(meta
+        .get("violations")
+        .and_then(|v| v.as_array())
+        .is_some_and(|v| !v.is_empty()));
+
+    // Even the failing run left a ledger record carrying its violation
+    // count — regressions must be on the record, not just on stderr.
+    let ledger = std::fs::read_to_string(dir.join("ledger.jsonl")).expect("ledger written");
+    let record: serde_json::Value =
+        serde_json::from_str(ledger.lines().next().expect("one record")).expect("record is JSON");
+    assert_eq!(record.get("command").and_then(|v| v.as_str()), Some("doctor"));
+    assert!(record.get("violations").and_then(|v| v.as_u64()).expect("violations") > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+const DOCTOR_CLEAN_RUN: [&str; 13] = [
+    "doctor", "--pieces", "10", "--rounds", "40", "--initial", "8", "--lambda", "0", "--seed",
+    "5", "--log", "quiet",
+];
+
+#[test]
+fn doctor_clean_runs_build_a_ledger_that_trend_renders() {
+    let dir = std::env::temp_dir().join("btlab-e2e-doctor-trend");
+    std::fs::remove_dir_all(&dir).ok();
+    for _ in 0..3 {
+        let out = btlab()
+            .args(DOCTOR_CLEAN_RUN)
+            .env("BT_MANIFEST_DIR", &dir)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("doctor: all invariants held"), "{stdout}");
+    }
+    let ledger = std::fs::read_to_string(dir.join("ledger.jsonl")).expect("ledger written");
+    assert_eq!(ledger.lines().count(), 3, "one record per run:\n{ledger}");
+
+    // Identical runs give trend a matching prior set; nothing drifted.
+    let out = btlab()
+        .args(["trend", "--last", "5"])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3 of 3 record(s)"), "{stdout}");
+    assert!(stdout.contains("trajectories"), "{stdout}");
+    assert!(stdout.contains("rounds_per_sec"), "{stdout}");
+
+    // An empty window is a data error, distinct from run failures.
+    let missing = dir.join("missing.jsonl");
+    let out = btlab()
+        .args(["trend", "--ledger", missing.to_str().unwrap()])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "unreadable ledgers exit 2");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
