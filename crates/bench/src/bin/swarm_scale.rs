@@ -5,7 +5,9 @@
 //! round-throughput. The numbers land in `BENCH_swarm.json` via the
 //! run-manifest machinery: `wall_clock_secs` plus the `swarm.rounds`
 //! counter give rounds/sec, and the `round.*` phase timers break the
-//! cost down per pipeline stage.
+//! cost down per pipeline stage. The manifest also records the
+//! observer wall-time share (`obs_share`, derived from the `obs.*`
+//! timers), which `btlab compare --obs-budget` gates in CI.
 //!
 //! Flags (order-free):
 //!
@@ -14,10 +16,17 @@
 //! * `--peers N` / `--rounds N` / `--seed N` — override the defaults;
 //! * `--profile FILE` — attach the deterministic cost-attribution
 //!   profiler and write its artifacts (summary, folded stacks,
-//!   per-round series) next to FILE.
+//!   per-round series) next to FILE;
+//! * `--observed` — run with the full observability stack attached:
+//!   per-round telemetry streamed to `bench_telemetry.jsonl` and a
+//!   reservoir-sampled peer cohort traced to `bench_cohort.cohort`
+//!   in the output directory, so the recorded `obs_share` reflects a
+//!   realistically instrumented run;
+//! * `--cohort-size N` — reservoir size for `--observed` (default 16);
+//! * `--out DIR` — where the manifest and observability artifacts
+//!   land, overriding `$BT_MANIFEST_DIR` (default `results/`).
 //!
-//! The manifest is written to `$BT_MANIFEST_DIR/BENCH_swarm.json`, or
-//! `results/BENCH_swarm.json` when the variable is unset.
+//! The manifest is written to `DIR/BENCH_swarm.json`.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -31,6 +40,9 @@ struct Options {
     rounds: u64,
     seed: u64,
     profile: Option<PathBuf>,
+    observed: bool,
+    cohort_size: u32,
+    out: Option<PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -39,6 +51,9 @@ fn parse_args() -> Options {
         rounds: 60,
         seed: 7,
         profile: None,
+        observed: false,
+        cohort_size: 16,
+        out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,15 +70,28 @@ fn parse_args() -> Options {
             "--peers" => options.peers = numeric("--peers") as u32,
             "--rounds" => options.rounds = numeric("--rounds"),
             "--seed" => options.seed = numeric("--seed"),
+            "--observed" => options.observed = true,
+            "--cohort-size" => {
+                let size = numeric("--cohort-size") as u32;
+                assert!(size >= 1, "--cohort-size must be >= 1");
+                options.cohort_size = size;
+            }
             "--profile" => {
                 let path = args
                     .next()
                     .unwrap_or_else(|| panic!("--profile requires a path argument"));
                 options.profile = Some(PathBuf::from(path));
             }
-            other => {
-                panic!("unknown flag {other}; try --smoke / --peers / --rounds / --seed / --profile")
+            "--out" => {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--out requires a directory argument"));
+                options.out = Some(PathBuf::from(path));
             }
+            other => panic!(
+                "unknown flag {other}; try --smoke / --peers / --rounds / --seed \
+                 / --profile / --observed / --cohort-size / --out"
+            ),
         }
     }
     options
@@ -74,6 +102,13 @@ fn main() {
     let options = parse_args();
     let config = bt_swarm::scenario::scale_probe(options.peers, options.rounds, options.seed)
         .expect("valid benchmark config");
+
+    let out_dir = options
+        .out
+        .clone()
+        .or_else(|| std::env::var_os("BT_MANIFEST_DIR").map(PathBuf::from))
+        .unwrap_or_else(|| PathBuf::from("results"));
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
 
     let registry = bt_obs::Registry::new();
     let config_hash = fnv1a_hex(
@@ -91,9 +126,28 @@ fn main() {
             ..bt_obs::ProfileOptions::default()
         });
     }
+    let telemetry_path = out_dir.join("bench_telemetry.jsonl");
+    let cohort_path = out_dir.join("bench_cohort.cohort");
+    if options.observed {
+        let file = std::fs::File::create(&telemetry_path).expect("create telemetry stream");
+        let recorder = bt_swarm::TelemetryRecorder::new(bt_swarm::TelemetryOptions::default())
+            .to_writer(Box::new(std::io::BufWriter::new(file)));
+        swarm.attach_telemetry(recorder);
+        let file = std::fs::File::create(&cohort_path).expect("create cohort stream");
+        swarm.attach_cohort(
+            options.cohort_size,
+            Box::new(std::io::BufWriter::new(file)),
+        );
+    }
     let started = Instant::now();
     for _ in 0..options.rounds {
         swarm.step_round();
+    }
+    // Observer flushes happen inside the timed window: they are part of
+    // the overhead the obs-budget gate exists to measure.
+    if options.observed {
+        let _ = swarm.take_telemetry();
+        let _ = swarm.take_cohort();
     }
     let elapsed = started.elapsed();
     manifest.finish(&registry, elapsed);
@@ -102,12 +156,13 @@ fn main() {
         profile.write_artifacts(path).expect("write profile");
         println!("profile: {}", path.display());
     }
+    if options.observed {
+        println!("telemetry: {}", telemetry_path.display());
+        println!("cohort: {}", cohort_path.display());
+    }
 
     let rounds_per_sec = options.rounds as f64 / elapsed.as_secs_f64().max(1e-9);
     manifest.peak_population = registry.counter("swarm.peak_population").get();
-    let out_dir = std::env::var_os("BT_MANIFEST_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"));
     let out_path = out_dir.join("BENCH_swarm.json");
     manifest
         .write_to(&out_path)
@@ -131,6 +186,11 @@ fn main() {
         options.rounds,
         elapsed.as_secs_f64(),
         rounds_per_sec
+    );
+    println!(
+        "observer overhead: {:.2}% of wall time ({:.3}s in obs.* timers)",
+        manifest.obs_share * 100.0,
+        manifest.obs_wall_secs
     );
     println!("manifest: {}", out_path.display());
     for (name, secs) in &manifest.phase_secs {

@@ -53,6 +53,10 @@ pub struct LedgerRecord {
     /// Invariant violations the run's monitors found (0 for unmonitored
     /// runs).
     pub violations: u64,
+    /// Observer share of the run's wall clock (timing field; 0 in
+    /// records written before the field existed).
+    #[serde(default)]
+    pub obs_share: f64,
 }
 
 impl LedgerRecord {
@@ -85,6 +89,7 @@ impl LedgerRecord {
             rounds_per_sec,
             stage_p95_ns,
             violations,
+            obs_share: manifest.obs_share,
         }
     }
 
@@ -97,6 +102,7 @@ impl LedgerRecord {
         LedgerRecord {
             wall_clock_secs: 0.0,
             rounds_per_sec: 0.0,
+            obs_share: 0.0,
             stage_p95_ns: self
                 .stage_p95_ns
                 .iter()
@@ -161,6 +167,73 @@ pub fn append_record(path: &Path, record: &LedgerRecord) -> std::io::Result<()> 
         .open(path)?;
     file.write_all(line.as_bytes())?;
     file.write_all(b"\n")
+}
+
+/// Default ledger size cap: generous, but bounded (16 MiB holds years
+/// of per-run records at a few hundred bytes each).
+pub const DEFAULT_MAX_LEDGER_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Rotates the ledger at `path` once it exceeds `max_bytes`: the older
+/// half (by bytes) of its lines moves to `<path>.1` (replacing any
+/// previous archive), and the file is rewritten with the newest lines
+/// only. Returns the number of lines archived, or `None` when the file
+/// is absent or under the cap. A `max_bytes` of 0 disables rotation.
+///
+/// # Errors
+///
+/// Propagates filesystem errors. Line *contents* are not validated —
+/// rotation is a byte-budget operation, so a damaged ledger still
+/// rotates (and still fails loudly on the next [`read_ledger`]).
+pub fn rotate_ledger(path: &Path, max_bytes: u64) -> std::io::Result<Option<usize>> {
+    if max_bytes == 0 {
+        return Ok(None);
+    }
+    let metadata = match std::fs::metadata(path) {
+        Ok(m) => m,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if metadata.len() <= max_bytes {
+        return Ok(None);
+    }
+    let text = std::fs::read_to_string(path)?;
+    let lines: Vec<&str> = text.lines().collect();
+    // Keep the newest lines fitting in half the cap, so repeated appends
+    // do not re-rotate on every run.
+    let budget = max_bytes / 2;
+    let mut kept_bytes = 0u64;
+    let mut first_kept = lines.len();
+    for (index, line) in lines.iter().enumerate().rev() {
+        let cost = line.len() as u64 + 1;
+        // Always keep at least the newest line, however large.
+        if kept_bytes + cost > budget && first_kept < lines.len() {
+            break;
+        }
+        kept_bytes += cost;
+        first_kept = index;
+    }
+    let archived = first_kept;
+    if archived == 0 {
+        return Ok(None);
+    }
+    let archive_path = {
+        let mut name = path.as_os_str().to_os_string();
+        name.push(".1");
+        std::path::PathBuf::from(name)
+    };
+    let mut archive = String::new();
+    for line in lines.iter().take(archived) {
+        archive.push_str(line);
+        archive.push('\n');
+    }
+    std::fs::write(&archive_path, archive)?;
+    let mut kept = String::new();
+    for line in lines.iter().skip(archived) {
+        kept.push_str(line);
+        kept.push('\n');
+    }
+    std::fs::write(path, kept)?;
+    Ok(Some(archived))
 }
 
 /// Reads every record from the ledger at `path`, oldest first. Blank
@@ -270,6 +343,61 @@ mod tests {
         let err = read_ledger(&path).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("ledger line 2"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Records written before `obs_share` existed must still load.
+    #[test]
+    fn record_tolerates_missing_obs_share() {
+        let record = sample_record(4);
+        let line = record.to_jsonl().unwrap();
+        let value: serde_json::Value = serde_json::from_str(&line).unwrap();
+        let trimmed = match value {
+            serde_json::Value::Object(entries) => serde_json::Value::Object(
+                entries
+                    .into_iter()
+                    .filter(|(key, _)| key != "obs_share")
+                    .collect(),
+            ),
+            other => other,
+        };
+        let back: LedgerRecord =
+            serde_json::from_str(&serde_json::to_string(&trimmed).unwrap()).unwrap();
+        assert!(back.obs_share.abs() < f64::EPSILON);
+        assert_eq!(back.seed, record.seed);
+    }
+
+    #[test]
+    fn rotation_archives_older_half_and_keeps_newest() {
+        let dir = std::env::temp_dir().join("bt-obs-ledger-rotate-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("ledger.jsonl");
+        for seed in 0..40u64 {
+            append_record(&path, &sample_record(seed)).unwrap();
+        }
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        // Under the cap: no-op.
+        assert_eq!(rotate_ledger(&path, full_len + 1).unwrap(), None);
+        // Over the cap: older lines move to the archive.
+        let archived = rotate_ledger(&path, full_len / 2)
+            .unwrap()
+            .expect("rotation happened");
+        assert!(archived > 0);
+        let kept = read_ledger(&path).unwrap();
+        assert_eq!(kept.len() + archived, 40);
+        assert_eq!(
+            kept.last().unwrap().seed,
+            39,
+            "newest record survives rotation"
+        );
+        assert!(std::fs::metadata(&path).unwrap().len() <= full_len / 4 + 512);
+        let archive_path = dir.join("ledger.jsonl.1");
+        let old = read_ledger(&archive_path).unwrap();
+        assert_eq!(old.len(), archived);
+        assert_eq!(old[0].seed, 0, "archive holds the oldest records");
+        // Missing file and zero cap are both no-ops.
+        assert_eq!(rotate_ledger(&dir.join("absent.jsonl"), 10).unwrap(), None);
+        assert_eq!(rotate_ledger(&path, 0).unwrap(), None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -34,6 +34,15 @@
 //!    [`read_ledger`]): every run appends one compact health-and-perf
 //!    record to `results/ledger.jsonl` so `btlab trend` can track
 //!    trajectories across runs instead of against a single baseline.
+//! 8. **Streaming sketches** ([`CountCells`], [`P2Quantile`]):
+//!    deterministic, dependency-free distribution summaries — exact
+//!    sharded counter cells for bounded domains and a P² quantile
+//!    estimator for unbounded ones — so per-sample telemetry work is
+//!    sublinear in population.
+//! 9. **Peer cohorts** ([`CohortSink`], [`read_cohort`]): a
+//!    deterministic reservoir-sampled peer cohort whose members get
+//!    full binary-framed lifecycle traces at O(cohort) cost per round,
+//!    with a JSONL export path.
 //!
 //! # Span hierarchy
 //!
@@ -47,18 +56,27 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod cohort;
 mod filter;
 mod ledger;
 mod manifest;
 mod monitor;
 mod profiling;
 mod registry;
+mod sketch;
 mod subscriber;
 mod timeseries;
 
+pub use cohort::{
+    acquire_source, read_cohort, write_jsonl as write_cohort_jsonl, CohortAcquire, CohortDepart,
+    CohortError, CohortEvent, CohortEvict, CohortHandout, CohortJoin, CohortMeta, CohortObserve,
+    CohortOptions, CohortPhase, CohortShake, CohortSink, CohortSlot, COHORT_MAGIC,
+    COHORT_SCHEMA_VERSION,
+};
 pub use filter::EnvFilter;
 pub use ledger::{
-    append_record, default_ledger_path, read_ledger, LedgerRecord, LEDGER_SCHEMA_VERSION,
+    append_record, default_ledger_path, read_ledger, rotate_ledger, LedgerRecord,
+    DEFAULT_MAX_LEDGER_BYTES, LEDGER_SCHEMA_VERSION,
 };
 pub use manifest::{fnv1a_hex, git_describe, RunManifest, MANIFEST_SCHEMA_VERSION};
 pub use monitor::{
@@ -69,5 +87,6 @@ pub use profiling::{
     PROFILE_SCHEMA_VERSION,
 };
 pub use registry::{Counter, Histogram, Registry, Timer, TimerGuard, TimerSnapshot};
+pub use sketch::{CountCells, P2Quantile};
 pub use subscriber::{init, init_from_env, LogMode};
 pub use timeseries::{RingSeries, SeriesError, SeriesPoint, SeriesStore};

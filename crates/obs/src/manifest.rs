@@ -43,6 +43,15 @@ pub struct RunManifest {
     pub counters: Vec<(String, u64)>,
     /// Largest simultaneous peer population observed.
     pub peak_population: u64,
+    /// Wall-clock seconds spent in observer-side work (telemetry
+    /// sampling, monitor checks, cohort tracing — the `obs.*` phase
+    /// timers). Zero in manifests written before the field existed.
+    #[serde(default)]
+    pub obs_wall_secs: f64,
+    /// Observer share of total wall clock (`obs_wall_secs /
+    /// wall_clock_secs`), the quantity the `--obs-budget` gate checks.
+    #[serde(default)]
+    pub obs_share: f64,
 }
 
 impl RunManifest {
@@ -63,10 +72,13 @@ impl RunManifest {
             disabled_stages: Vec::new(),
             counters: Vec::new(),
             peak_population: 0,
+            obs_wall_secs: 0.0,
+            obs_share: 0.0,
         }
     }
 
-    /// Copies totals out of `registry` and stamps the wall clock.
+    /// Copies totals out of `registry` and stamps the wall clock,
+    /// deriving the observer-overhead share from the `obs.*` timers.
     pub fn finish(&mut self, registry: &Registry, wall_clock: Duration) {
         self.wall_clock_secs = wall_clock.as_secs_f64();
         self.counters = registry.counter_totals();
@@ -76,6 +88,17 @@ impl RunManifest {
             .iter()
             .map(|(name, snapshot)| (name.clone(), snapshot.total_secs))
             .collect();
+        self.obs_wall_secs = self
+            .phase_secs
+            .iter()
+            .filter(|(name, _)| name.starts_with("obs."))
+            .map(|(_, secs)| secs)
+            .sum();
+        self.obs_share = if self.wall_clock_secs > 0.0 {
+            self.obs_wall_secs / self.wall_clock_secs
+        } else {
+            0.0
+        };
     }
 
     /// Value of the counter named `name`, if present.
@@ -228,6 +251,51 @@ mod tests {
             serde_json::from_str(&serde_json::to_string(&trimmed).unwrap()).unwrap();
         assert!(back.pipeline.is_empty());
         assert!(back.disabled_stages.is_empty());
+    }
+
+    // Manifests written before the observer-overhead fields existed
+    // must still load, with both shares zero.
+    #[test]
+    fn manifest_tolerates_missing_obs_fields() {
+        let manifest = sample_manifest();
+        let text = manifest.to_json().unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let trimmed = match value {
+            serde_json::Value::Object(entries) => serde_json::Value::Object(
+                entries
+                    .into_iter()
+                    .filter(|(key, _)| key != "obs_wall_secs" && key != "obs_share")
+                    .collect(),
+            ),
+            other => other,
+        };
+        let back: RunManifest =
+            serde_json::from_str(&serde_json::to_string(&trimmed).unwrap()).unwrap();
+        assert!(bt_markov_float_is_zero(back.obs_wall_secs));
+        assert!(bt_markov_float_is_zero(back.obs_share));
+    }
+
+    /// Local exact-zero check (this crate has no bt-markov dependency).
+    fn bt_markov_float_is_zero(x: f64) -> bool {
+        x.abs() < f64::EPSILON
+    }
+
+    #[test]
+    fn finish_derives_obs_share_from_obs_timers() {
+        let registry = Registry::new();
+        registry
+            .timer("round.exchange")
+            .record(Duration::from_millis(900));
+        registry
+            .timer("obs.telemetry")
+            .record(Duration::from_millis(80));
+        registry
+            .timer("obs.doctor")
+            .record(Duration::from_millis(20));
+        let mut manifest = RunManifest::new("swarm", fnv1a_hex(b"obs"), 1);
+        manifest.finish(&registry, Duration::from_secs(1));
+        assert!((manifest.obs_wall_secs - 0.1).abs() < 5e-3);
+        assert!((manifest.obs_share - 0.1).abs() < 5e-3);
     }
 
     #[test]

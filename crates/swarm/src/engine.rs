@@ -37,7 +37,6 @@ use crate::obs::SwarmObs;
 use crate::peer::{Peer, PeerId};
 use crate::replication::ReplicationIndex;
 use crate::selection::replication_counts;
-use crate::snapshot::Snapshot;
 use crate::stages::{default_pipeline, RoundStage};
 use crate::store::PeerStore;
 use crate::telemetry::{ObserverSample, TelemetryRecorder, TelemetrySample};
@@ -75,6 +74,8 @@ pub struct SwarmCore {
     pub(crate) obs: SwarmObs,
     pub(crate) profile: bt_obs::ProfileSink,
     pub(crate) audit: SwarmAudit,
+    pub(crate) piece_cells: bt_obs::CountCells,
+    pub(crate) cohort: bt_obs::CohortSink,
 }
 
 impl SwarmCore {
@@ -148,6 +149,23 @@ impl SwarmCore {
         &self.audit
     }
 
+    /// The incrementally maintained piece-count cells: exact counts of
+    /// peers holding each possible number of pieces, kept in lock-step
+    /// with the possession mutators so telemetry quantiles cost
+    /// O(pieces) instead of a full population scan.
+    #[must_use]
+    pub fn piece_cells(&self) -> &bt_obs::CountCells {
+        &self.piece_cells
+    }
+
+    /// The cohort lifecycle-trace sink (disabled unless
+    /// [`Swarm::attach_cohort`] was called). Stages report member events
+    /// here; every call is an inlined no-op while disabled.
+    #[must_use]
+    pub fn cohort_mut(&mut self) -> &mut bt_obs::CohortSink {
+        &mut self.cohort
+    }
+
     /// Grants `id` the given piece at the current round (bootstrap
     /// injection, seed upload, initial endowment). Returns `true` and
     /// updates the replication index if the piece was new.
@@ -160,6 +178,8 @@ impl SwarmCore {
         if self.store.peer_mut(id).acquire(piece, round) {
             self.replication.on_acquire(piece);
             self.audit.pieces_acquired += 1;
+            let count = self.store.peer(id).have.count();
+            self.piece_cells.shift(count - 1, count);
             true
         } else {
             false
@@ -178,6 +198,8 @@ impl SwarmCore {
         if self.store.peer_mut(id).receive_block(piece, blocks, round) {
             self.replication.on_acquire(piece);
             self.audit.pieces_acquired += 1;
+            let count = self.store.peer(id).have.count();
+            self.piece_cells.shift(count - 1, count);
             true
         } else {
             false
@@ -198,6 +220,7 @@ impl SwarmCore {
             .remove(id)
             .expect("departing peer must be alive");
         self.replication.on_departure(&peer.have);
+        self.piece_cells.decr(peer.have.count());
         self.audit.pieces_departed += u64::from(peer.have.count());
         self.audit.conn_closed += peer.connections.len() as u64;
         self.audit.departures += 1;
@@ -302,6 +325,7 @@ impl SwarmCore {
         let pieces = self.config.pieces;
         let round = self.round;
         let id = self.store.insert_with(|id| Peer::new(id, pieces, round));
+        self.piece_cells.incr(0);
         if self.config.slow_peer_fraction > 0.0 {
             let slow = self.rng.gen::<f64>() < self.config.slow_peer_fraction;
             self.store.peer_mut(id).slow = slow;
@@ -344,6 +368,9 @@ impl SwarmCore {
         if (obs_lo..obs_hi).contains(&id.seq()) {
             self.metrics.observers.push(ObserverLog::new(id));
         }
+        // Offer the arrival to the cohort reservoir: one private-RNG draw
+        // per arrival when enabled, zero model-RNG impact either way.
+        self.cohort.offer_join(round, id.seq());
         id
     }
 
@@ -359,6 +386,8 @@ impl SwarmCore {
                     guard += 1;
                     let p = self.rng.gen_range(0..pieces);
                     if self.acquire_piece(id, p) {
+                        self.cohort
+                            .acquire(self.round, id.seq(), p, bt_obs::acquire_source::ENDOW);
                         got += 1;
                     }
                 }
@@ -371,6 +400,8 @@ impl SwarmCore {
                     guard += 1;
                     let p = bt_markov::chain::sample_index(&weights, &mut self.rng) as u32;
                     if self.acquire_piece(id, p) {
+                        self.cohort
+                            .acquire(self.round, id.seq(), p, bt_obs::acquire_source::ENDOW);
                         got += 1;
                     }
                 }
@@ -534,6 +565,8 @@ impl Swarm {
             obs: SwarmObs::new(registry),
             profile: bt_obs::ProfileSink::default(),
             audit: SwarmAudit::default(),
+            piece_cells: bt_obs::CountCells::new(config.pieces),
+            cohort: bt_obs::CohortSink::disabled(),
             config,
         };
         for _ in 0..core.config.initial_leechers {
@@ -656,6 +689,45 @@ impl Swarm {
         std::mem::take(&mut self.core.profile)
     }
 
+    /// Attaches a deterministic reservoir-sampled peer cohort of `size`
+    /// members, streaming binary-framed lifecycle events (join, piece
+    /// acquisitions, choke-slot changes, phase transitions, departure)
+    /// to `writer`. Membership is drawn from a private RNG stream salted
+    /// off the run seed — the sink makes no model RNG calls, so
+    /// attaching it leaves a same-seed run byte-identical (locked by
+    /// `crates/swarm/tests/determinism.rs`). Peers already alive (the
+    /// initial leechers) are offered to the reservoir immediately, in
+    /// join order.
+    pub fn attach_cohort(&mut self, size: u32, writer: Box<dyn std::io::Write + Send>) {
+        let options = bt_obs::CohortOptions {
+            size,
+            seed: self.core.config.seed,
+        };
+        let mut sink = bt_obs::CohortSink::enabled(options, writer);
+        let round = self.core.round;
+        for i in 0..self.core.tracker.len() {
+            let id = self.core.tracker.peers()[i];
+            sink.offer_join(round, id.seq());
+        }
+        self.core.cohort = sink;
+    }
+
+    /// The cohort sink (disabled unless [`Swarm::attach_cohort`] was
+    /// called).
+    #[must_use]
+    pub fn cohort(&self) -> &bt_obs::CohortSink {
+        &self.core.cohort
+    }
+
+    /// Detaches and returns the cohort sink (flushing its stream),
+    /// leaving cohort tracing disabled — e.g. to inspect membership
+    /// after driving rounds with [`Swarm::step_round`].
+    pub fn take_cohort(&mut self) -> bt_obs::CohortSink {
+        let mut sink = std::mem::replace(&mut self.core.cohort, bt_obs::CohortSink::disabled());
+        sink.finish();
+        sink
+    }
+
     /// Attaches a [`SwarmDoctor`]: subsequent rounds are checked against
     /// the built-in invariant monitors at the doctor's cadence. Like the
     /// profiler and telemetry, the doctor only reads state and makes no
@@ -757,6 +829,7 @@ impl Swarm {
         if let Some(recorder) = self.telemetry.as_mut() {
             recorder.finish();
         }
+        self.core.cohort.finish();
         tracing::info!(
             target: "bt_swarm",
             rounds = self.core.metrics.rounds_run,
@@ -812,8 +885,16 @@ impl Swarm {
             let fault = self.fault.take().expect("fault presence just checked");
             self.core.apply_fault(fault.kind);
         }
-        self.check_doctor();
+        // Observer work runs under its own `obs.*` timers (only when
+        // attached, so unobserved runs pay nothing): the manifest sums
+        // them into `obs_share`, the quantity the `--obs-budget` gate
+        // checks.
+        if self.doctor.is_some() {
+            let _g = self.core.obs.doctor_timer.start();
+            self.check_doctor();
+        }
         if self.telemetry.is_some() {
+            let _g = self.core.obs.telemetry_timer.start();
             self.record_telemetry();
         }
         tracing::debug!(
@@ -834,9 +915,7 @@ impl Swarm {
         };
         if doctor.due(self.core.round) {
             let sample = MonitorSample::capture(&self.core);
-            let snapshot = Snapshot::capture(self);
-            let telemetry =
-                TelemetrySample::from_snapshot(&snapshot, self.core.config.max_connections);
+            let telemetry = self.current_sample();
             let violations = doctor.observe(&sample, telemetry);
             if !violations.is_empty() {
                 for v in &violations {
@@ -876,11 +955,58 @@ impl Swarm {
         self.doctor = Some(doctor);
     }
 
-    /// Feeds the attached telemetry recorder one round: the full
-    /// distributional snapshot plus the per-observer `(pieces, potential,
-    /// connections)` states driving online phase detection.
+    /// The current round's [`TelemetrySample`], built from the streaming
+    /// sketches instead of a full population scan: replication counts
+    /// and availability bins off the replication index (O(pieces)),
+    /// piece-count quantiles off the [`bt_obs::CountCells`] maintained
+    /// by the possession mutators (O(pieces)), and the mean degree from
+    /// the audit's connection balance (O(1)) — bit-identical to the
+    /// [`crate::snapshot::Snapshot::capture`] +
+    /// [`TelemetrySample::from_snapshot`] path
+    /// (`sketch_sample_matches_snapshot_oracle` locks the equivalence).
+    #[must_use]
+    pub fn current_sample(&self) -> TelemetrySample {
+        let core = &self.core;
+        let replication = core.replication.counts();
+        let population = core.tracker.len() as u64;
+        let max_rep = replication.iter().max().copied().unwrap_or(0);
+        let mut availability = vec![0u64; max_rep as usize + 1];
+        for &d in replication {
+            availability[d as usize] += 1;
+        }
+        let q = |fraction: f64| core.piece_cells.quantile(fraction).unwrap_or(0);
+        // Every open connection contributes exactly two endpoints, so the
+        // audit balance reproduces the per-peer degree sum without a
+        // scan. Exact in f64: the endpoint total stays far below 2^53.
+        let mean_degree = if population == 0 {
+            0.0
+        } else {
+            2.0 * (core.audit.conn_opened as f64 - core.audit.conn_closed as f64)
+                / population as f64
+        };
+        let k = core.config.max_connections;
+        let slot_utilization = if k == 0 {
+            0.0
+        } else {
+            mean_degree / f64::from(k)
+        };
+        TelemetrySample {
+            round: core.round,
+            population,
+            entropy: entropy_of(replication),
+            extinct_pieces: replication.iter().filter(|&&d| d == 0).count() as u64,
+            availability,
+            piece_quantiles: [q(0.0), q(0.25), q(0.5), q(0.75), q(1.0)],
+            mean_degree,
+            slot_utilization,
+        }
+    }
+
+    /// Feeds the attached telemetry recorder one round: the sketch-built
+    /// sample plus the per-observer `(pieces, potential, connections)`
+    /// states driving online phase detection.
     fn record_telemetry(&mut self) {
-        let snapshot = Snapshot::capture(self);
+        let sample = self.current_sample();
         let core = &self.core;
         let obs_lo = u64::from(core.config.observe_from);
         let obs_hi = obs_lo + u64::from(core.config.observers);
@@ -897,9 +1023,8 @@ impl Swarm {
                 connections: core.store.peer(id).connections.len() as u32,
             })
             .collect();
-        let k = core.config.max_connections;
         if let Some(recorder) = self.telemetry.as_mut() {
-            recorder.record_round(&snapshot, k, &observers);
+            recorder.record_sample(&sample, &observers);
         }
     }
 
@@ -946,6 +1071,15 @@ impl Swarm {
             core.replication.counts(),
             &oracle[..],
             "replication index diverged from the from-scratch rebuild"
+        );
+        let mut cells_oracle = vec![0u64; core.config.pieces as usize + 1];
+        for &id in core.tracker.peers() {
+            cells_oracle[core.store.peer(id).have.count() as usize] += 1;
+        }
+        assert_eq!(
+            core.piece_cells.counts(),
+            &cells_oracle[..],
+            "piece-count cells diverged from the per-peer recount"
         );
     }
 }
@@ -1011,6 +1145,92 @@ mod tests {
         for _ in 0..60 {
             swarm.step_round();
             swarm.assert_invariants();
+        }
+    }
+
+    // The tentpole equivalence: the sketch-built sample (piece cells +
+    // audit balance + replication index) must be bit-identical to the
+    // full-scan Snapshot path every round, including f64 fields.
+    #[test]
+    fn sketch_sample_matches_snapshot_oracle() {
+        let mut swarm = Swarm::new(small_config(9));
+        for _ in 0..80 {
+            swarm.step_round();
+            let exact = TelemetrySample::from_snapshot(
+                &crate::snapshot::Snapshot::capture(&swarm),
+                swarm.config().max_connections,
+            );
+            assert_eq!(swarm.current_sample(), exact);
+        }
+    }
+
+    #[test]
+    fn sketch_sample_handles_empty_swarm() {
+        let config = SwarmConfig::builder()
+            .pieces(5)
+            .max_connections(1)
+            .neighbor_set_size(1)
+            .arrival_rate(0.0)
+            .initial_leechers(0)
+            .max_rounds(5)
+            .seed(0)
+            .build()
+            .unwrap();
+        let swarm = Swarm::new(config);
+        let exact = TelemetrySample::from_snapshot(
+            &crate::snapshot::Snapshot::capture(&swarm),
+            swarm.config().max_connections,
+        );
+        assert_eq!(swarm.current_sample(), exact);
+        assert_eq!(swarm.current_sample().population, 0);
+    }
+
+    #[test]
+    fn cohort_reservoir_traces_member_lifecycles() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Buf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Buf::default();
+        let mut swarm = Swarm::new(small_config(11));
+        swarm.attach_cohort(4, Box::new(buf.clone()));
+        assert!(swarm.cohort().is_enabled());
+        for _ in 0..120 {
+            swarm.step_round();
+        }
+        let sink = swarm.take_cohort();
+        assert!(sink.members().len() <= 4);
+        assert!(sink.events() > 0, "a 120-round run must trace something");
+        let bytes = buf.0.lock().unwrap().clone();
+        let (meta, events) = bt_obs::read_cohort(&bytes[..]).unwrap();
+        assert_eq!(meta.size, 4);
+        assert_eq!(meta.seed, swarm.config().seed);
+        assert_eq!(events.len() as u64, sink.events());
+        // Every traced event belongs to a peer that joined the reservoir.
+        let mut joined = std::collections::BTreeSet::new();
+        for event in &events {
+            match event {
+                bt_obs::CohortEvent::Join(j) => {
+                    joined.insert(j.peer);
+                }
+                other => {
+                    assert!(
+                        joined.contains(&other.peer()),
+                        "event for {} before its join record",
+                        other.peer()
+                    );
+                }
+            }
         }
     }
 

@@ -6,7 +6,7 @@
 //! names its own `round.*` timer). See DESIGN.md ("Observability") for
 //! the counter and timer name schema.
 
-use bt_obs::{Counter, Registry};
+use bt_obs::{Counter, Registry, Timer};
 
 /// Counter handles used by the round loop.
 ///
@@ -34,6 +34,12 @@ pub(crate) struct SwarmObs {
     pub peak_population: Counter,
     /// Rounds executed (`swarm.rounds`).
     pub rounds: Counter,
+    /// Wall time in the telemetry observer (`obs.telemetry`). The
+    /// `obs.` prefix routes it into the manifest's `obs_share`, the
+    /// quantity the `--obs-budget` gate checks.
+    pub telemetry_timer: Timer,
+    /// Wall time in the doctor's monitor checks (`obs.doctor`).
+    pub doctor_timer: Timer,
 }
 
 impl SwarmObs {
@@ -50,6 +56,8 @@ impl SwarmObs {
             bootstrap_injections: registry.counter("swarm.bootstrap_injections"),
             peak_population: registry.counter("swarm.peak_population"),
             rounds: registry.counter("swarm.rounds"),
+            telemetry_timer: registry.timer("obs.telemetry"),
+            doctor_timer: registry.timer("obs.doctor"),
         }
     }
 }

@@ -2,6 +2,8 @@
 
 use rand::Rng;
 
+use bt_obs::acquire_source;
+
 use crate::config::BootstrapInjection;
 use crate::engine::SwarmCore;
 use crate::peer::PeerId;
@@ -45,6 +47,8 @@ impl Bootstrap {
                     let p = core.rng.gen_range(0..pieces);
                     if core.acquire_piece(id, p) {
                         core.obs.bootstrap_injections.incr();
+                        core.cohort
+                            .acquire(core.round, id.seq(), p, acquire_source::BOOTSTRAP);
                         injected += 1;
                     }
                 }
@@ -64,6 +68,8 @@ impl Bootstrap {
                     let p = bt_markov::chain::sample_index(&self.weights, &mut core.rng) as u32;
                     if core.acquire_piece(id, p) {
                         core.obs.bootstrap_injections.incr();
+                        core.cohort
+                            .acquire(core.round, id.seq(), p, acquire_source::BOOTSTRAP);
                         injected += 1;
                     }
                 }
@@ -108,6 +114,8 @@ impl Bootstrap {
             );
             let piece = self.rarest[core.rng.gen_range(0..self.rarest.len())];
             if core.acquire_piece(target, piece) {
+                core.cohort
+                    .acquire(core.round, target.seq(), piece, acquire_source::SEED);
                 uploaded += 1;
             }
         }

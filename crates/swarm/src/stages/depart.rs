@@ -39,6 +39,7 @@ impl RoundStage for DepartCompleted {
             // core.depart is the audit hook: it tallies the departure,
             // the pieces carried away, and the connections closed.
             let peer = core.depart(id);
+            core.cohort.depart(core.round, id.seq(), peer.have.count());
             // Peers that joined during warm-up carry transient startup
             // dynamics; they depart normally but leave no record.
             if peer.joined_round >= core.config.metrics_warmup_rounds {

@@ -88,6 +88,8 @@ impl RoundStage for EstablishConnections {
                     core.store.peer_mut(choice).connections.push(id);
                     core.obs.conn_successes.incr();
                     core.audit.conn_opened += 1;
+                    core.cohort.slot(core.round, id.seq(), choice.seq(), true);
+                    core.cohort.slot(core.round, choice.seq(), id.seq(), true);
                     initiated += 1;
                 } else {
                     // Failed attempt consumes the round's chance with this

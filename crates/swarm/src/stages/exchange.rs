@@ -127,6 +127,8 @@ impl RoundStage for ExchangePieces {
                 core.store.peer_mut(a).connections.retain(|&p| p != b);
                 core.store.peer_mut(b).connections.retain(|&p| p != a);
                 core.audit.conn_closed += 1;
+                core.cohort.slot(core.round, a.seq(), b.seq(), false);
+                core.cohort.slot(core.round, b.seq(), a.seq(), false);
                 continue;
             }
             let wanted_a = {
@@ -166,9 +168,13 @@ impl RoundStage for ExchangePieces {
             };
             if core.receive_block(a, piece_a) {
                 core.store.peer_mut(a).record_credit(b);
+                core.cohort
+                    .acquire(core.round, a.seq(), piece_a, bt_obs::acquire_source::EXCHANGE);
             }
             if core.receive_block(b, piece_b) {
                 core.store.peer_mut(b).record_credit(a);
+                core.cohort
+                    .acquire(core.round, b.seq(), piece_b, bt_obs::acquire_source::EXCHANGE);
             }
             // One block moved in each direction.
             core.obs.pieces_exchanged.add(2);

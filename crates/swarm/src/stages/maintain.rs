@@ -44,6 +44,7 @@ impl RoundStage for MaintainNeighbors {
             let entries = self.handout.len() as u64;
             if entries > 0 {
                 core.profile.add_peer_work(id.seq(), entries);
+                core.cohort.handout(core.round, id.seq(), entries as u32);
             }
             handed += entries;
             for &other in &self.handout {

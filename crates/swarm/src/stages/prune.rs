@@ -37,6 +37,8 @@ impl RoundStage for PruneConnections {
                 core.store.peer_mut(a).connections.retain(|&p| p != b);
                 core.store.peer_mut(b).connections.retain(|&p| p != a);
                 core.audit.conn_closed += 1;
+                core.cohort.slot(core.round, a.seq(), b.seq(), false);
+                core.cohort.slot(core.round, b.seq(), a.seq(), false);
             }
         }
     }

@@ -1,7 +1,20 @@
 //! Per-round metrics sampling.
 
+use bt_model::{DownloadState, Phase};
+
 use crate::engine::SwarmCore;
 use crate::stages::RoundStage;
+
+/// Compact code a [`Phase`] is traced under in cohort streams
+/// (`Bootstrap=0`, `Efficient=1`, `LastDownload=2`, `Done=3`).
+pub(crate) fn phase_code(phase: Phase) -> u8 {
+    match phase {
+        Phase::Bootstrap => 0,
+        Phase::Efficient => 1,
+        Phase::LastDownload => 2,
+        Phase::Done => 3,
+    }
+}
 
 /// Samples population, replication entropy (straight off the
 /// replication index — the old engine rescanned every bitfield here),
@@ -44,6 +57,14 @@ impl RoundStage for SampleMetrics {
                 core.metrics.potential_count_by_pieces[held] += 1;
             }
             conn_total += core.store.peer(id).connections.len();
+            if core.cohort.is_member(id.seq()) {
+                let connections = core.store.peer(id).connections.len() as u32;
+                let pieces = held as u32;
+                core.cohort.observe(round, id.seq(), pieces, connections);
+                let state = DownloadState::new(connections, pieces, potential);
+                let phase = Phase::classify(state, core.config.pieces);
+                core.cohort.phase(round, id.seq(), phase_code(phase));
+            }
             if (obs_lo..obs_hi).contains(&id.seq()) {
                 let connections = core.store.peer(id).connections.len() as u32;
                 let pieces = core.store.peer(id).have.count();

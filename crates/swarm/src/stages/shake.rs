@@ -36,6 +36,7 @@ impl RoundStage for ShakePeers {
             let ex_neighbors = std::mem::take(&mut core.store.peer_mut(id).neighbors);
             core.store.peer_mut(id).shake();
             core.obs.shakes.incr();
+            core.cohort.shake(core.round, id.seq());
             shaken += 1;
             for &other in &ex_neighbors {
                 if let Some(o) = core.store.get_mut(other) {

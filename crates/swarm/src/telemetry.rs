@@ -566,19 +566,30 @@ impl TelemetryRecorder {
         self.meta = Some(meta);
     }
 
-    /// Records one round: feeds phase detectors every round, samples the
-    /// series on the stride, and runs the anomaly triggers.
+    /// Records one round from a full [`Snapshot`]. Equivalent to
+    /// [`TelemetryRecorder::record_sample`] with
+    /// [`TelemetrySample::from_snapshot`]; the engine's hot loop uses
+    /// `record_sample` directly with a sketch-built sample so the
+    /// per-round cost stays sublinear in population.
     pub fn record_round(
         &mut self,
         snapshot: &Snapshot,
         max_connections: u32,
         observers: &[ObserverSample],
     ) {
+        let sample = TelemetrySample::from_snapshot(snapshot, max_connections);
+        self.record_sample(&sample, observers);
+    }
+
+    /// Records one round from a pre-built sample: feeds phase detectors
+    /// every round, samples the series on the stride, and runs the
+    /// anomaly triggers.
+    pub fn record_sample(&mut self, sample: &TelemetrySample, observers: &[ObserverSample]) {
         let Some(meta) = self.meta.clone() else {
-            debug_assert!(false, "record_round before bind");
+            debug_assert!(false, "record_sample before bind");
             return;
         };
-        let round = snapshot.round;
+        let round = sample.round;
 
         // Online phase detection, every round.
         let mut events = Vec::new();
@@ -604,7 +615,7 @@ impl TelemetryRecorder {
 
         // Series sampling on the stride.
         if self.store.accepts(round) {
-            let sample = TelemetrySample::from_snapshot(snapshot, max_connections);
+            let sample = sample.clone();
             self.store.record("entropy", round, sample.entropy);
             self.store
                 .record("population", round, sample.population as f64);
@@ -638,15 +649,15 @@ impl TelemetryRecorder {
         if self.flight.is_some() {
             let event = FlightEvent {
                 round,
-                population: snapshot.population,
-                entropy: snapshot.entropy,
-                extinct_pieces: snapshot.extinct_pieces() as u64,
-                mean_degree: snapshot.mean_degree(),
+                population: sample.population,
+                entropy: sample.entropy,
+                extinct_pieces: sample.extinct_pieces,
+                mean_degree: sample.mean_degree,
             };
             if let Some(flight) = self.flight.as_mut() {
                 flight.record(event);
             }
-            if let Some(reason) = self.trigger_reason(snapshot) {
+            if let Some(reason) = self.trigger_reason(sample) {
                 self.fire_trigger(round, &reason);
             }
         }
@@ -743,13 +754,13 @@ impl TelemetryRecorder {
             .retain(|s| observers.iter().any(|o| o.peer == s.peer));
     }
 
-    fn trigger_reason(&self, snapshot: &Snapshot) -> Option<String> {
+    fn trigger_reason(&self, sample: &TelemetrySample) -> Option<String> {
         let flight = self.options.flight.as_ref()?;
         if let Some(floor) = flight.entropy_floor {
-            if snapshot.population > 0 && snapshot.entropy < floor {
+            if sample.population > 0 && sample.entropy < floor {
                 return Some(format!(
                     "entropy {:.4} below floor {:.4} at round {}",
-                    snapshot.entropy, floor, snapshot.round
+                    sample.entropy, floor, sample.round
                 ));
             }
         }
@@ -766,7 +777,7 @@ impl TelemetryRecorder {
                 };
                 return Some(format!(
                     "observer {} stalled at {} pieces for {} rounds{} at round {}",
-                    track.peer, track.last_pieces, track.stalled_rounds, detail, snapshot.round
+                    track.peer, track.last_pieces, track.stalled_rounds, detail, sample.round
                 ));
             }
         }

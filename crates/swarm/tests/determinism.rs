@@ -192,6 +192,66 @@ fn same_seed_doctored_runs_and_ledger_records_agree() {
     );
 }
 
+/// Runs the swarm with telemetry attached and optionally a cohort of
+/// `cohort` members, returning the telemetry bytes, a metrics digest,
+/// and the cohort stream bytes (empty when no cohort was attached).
+fn run_with_cohort(seed: u64, rounds: u64, cohort: Option<u32>) -> (Vec<u8>, String, Vec<u8>) {
+    let mut swarm = Swarm::new(config(seed));
+    let buf = SharedBuf::default();
+    swarm.attach_telemetry(
+        TelemetryRecorder::new(TelemetryOptions::default()).to_writer(Box::new(buf.clone())),
+    );
+    let cohort_buf = SharedBuf::default();
+    if let Some(size) = cohort {
+        swarm.attach_cohort(size, Box::new(cohort_buf.clone()));
+    }
+    for _ in 0..rounds {
+        swarm.step_round();
+    }
+    let sink = swarm.take_cohort();
+    if cohort.is_some() {
+        assert!(sink.is_enabled(), "cohort stayed attached for the run");
+    }
+    let digest = format!("{:?}", swarm.metrics());
+    (buf.contents(), digest, cohort_buf.contents())
+}
+
+#[test]
+fn cohort_does_not_perturb_the_run() {
+    // The cohort sink draws membership from a private RNG stream and
+    // makes no model RNG calls, so a traced run must be byte-identical
+    // to a bare one.
+    let (plain_stream, plain_metrics, empty) = run_with_cohort(42, 120, None);
+    let (traced_stream, traced_metrics, cohort_stream) = run_with_cohort(42, 120, Some(8));
+    assert!(empty.is_empty(), "no cohort stream without a cohort");
+    assert!(
+        !cohort_stream.is_empty(),
+        "cohort stream produced at least its header"
+    );
+    assert_eq!(
+        plain_stream, traced_stream,
+        "attaching a cohort must not change the telemetry stream"
+    );
+    assert_eq!(
+        plain_metrics, traced_metrics,
+        "attaching a cohort must not change engine metrics"
+    );
+}
+
+#[test]
+fn same_seed_cohort_streams_are_byte_identical() {
+    let (_, _, cohort_a) = run_with_cohort(42, 120, Some(8));
+    let (_, _, cohort_b) = run_with_cohort(42, 120, Some(8));
+    assert_eq!(
+        cohort_a, cohort_b,
+        "same-seed cohort streams must be byte-identical"
+    );
+    let (meta, events) = bt_obs::read_cohort(&cohort_a[..]).expect("cohort stream parses");
+    assert_eq!(meta.seed, 42);
+    assert_eq!(meta.size, 8);
+    assert!(!events.is_empty(), "a 120-round run traces events");
+}
+
 #[test]
 fn different_seeds_diverge() {
     // Sanity check that the equality above is not vacuous: a different

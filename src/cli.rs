@@ -225,6 +225,10 @@ pub struct SwarmArgs {
     /// Cost-attribution profile output path (`profile.json`; folded
     /// stacks and per-round series land next to it).
     pub profile: Option<String>,
+    /// Cohort trace output path (binary-framed `.cohort` stream).
+    pub cohort: Option<String>,
+    /// Reservoir size of the sampled peer cohort.
+    pub cohort_size: u32,
 }
 
 impl Default for SwarmArgs {
@@ -249,6 +253,8 @@ impl Default for SwarmArgs {
             flight_capacity: 64,
             disabled_stages: Vec::new(),
             profile: None,
+            cohort: None,
+            cohort_size: 16,
         }
     }
 }
@@ -307,6 +313,9 @@ pub struct TrendArgs {
     pub last: usize,
     /// Relative slack before a metric is flagged as regressed.
     pub tolerance: f64,
+    /// Ledger size cap: the ledger is rotated (oldest records archived
+    /// to a `.1` sibling) before reading once it exceeds this.
+    pub max_ledger_bytes: u64,
 }
 
 impl Default for TrendArgs {
@@ -315,6 +324,7 @@ impl Default for TrendArgs {
             ledger: None,
             last: 10,
             tolerance: 0.10,
+            max_ledger_bytes: bt_obs::DEFAULT_MAX_LEDGER_BYTES,
         }
     }
 }
@@ -328,13 +338,21 @@ pub struct CompareArgs {
     pub candidate: String,
     /// Allowed relative regression before the command fails (0.1 = 10%).
     pub tolerance: f64,
+    /// Observer-overhead budget in percent of wall time: fail (exit 1)
+    /// when the candidate manifest's `obs_share` exceeds it. With this
+    /// flag, a single positional path gates that manifest alone.
+    pub obs_budget: Option<f64>,
 }
 
 /// Arguments of `btlab report`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReportArgs {
     /// Telemetry stream to read (JSON lines).
-    pub telemetry: String,
+    pub telemetry: Option<String>,
+    /// Cohort trace to summarize (binary `.cohort` stream).
+    pub cohort: Option<String>,
+    /// Export the parsed cohort trace as JSON lines to this path.
+    pub cohort_export: Option<String>,
     /// Optional run manifest to cross-check.
     pub manifest: Option<String>,
     /// Bootstrap inflow α for the model comparison.
@@ -352,7 +370,9 @@ pub struct ReportArgs {
 impl Default for ReportArgs {
     fn default() -> Self {
         ReportArgs {
-            telemetry: String::new(),
+            telemetry: None,
+            cohort: None,
+            cohort_export: None,
             manifest: None,
             alpha: 0.25,
             gamma: 0.15,
@@ -443,17 +463,20 @@ USAGE:
                 [--telemetry-format jsonl|csv] [--telemetry-stride N]
                 [--flight FILE] [--entropy-floor F] [--stall-rounds N]
                 [--flight-capacity N] [--disable-stage NAME[,NAME..]]
-                [--profile FILE]
+                [--profile FILE] [--cohort FILE] [--cohort-size N]
   btlab model   [--pieces N] [--k N] [--s N] [--alpha F] [--gamma F]
                 [--replications N] [--seed N]
-  btlab report  --telemetry FILE [--manifest FILE] [--alpha F] [--gamma F]
+  btlab report  [--telemetry FILE] [--cohort FILE] [--cohort-export FILE]
+                [--manifest FILE] [--alpha F] [--gamma F]
                 [--replications N] [--seed N] [--strict]
   btlab profile PROFILE.json [--top N] [--json]
-  btlab compare BASELINE CANDIDATE [--tolerance F]
+  btlab compare BASELINE CANDIDATE [--tolerance F] [--obs-budget PCT]
+  btlab compare MANIFEST --obs-budget PCT
   btlab doctor  [all swarm flags] [--cadence N] [--floor F]
                 [--min-population N] [--bundle-dir DIR]
                 [--inject-fault KIND@ROUND]
   btlab trend   [--ledger FILE] [--last N] [--tolerance F]
+                [--max-ledger-bytes N]
   btlab traces  --out FILE [--scenario smooth|last-phase|bootstrap-stall]
                 [--clients N] [--seed N]
   btlab analyze --input FILE
@@ -484,6 +507,24 @@ PROFILING (btlab swarm / profile / compare):
   manifests — stage by stage and exits 1 when the candidate regresses
   beyond --tolerance (default 0.10 = 10%).
 
+COHORT TRACING (btlab swarm / report):
+  --cohort FILE attaches a deterministic reservoir-sampled peer cohort
+  of --cohort-size members (default 16) and streams their full
+  lifecycles — join, piece acquisitions with source, connection-slot
+  changes, phase transitions, shakes, handouts, departure — as a
+  compact binary-framed trace. Membership is drawn from a private RNG
+  salted off the run seed, so traced runs are byte-identical to bare
+  ones. `btlab report --cohort FILE` renders per-peer trajectories;
+  --cohort-export FILE re-emits the trace as JSON lines.
+
+OBSERVER OVERHEAD (btlab compare --obs-budget):
+  Run manifests record the wall-time share spent inside observers
+  (obs.* phase timers: telemetry capture, doctor checks) as obs_share.
+  `btlab compare MANIFEST --obs-budget PCT` (one positional) gates that
+  share alone; with two positionals the gate rides along the regression
+  diff. Over budget exits 1; gating a profile report (which records no
+  obs_share) exits 2.
+
 DOCTOR (btlab doctor / trend):
   `btlab doctor` runs a swarm with the runtime invariant monitors
   sampling every --cadence rounds: piece conservation, replication
@@ -500,7 +541,9 @@ DOCTOR (btlab doctor / trend):
   trend` renders per-metric trajectories over the last --last records
   and flags values drifting beyond --tolerance against the median of
   matching prior runs (advisory: trend itself always exits 0 on
-  readable ledgers).
+  readable ledgers). Before reading, trend rotates the ledger once it
+  exceeds --max-ledger-bytes (default 16 MiB; 0 disables): the oldest
+  lines move to a `.1` archive next to it.
 
 EXIT CODES:
   0 success; 1 run failure (simulation error, compare regression,
@@ -581,6 +624,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "ledger" => a.ledger = Some(required(key, value)?),
                     "last" => a.last = num(key, value)?,
                     "tolerance" => a.tolerance = num(key, value)?,
+                    "max-ledger-bytes" => a.max_ledger_bytes = num(key, value)?,
                     _ => return Err(format!("unknown flag --{key} for trend")),
                 }
             }
@@ -594,10 +638,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "report" => {
             let mut a = ReportArgs::default();
-            let mut telemetry = None;
             for (key, value) in &flags {
                 match key.as_str() {
-                    "telemetry" => telemetry = Some(required(key, value)?),
+                    "telemetry" => a.telemetry = Some(required(key, value)?),
+                    "cohort" => a.cohort = Some(required(key, value)?),
+                    "cohort-export" => a.cohort_export = Some(required(key, value)?),
                     "manifest" => a.manifest = Some(required(key, value)?),
                     "alpha" => a.alpha = num(key, value)?,
                     "gamma" => a.gamma = num(key, value)?,
@@ -607,7 +652,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     _ => return Err(format!("unknown flag --{key} for report")),
                 }
             }
-            a.telemetry = telemetry.ok_or("report requires --telemetry FILE")?;
+            if a.telemetry.is_none() && a.cohort.is_none() {
+                return Err("report requires --telemetry FILE and/or --cohort FILE".to_string());
+            }
+            if a.cohort_export.is_some() && a.cohort.is_none() {
+                return Err("--cohort-export requires --cohort FILE".to_string());
+            }
             Ok(Command::Report(a))
         }
         "model" => {
@@ -719,6 +769,13 @@ fn apply_swarm_flag(a: &mut SwarmArgs, key: &str, value: &str) -> Result<bool, S
             a.telemetry_format = format;
         }
         "telemetry-stride" => a.telemetry_stride = num(key, value)?,
+        "cohort" => a.cohort = Some(required(key, value)?),
+        "cohort-size" => {
+            a.cohort_size = num(key, value)?;
+            if a.cohort_size == 0 {
+                return Err("--cohort-size must be >= 1".to_string());
+            }
+        }
         "flight" => a.flight = Some(required(key, value)?),
         "entropy-floor" => a.entropy_floor = Some(num(key, value)?),
         "stall-rounds" => a.stall_rounds = Some(num(key, value)?),
@@ -786,18 +843,37 @@ fn parse_compare(rest: &[String]) -> Result<Command, String> {
     let (mut positionals, flag_tokens) = split_positionals(rest);
     let flags = parse_flags(&flag_tokens)?;
     let mut tolerance = 0.10f64;
+    let mut obs_budget = None;
     for (key, value) in &flags {
         match key.as_str() {
             "tolerance" => tolerance = num(key, value)?,
+            "obs-budget" => obs_budget = Some(num(key, value)?),
             _ => return Err(format!("unknown flag --{key} for compare")),
         }
     }
     if tolerance < 0.0 {
         return Err(format!("--tolerance must be >= 0, got {tolerance}"));
     }
+    if let Some(budget) = obs_budget {
+        if !(0.0..=100.0).contains(&budget) {
+            return Err(format!("--obs-budget is a percentage (0..=100), got {budget}"));
+        }
+    }
+    // With --obs-budget, a single manifest path gates observer overhead
+    // alone (baseline == candidate, no regression comparison).
+    if positionals.len() == 1 && obs_budget.is_some() {
+        let path = positionals.pop().unwrap_or_default();
+        return Ok(Command::Compare(CompareArgs {
+            baseline: path.clone(),
+            candidate: path,
+            tolerance,
+            obs_budget,
+        }));
+    }
     if positionals.len() != 2 {
         return Err(format!(
-            "compare takes BASELINE and CANDIDATE paths, got {} positional argument(s)",
+            "compare takes BASELINE and CANDIDATE paths (or one manifest with --obs-budget), \
+             got {} positional argument(s)",
             positionals.len()
         ));
     }
@@ -807,6 +883,7 @@ fn parse_compare(rest: &[String]) -> Result<Command, String> {
         baseline,
         candidate,
         tolerance,
+        obs_budget,
     }))
 }
 
@@ -925,6 +1002,14 @@ fn build_swarm(a: &SwarmArgs) -> Result<bt_swarm::Swarm, String> {
         }
         swarm.attach_telemetry(recorder);
     }
+    if let Some(path) = &a.cohort {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create cohort file {path}: {e}"))?;
+        swarm.attach_cohort(
+            a.cohort_size,
+            Box::new(std::io::BufWriter::new(file)),
+        );
+    }
     Ok(swarm)
 }
 
@@ -957,6 +1042,9 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), CliEr
             };
             if let Some(path) = &a.telemetry {
                 tracing::info!(target: "btlab", path = path.as_str(); "telemetry stream written");
+            }
+            if let Some(path) = &a.cohort {
+                tracing::info!(target: "btlab", path = path.as_str(), size = a.cohort_size; "cohort trace written");
             }
             if a.json {
                 let json = serde_json::to_string_pretty(&metrics)
@@ -1088,16 +1176,50 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), CliEr
 
 /// Executes `btlab report`: summarizes a JSONL telemetry stream —
 /// entropy trajectory, per-observer phase boundaries, flight dumps —
-/// and compares mean observer boundaries against the analytical model.
+/// and compares mean observer boundaries against the analytical model;
+/// and/or summarizes a binary `.cohort` trace as per-peer lifecycle
+/// trajectories (with an optional `--cohort-export` JSONL export).
 /// Under `--strict`, any manifest cross-check warning fails the run.
 fn run_report<W: std::io::Write>(a: &ReportArgs, out: &mut W) -> Result<(), CliError> {
+    let mut warnings: Vec<String> = Vec::new();
+    if let Some(telemetry) = &a.telemetry {
+        report_telemetry(a, telemetry, out, &mut warnings)?;
+    }
+    if let Some(cohort) = &a.cohort {
+        report_cohort(a, cohort, out)?;
+    }
+    if a.strict && !warnings.is_empty() {
+        return Err(CliError::Failure(format!(
+            "--strict: {} manifest warning(s):\n  {}",
+            warnings.len(),
+            warnings.join("\n  ")
+        )));
+    }
+    Ok(())
+}
+
+/// The telemetry half of `btlab report`. An empty stream, a stream
+/// with no Meta header, and a headed stream with zero samples are all
+/// malformed input data ([`CliError::Invalid`], exit 2) — the usual
+/// causes are a run interrupted mid-write or a CSV-format stream.
+fn report_telemetry<W: std::io::Write>(
+    a: &ReportArgs,
+    telemetry: &str,
+    out: &mut W,
+    warnings: &mut Vec<String>,
+) -> Result<(), CliError> {
     use bt_swarm::telemetry::{ObserverBoundaries, TelemetryRecord};
 
     let io_err = |e: std::io::Error| format!("i/o error: {e}");
-    let mut warnings: Vec<String> = Vec::new();
-    tracing::info!(target: "btlab", telemetry = a.telemetry.as_str(); "reporting on telemetry");
-    let records = bt_swarm::telemetry::read_records_from_path(std::path::Path::new(&a.telemetry))
-        .map_err(|e| format!("cannot read telemetry {}: {e}", a.telemetry))?;
+    tracing::info!(target: "btlab", telemetry = telemetry; "reporting on telemetry");
+    let records = bt_swarm::telemetry::read_records_from_path(std::path::Path::new(telemetry))
+        .map_err(|e| CliError::Invalid(format!("cannot read telemetry {telemetry}: {e}")))?;
+    if records.is_empty() {
+        return Err(CliError::Invalid(format!(
+            "telemetry stream {telemetry} is empty (no records); \
+             was the run interrupted before it wrote anything?"
+        )));
+    }
     let meta = records
         .iter()
         .find_map(|r| match r {
@@ -1105,10 +1227,13 @@ fn run_report<W: std::io::Write>(a: &ReportArgs, out: &mut W) -> Result<(), CliE
             _ => None,
         })
         .ok_or_else(|| {
-            "telemetry stream has no Meta header; report needs the jsonl format".to_string()
+            CliError::Invalid(format!(
+                "telemetry stream {telemetry} has no Meta header; \
+                 report needs the jsonl format"
+            ))
         })?;
 
-    writeln!(out, "telemetry report: {}", a.telemetry).map_err(io_err)?;
+    writeln!(out, "telemetry report: {telemetry}").map_err(io_err)?;
     writeln!(
         out,
         "config: pieces={} k={} s={} seed={} stride={}",
@@ -1124,8 +1249,12 @@ fn run_report<W: std::io::Write>(a: &ReportArgs, out: &mut W) -> Result<(), CliE
         })
         .collect();
     if samples.is_empty() {
-        writeln!(out, "samples=0").map_err(io_err)?;
-    } else {
+        return Err(CliError::Invalid(format!(
+            "telemetry stream {telemetry} is truncated: Meta header present but no Sample \
+             records; was the run interrupted, or the stride larger than the round budget?"
+        )));
+    }
+    {
         let first = samples[0];
         let last = samples[samples.len() - 1];
         let min = samples
@@ -1344,12 +1473,135 @@ fn run_report<W: std::io::Write>(a: &ReportArgs, out: &mut W) -> Result<(), CliE
             }
         }
     }
-    if a.strict && !warnings.is_empty() {
-        return Err(CliError::Failure(format!(
-            "--strict: {} manifest warning(s):\n  {}",
-            warnings.len(),
-            warnings.join("\n  ")
+    Ok(())
+}
+
+/// Human-readable name of a cohort phase ordinal.
+fn phase_name(phase: u8) -> &'static str {
+    match phase {
+        0 => "bootstrap",
+        1 => "efficient",
+        2 => "last-download",
+        3 => "done",
+        _ => "?",
+    }
+}
+
+/// Per-peer lifecycle rollup accumulated from a cohort trace.
+#[derive(Default)]
+struct CohortTrajectory {
+    join: Option<u64>,
+    evict: Option<u64>,
+    depart: Option<u64>,
+    acquires: u64,
+    slot_opens: u64,
+    slot_closes: u64,
+    shakes: u64,
+    handouts: u64,
+    observes: u64,
+    last_pieces: u32,
+    last_connections: u32,
+    last_phase: Option<u8>,
+}
+
+/// The cohort half of `btlab report`: parses the binary `.cohort`
+/// stream, prints one trajectory line per traced peer, and optionally
+/// exports the parsed trace as JSON lines. A header-only or unreadable
+/// trace is malformed input data ([`CliError::Invalid`], exit 2).
+fn report_cohort<W: std::io::Write>(
+    a: &ReportArgs,
+    cohort: &str,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let io_err = |e: std::io::Error| format!("i/o error: {e}");
+    tracing::info!(target: "btlab", cohort = cohort; "reporting on cohort trace");
+    let file = std::fs::File::open(cohort)
+        .map_err(|e| CliError::Invalid(format!("cannot read cohort {cohort}: {e}")))?;
+    let (meta, events) = bt_obs::read_cohort(std::io::BufReader::new(file))
+        .map_err(|e| CliError::Invalid(format!("cannot parse cohort {cohort}: {e}")))?;
+    if events.is_empty() {
+        return Err(CliError::Invalid(format!(
+            "cohort trace {cohort} has a header but no events; \
+             was the run interrupted before any peer joined?"
         )));
+    }
+    if a.telemetry.is_some() {
+        writeln!(out).map_err(io_err)?;
+    }
+    writeln!(out, "cohort trace: {cohort}").map_err(io_err)?;
+    writeln!(
+        out,
+        "seed={} reservoir={} events={}",
+        meta.seed,
+        meta.size,
+        events.len()
+    )
+    .map_err(io_err)?;
+
+    let mut by_peer: std::collections::BTreeMap<u64, CohortTrajectory> =
+        std::collections::BTreeMap::new();
+    for event in &events {
+        let t = by_peer.entry(event.peer()).or_default();
+        match event {
+            bt_obs::CohortEvent::Join(e) => t.join = Some(e.round),
+            bt_obs::CohortEvent::Evict(e) => t.evict = Some(e.round),
+            bt_obs::CohortEvent::Acquire(_) => t.acquires += 1,
+            bt_obs::CohortEvent::Slot(e) => {
+                if e.opened {
+                    t.slot_opens += 1;
+                } else {
+                    t.slot_closes += 1;
+                }
+            }
+            bt_obs::CohortEvent::Phase(e) => t.last_phase = Some(e.phase),
+            bt_obs::CohortEvent::Observe(e) => {
+                t.observes += 1;
+                t.last_pieces = e.pieces;
+                t.last_connections = e.connections;
+            }
+            bt_obs::CohortEvent::Shake(_) => t.shakes += 1,
+            bt_obs::CohortEvent::Depart(e) => {
+                t.depart = Some(e.round);
+                t.last_pieces = e.pieces;
+            }
+            bt_obs::CohortEvent::Handout(_) => t.handouts += 1,
+        }
+    }
+    writeln!(out, "\nper-peer trajectories:").map_err(io_err)?;
+    writeln!(
+        out,
+        "{:>8} {:>6} {:>6} {:>8} {:>6} {:>6} {:>6} {:>6} {:>13}",
+        "peer", "join", "end", "acquires", "opens", "closes", "shakes", "pieces", "phase"
+    )
+    .map_err(io_err)?;
+    for (peer, t) in &by_peer {
+        // A trace ends by departure or eviction; "-" means the peer was
+        // still traced when the run stopped.
+        let end = t
+            .depart
+            .or(t.evict)
+            .map_or("-".to_string(), |r| r.to_string());
+        let join = t.join.map_or("-".to_string(), |r| r.to_string());
+        let phase = match (t.depart, t.last_phase) {
+            (Some(_), _) => "departed",
+            (None, Some(p)) => phase_name(p),
+            (None, None) => "-",
+        };
+        writeln!(
+            out,
+            "{peer:>8} {join:>6} {end:>6} {:>8} {:>6} {:>6} {:>6} {:>6} {phase:>13}",
+            t.acquires, t.slot_opens, t.slot_closes, t.shakes, t.last_pieces
+        )
+        .map_err(io_err)?;
+    }
+    writeln!(out, "peers traced: {}", by_peer.len()).map_err(io_err)?;
+
+    if let Some(export) = &a.cohort_export {
+        let file = std::fs::File::create(export)
+            .map_err(|e| format!("cannot create cohort export {export}: {e}"))?;
+        bt_obs::write_cohort_jsonl(&meta, &events, std::io::BufWriter::new(file))
+            .map_err(|e| format!("cannot write cohort export {export}: {e}"))?;
+        writeln!(out, "cohort export (jsonl): {export}").map_err(io_err)?;
     }
     Ok(())
 }
@@ -1484,6 +1736,10 @@ fn run_profile<W: std::io::Write>(a: &ProfileArgs, out: &mut W) -> Result<(), Cl
 struct CompareSide {
     stages: Vec<(String, f64)>,
     rounds_per_sec: Option<f64>,
+    /// Observer wall-time share from a run manifest; `None` for profile
+    /// reports, which do not record it.
+    obs_share: Option<f64>,
+    obs_wall_secs: f64,
 }
 
 /// Loads `path` as either a [`bt_obs::ProfileReport`] (from
@@ -1517,6 +1773,8 @@ fn load_compare_side(path: &str) -> Result<CompareSide, CliError> {
                 .map(|s| (s.name.clone(), s.total_secs))
                 .collect(),
             rounds_per_sec: (report.rounds_per_sec > 0.0).then_some(report.rounds_per_sec),
+            obs_share: None,
+            obs_wall_secs: 0.0,
         })
     } else if value.get("phase_secs").is_some() {
         let manifest: bt_obs::RunManifest = serde_json::from_str(&text)
@@ -1542,6 +1800,8 @@ fn load_compare_side(path: &str) -> Result<CompareSide, CliError> {
         Ok(CompareSide {
             stages,
             rounds_per_sec,
+            obs_share: Some(manifest.obs_share),
+            obs_wall_secs: manifest.obs_wall_secs,
         })
     } else {
         Err(invalid(format!(
@@ -1560,6 +1820,11 @@ const COMPARE_MIN_STAGE_SECS: f64 = 1e-6;
 /// either input is malformed (exit 2).
 fn run_compare<W: std::io::Write>(a: &CompareArgs, out: &mut W) -> Result<(), CliError> {
     let io_err = |e: std::io::Error| format!("i/o error: {e}");
+    // Gate-only mode: one manifest, no baseline to diff against.
+    if a.baseline == a.candidate && a.obs_budget.is_some() {
+        let candidate = load_compare_side(&a.candidate)?;
+        return check_obs_budget(a, &candidate, out);
+    }
     let baseline = load_compare_side(&a.baseline)?;
     let candidate = load_compare_side(&a.candidate)?;
     writeln!(
@@ -1631,6 +1896,8 @@ fn run_compare<W: std::io::Write>(a: &CompareArgs, out: &mut W) -> Result<(), Cl
         }
     }
 
+    check_obs_budget(a, &candidate, out)?;
+
     if regressions.is_empty() {
         writeln!(out, "no regressions beyond tolerance").map_err(io_err)?;
         Ok(())
@@ -1642,6 +1909,51 @@ fn run_compare<W: std::io::Write>(a: &CompareArgs, out: &mut W) -> Result<(), Cl
             regressions.join("\n  ")
         )))
     }
+}
+
+/// Enforces `--obs-budget`: the candidate manifest's observer wall-time
+/// share (`obs_share`, the fraction of total wall time spent in the
+/// `obs.*` phase timers — telemetry capture and doctor checks) must not
+/// exceed the budget. A profile report has no `obs_share`, so gating one
+/// is a data error (exit 2); an over-budget manifest is a run failure
+/// (exit 1). Without `--obs-budget` this is a no-op.
+fn check_obs_budget<W: std::io::Write>(
+    a: &CompareArgs,
+    candidate: &CompareSide,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let io_err = |e: std::io::Error| format!("i/o error: {e}");
+    let Some(budget_pct) = a.obs_budget else {
+        return Ok(());
+    };
+    let Some(share) = candidate.obs_share else {
+        return Err(CliError::Invalid(format!(
+            "{}: --obs-budget needs a run manifest candidate (profile reports do not \
+             record an observer wall-time share)",
+            a.candidate
+        )));
+    };
+    let share_pct = share * 100.0;
+    let verdict = if share_pct > budget_pct {
+        "OVER BUDGET"
+    } else {
+        "ok"
+    };
+    writeln!(
+        out,
+        "observer overhead: {share_pct:.2}% of wall time ({:.3}s in obs.* timers), \
+         budget {budget_pct:.2}% — {verdict}",
+        candidate.obs_wall_secs
+    )
+    .map_err(io_err)?;
+    if share_pct > budget_pct {
+        return Err(CliError::Failure(format!(
+            "observer overhead {share_pct:.2}% exceeds the --obs-budget {budget_pct:.2}% \
+             (obs.* timers: {:.3}s)",
+            candidate.obs_wall_secs
+        )));
+    }
+    Ok(())
 }
 
 /// The directory run artifacts default to: `$BT_MANIFEST_DIR`, then
@@ -1772,6 +2084,26 @@ fn run_trend<W: std::io::Write>(a: &TrendArgs, out: &mut W) -> Result<(), CliErr
         .clone()
         .map(std::path::PathBuf::from)
         .unwrap_or_else(bt_obs::default_ledger_path);
+    // Cap the ledger before reading: the oldest lines move to a `.1`
+    // archive once the file outgrows --max-ledger-bytes, so an
+    // always-appending ledger cannot grow without bound.
+    match bt_obs::rotate_ledger(&path, a.max_ledger_bytes) {
+        Ok(None) => {}
+        Ok(Some(archived)) => {
+            writeln!(
+                out,
+                "ledger rotated: {archived} oldest record(s) archived to {}.1",
+                path.display()
+            )
+            .map_err(io_err)?;
+        }
+        Err(e) => {
+            return Err(CliError::Failure(format!(
+                "cannot rotate ledger {}: {e}",
+                path.display()
+            )))
+        }
+    }
     let records = bt_obs::read_ledger(&path)
         .map_err(|e| CliError::Invalid(format!("cannot read ledger {}: {e}", path.display())))?;
     if records.is_empty() {
@@ -1792,15 +2124,15 @@ fn run_trend<W: std::io::Write>(a: &TrendArgs, out: &mut W) -> Result<(), CliErr
     .map_err(io_err)?;
     writeln!(
         out,
-        "{:>4} {:<12} {:>6} {:>10} {:>8} {:>10} {:>14} {:>6}",
-        "#", "command", "seed", "config", "rounds", "peak_pop", "rounds_per_sec", "viol"
+        "{:>4} {:<12} {:>6} {:>10} {:>8} {:>10} {:>14} {:>6} {:>6}",
+        "#", "command", "seed", "config", "rounds", "peak_pop", "rounds_per_sec", "obs%", "viol"
     )
     .map_err(io_err)?;
     let first_index = records.len() - window.len();
     for (i, r) in window.iter().enumerate() {
         writeln!(
             out,
-            "{:>4} {:<12} {:>6} {:>10} {:>8} {:>10} {:>14.1} {:>6}",
+            "{:>4} {:<12} {:>6} {:>10} {:>8} {:>10} {:>14.1} {:>6.2} {:>6}",
             first_index + i + 1,
             r.command,
             r.seed,
@@ -1808,6 +2140,7 @@ fn run_trend<W: std::io::Write>(a: &TrendArgs, out: &mut W) -> Result<(), CliErr
             r.rounds,
             r.peak_population,
             r.rounds_per_sec,
+            r.obs_share * 100.0,
             r.violations
         )
         .map_err(io_err)?;
@@ -1876,6 +2209,13 @@ fn run_trend<W: std::io::Write>(a: &TrendArgs, out: &mut W) -> Result<(), CliErr
         median(prior.iter().map(|r| r.rounds_per_sec).collect()),
         latest.rounds_per_sec,
         true,
+    )?;
+    row(
+        out,
+        "obs_share_pct",
+        median(prior.iter().map(|r| r.obs_share * 100.0).collect()),
+        latest.obs_share * 100.0,
+        false,
     )?;
     for (timer, latest_ns) in &latest.stage_p95_ns {
         let prior_values: Vec<f64> = prior
@@ -2223,7 +2563,7 @@ mod tests {
         let Command::Report(a) = cmd else {
             panic!("expected report");
         };
-        assert_eq!(a.telemetry, "t.jsonl");
+        assert_eq!(a.telemetry.as_deref(), Some("t.jsonl"));
         assert_eq!(a.replications, 10);
         assert_eq!(a.manifest.as_deref(), Some("m.json"));
     }
@@ -2250,7 +2590,7 @@ mod tests {
         let mut report = Vec::new();
         run(
             Command::Report(ReportArgs {
-                telemetry: path_str,
+                telemetry: Some(path_str),
                 replications: 20,
                 ..ReportArgs::default()
             }),
@@ -2265,31 +2605,62 @@ mod tests {
     }
 
     #[test]
-    fn report_rejects_missing_or_headerless_stream() {
-        let mut buf = Vec::new();
-        let err = run(
-            Command::Report(ReportArgs {
-                telemetry: "/nonexistent/telemetry.jsonl".into(),
-                ..ReportArgs::default()
-            }),
-            &mut buf,
-        )
-        .unwrap_err();
+    fn report_rejects_missing_empty_or_truncated_streams_with_exit_2() {
+        let report = |path: &str| {
+            let mut buf = Vec::new();
+            run(
+                Command::Report(ReportArgs {
+                    telemetry: Some(path.into()),
+                    ..ReportArgs::default()
+                }),
+                &mut buf,
+            )
+        };
+        let err = report("/nonexistent/telemetry.jsonl").unwrap_err();
+        assert_eq!(err.exit_code(), 2, "missing stream is a data error");
         assert!(err.to_string().contains("cannot read telemetry"), "{err}");
 
-        // A CSV stream has no Meta header, which the report calls out.
-        let path = std::env::temp_dir().join("btlab-cli-report-headerless.jsonl");
+        // An interrupted run can leave a zero-byte stream behind.
+        let path = std::env::temp_dir().join("btlab-cli-report-empty.jsonl");
         std::fs::write(&path, "").unwrap();
-        let err = run(
-            Command::Report(ReportArgs {
-                telemetry: path.to_str().unwrap().into(),
-                ..ReportArgs::default()
-            }),
-            &mut buf,
-        )
-        .unwrap_err();
+        let err = report(path.to_str().unwrap()).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "empty stream is a data error");
+        assert!(err.to_string().contains("is empty"), "{err}");
+
+        // A stream with records but no Meta header (e.g. CSV format).
+        std::fs::write(&path, "{\"Flight\":{\"round\":1,\"events\":2,\"reason\":\"x\"}}\n")
+            .unwrap();
+        let err = report(path.to_str().unwrap()).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "headerless stream is a data error");
         assert!(err.to_string().contains("no Meta header"), "{err}");
         std::fs::remove_file(&path).ok();
+
+        // A Meta header with zero samples: truncated mid-run.
+        let stream = std::env::temp_dir().join("btlab-cli-report-truncated.jsonl");
+        let full = std::env::temp_dir().join("btlab-cli-report-truncated-src.jsonl");
+        run(
+            Command::Swarm(SwarmArgs {
+                pieces: 8,
+                k: 3,
+                s: 6,
+                lambda: 0.0,
+                initial: 6,
+                rounds: 20,
+                telemetry: Some(full.to_str().unwrap().into()),
+                ..SwarmArgs::default()
+            }),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&full).unwrap();
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("Meta"), "first record is the header");
+        std::fs::write(&stream, format!("{header}\n")).unwrap();
+        let err = report(stream.to_str().unwrap()).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "truncated stream is a data error");
+        assert!(err.to_string().contains("truncated"), "{err}");
+        std::fs::remove_file(&stream).ok();
+        std::fs::remove_file(&full).ok();
     }
 
     #[test]
@@ -2347,6 +2718,23 @@ mod tests {
         assert!(parse(&args(&["compare", "a", "b", "c"])).is_err());
         assert!(parse(&args(&["compare", "a", "b", "--tolerance", "-0.5"])).is_err());
         assert!(parse(&args(&["compare", "a", "b", "--warp", "9"])).is_err());
+
+        // --obs-budget rides along a two-sided compare, and unlocks the
+        // single-manifest gate-only form.
+        let cmd = parse(&args(&["compare", "a.json", "b.json", "--obs-budget", "10"])).unwrap();
+        let Command::Compare(a) = cmd else {
+            panic!("expected compare");
+        };
+        assert_eq!(a.obs_budget, Some(10.0));
+        let cmd = parse(&args(&["compare", "m.json", "--obs-budget", "7.5"])).unwrap();
+        let Command::Compare(a) = cmd else {
+            panic!("expected compare");
+        };
+        assert_eq!(a.baseline, "m.json");
+        assert_eq!(a.candidate, "m.json");
+        assert_eq!(a.obs_budget, Some(7.5));
+        assert!(parse(&args(&["compare", "a", "b", "--obs-budget", "150"])).is_err());
+        assert!(parse(&args(&["compare", "a", "b", "--obs-budget", "-1"])).is_err());
     }
 
     #[test]
@@ -2492,6 +2880,7 @@ mod tests {
                     baseline: base.to_str().unwrap().into(),
                     candidate: cand.to_str().unwrap().into(),
                     tolerance,
+                    obs_budget: None,
                 }),
                 out,
             )
@@ -2542,6 +2931,7 @@ mod tests {
                 baseline: base.to_str().unwrap().into(),
                 candidate: cand.to_str().unwrap().into(),
                 tolerance: 0.25,
+                obs_budget: None,
             }),
             &mut buf,
         )
@@ -2565,6 +2955,7 @@ mod tests {
                 baseline: path.to_str().unwrap().into(),
                 candidate: path.to_str().unwrap().into(),
                 tolerance: 0.1,
+                obs_budget: None,
             }),
             &mut buf,
         )
@@ -2615,7 +3006,7 @@ mod tests {
         let mut report = Vec::new();
         run(
             Command::Report(ReportArgs {
-                telemetry: telemetry.to_str().unwrap().into(),
+                telemetry: Some(telemetry.to_str().unwrap().into()),
                 manifest: Some(manifest_path.to_str().unwrap().into()),
                 replications: 5,
                 seed: 3,
@@ -2799,7 +3190,7 @@ mod tests {
         manifest.write_to(&manifest_path).unwrap();
 
         let report_args = |strict: bool| ReportArgs {
-            telemetry: telemetry.to_str().unwrap().into(),
+            telemetry: Some(telemetry.to_str().unwrap().into()),
             manifest: Some(manifest_path.to_str().unwrap().into()),
             replications: 5,
             seed: 3,
@@ -2825,7 +3216,7 @@ mod tests {
         let mut buf = Vec::new();
         run(
             Command::Report(ReportArgs {
-                telemetry: telemetry.to_str().unwrap().into(),
+                telemetry: Some(telemetry.to_str().unwrap().into()),
                 replications: 5,
                 seed: 3,
                 strict: true,
@@ -2852,6 +3243,7 @@ mod tests {
                 baseline: good.to_str().unwrap().into(),
                 candidate: bad.to_str().unwrap().into(),
                 tolerance: 0.1,
+                obs_budget: None,
             }),
             &mut buf,
         )
@@ -2953,6 +3345,7 @@ mod tests {
             wall_clock_secs: 60.0 / rps,
             rounds_per_sec: rps,
             stage_p95_ns: vec![("round.exchange".into(), 2_000_000)],
+            obs_share: 0.02,
             violations,
         }
     }
@@ -3026,5 +3419,174 @@ mod tests {
         assert_eq!(err.exit_code(), 2);
         assert!(err.to_string().contains("has no records"), "{err}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_trend_rotates_an_oversized_ledger() {
+        let path = std::env::temp_dir().join("btlab-cli-trend-rotate-unit.jsonl");
+        let archive = std::env::temp_dir().join("btlab-cli-trend-rotate-unit.jsonl.1");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&archive);
+        for seed in 0..20 {
+            bt_obs::append_record(&path, &ledger_record(seed, 100.0, 0)).unwrap();
+        }
+        let size = std::fs::metadata(&path).unwrap().len();
+        let mut buf = Vec::new();
+        run(
+            Command::Trend(TrendArgs {
+                ledger: Some(path.to_str().unwrap().into()),
+                max_ledger_bytes: size / 2,
+                ..TrendArgs::default()
+            }),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("ledger rotated"), "{text}");
+        assert!(archive.exists(), "oldest records land in the .1 archive");
+        let kept = std::fs::read_to_string(&path).unwrap().lines().count();
+        let archived = std::fs::read_to_string(&archive).unwrap().lines().count();
+        assert_eq!(kept + archived, 20, "rotation loses no records");
+        assert!(kept < 20, "rotation trims the live ledger");
+
+        // A second run under the default generous cap leaves it alone.
+        let mut buf = Vec::new();
+        run(
+            Command::Trend(TrendArgs {
+                ledger: Some(path.to_str().unwrap().into()),
+                ..TrendArgs::default()
+            }),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(!text.contains("ledger rotated"), "{text}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&archive).ok();
+    }
+
+    #[test]
+    fn compare_obs_budget_gates_a_manifest() {
+        let path = std::env::temp_dir().join("btlab-cli-compare-obs-unit.json");
+        let mut manifest = sample_manifest(1.0, 60, 2.0);
+        manifest.obs_wall_secs = 0.08;
+        manifest.obs_share = 0.04;
+        manifest.write_to(&path).unwrap();
+        let gate = |budget: f64| {
+            let mut buf = Vec::new();
+            let result = run(
+                Command::Compare(CompareArgs {
+                    baseline: path.to_str().unwrap().into(),
+                    candidate: path.to_str().unwrap().into(),
+                    tolerance: 0.1,
+                    obs_budget: Some(budget),
+                }),
+                &mut buf,
+            );
+            (result, String::from_utf8(buf).unwrap())
+        };
+
+        let (result, text) = gate(5.0);
+        result.unwrap();
+        assert!(text.contains("observer overhead: 4.00%"), "{text}");
+        assert!(text.contains("ok"), "{text}");
+
+        let (result, text) = gate(2.5);
+        let err = result.unwrap_err();
+        assert_eq!(err.exit_code(), 1, "over budget is a failure, not a data error");
+        assert!(err.to_string().contains("exceeds the --obs-budget"), "{err}");
+        assert!(text.contains("OVER BUDGET"), "{text}");
+        std::fs::remove_file(&path).ok();
+
+        // Profile reports carry no observer share: gating one is a
+        // data error, not a silent pass.
+        let profile = std::env::temp_dir().join("btlab-cli-compare-obs-profile.json");
+        sample_report(1.0, 0.5).write_to(&profile).unwrap();
+        let mut buf = Vec::new();
+        let err = run(
+            Command::Compare(CompareArgs {
+                baseline: profile.to_str().unwrap().into(),
+                candidate: profile.to_str().unwrap().into(),
+                tolerance: 0.1,
+                obs_budget: Some(5.0),
+            }),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("needs a run manifest"), "{err}");
+        std::fs::remove_file(&profile).ok();
+    }
+
+    #[test]
+    fn swarm_cohort_trace_feeds_report_and_jsonl_export() {
+        let trace = std::env::temp_dir().join("btlab-cli-cohort-unit.cohort");
+        let export = std::env::temp_dir().join("btlab-cli-cohort-unit.jsonl");
+        let cmd = parse(&args(&[
+            "swarm", "--pieces", "8", "--k", "3", "--s", "6", "--lambda", "0.2",
+            "--initial", "12", "--rounds", "80", "--seed", "11",
+            "--cohort", trace.to_str().unwrap(),
+            "--cohort-size", "4",
+        ]))
+        .unwrap();
+        let Command::Swarm(ref a) = cmd else {
+            panic!("expected swarm");
+        };
+        assert_eq!(a.cohort.as_deref(), trace.to_str());
+        assert_eq!(a.cohort_size, 4);
+        run(cmd, &mut Vec::new()).unwrap();
+        assert!(trace.exists(), "swarm --cohort writes the trace file");
+
+        let mut buf = Vec::new();
+        run(
+            Command::Report(ReportArgs {
+                cohort: Some(trace.to_str().unwrap().into()),
+                cohort_export: Some(export.to_str().unwrap().into()),
+                ..ReportArgs::default()
+            }),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("cohort trace:"), "{text}");
+        assert!(text.contains("reservoir=4"), "{text}");
+        assert!(text.contains("peers traced:"), "{text}");
+        assert!(text.contains("acquires"), "trajectory table header: {text}");
+        let exported = std::fs::read_to_string(&export).unwrap();
+        assert!(!exported.is_empty(), "export produced JSON lines");
+        for line in exported.lines() {
+            let value: serde_json::Value =
+                serde_json::from_str(line).expect("each export line is JSON");
+            assert!(value.as_object().is_some(), "{line}");
+        }
+
+        // Truncating the stream below its header turns report into a
+        // data error, mirroring the telemetry hardening.
+        let bytes = std::fs::read(&trace).unwrap();
+        std::fs::write(&trace, &bytes[..10]).unwrap();
+        let mut buf = Vec::new();
+        let err = run(
+            Command::Report(ReportArgs {
+                cohort: Some(trace.to_str().unwrap().into()),
+                ..ReportArgs::default()
+            }),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "truncated cohort stream is a data error");
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&export).ok();
+    }
+
+    #[test]
+    fn swarm_cohort_flags_parse_and_validate() {
+        let cmd = parse(&args(&["swarm", "--cohort", "t.cohort"])).unwrap();
+        let Command::Swarm(a) = cmd else {
+            panic!("expected swarm");
+        };
+        assert_eq!(a.cohort.as_deref(), Some("t.cohort"));
+        assert_eq!(a.cohort_size, 16, "default reservoir size");
+        let err = parse(&args(&["swarm", "--cohort-size", "0"])).unwrap_err();
+        assert!(err.contains("--cohort-size must be >= 1"), "{err}");
     }
 }

@@ -153,14 +153,17 @@ fn json_log_mode_emits_json_lines_and_manifest() {
         .get("phase_secs")
         .and_then(|v| v.as_array())
         .expect("phase_secs");
-    // One timer per default-pipeline stage (shake is config-gated off here).
-    assert_eq!(phases.len(), 7, "{phases:?}");
     let phase_names: Vec<&str> = phases
         .iter()
         .map(|pair| pair.as_array().expect("pair")[0].as_str().expect("name"))
         .collect();
+    // One timer per default-pipeline stage (shake is config-gated off
+    // here), plus the obs.* observer timers the budget gate reads.
+    let round_stages = phase_names.iter().filter(|n| n.starts_with("round.")).count();
+    assert_eq!(round_stages, 7, "{phase_names:?}");
     assert!(phase_names.contains(&"round.depart"), "{phase_names:?}");
     assert!(!phase_names.contains(&"round.shake"), "{phase_names:?}");
+    assert!(phase_names.contains(&"obs.telemetry"), "{phase_names:?}");
     std::fs::remove_dir_all(&dir).ok();
 }
 
