@@ -29,7 +29,7 @@
 //! The manifest is written to `DIR/BENCH_swarm.json`.
 
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::Instant; // bt-lint: allow(det-wall-clock) — bench measures wall time by design
 
 use bt_obs::{fnv1a_hex, RunManifest};
 use bt_swarm::Swarm;
@@ -139,7 +139,7 @@ fn main() {
             Box::new(std::io::BufWriter::new(file)),
         );
     }
-    let started = Instant::now();
+    let started = Instant::now(); // bt-lint: allow(det-wall-clock) — timing is the measurement
     for _ in 0..options.rounds {
         swarm.step_round();
     }

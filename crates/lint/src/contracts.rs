@@ -1,0 +1,528 @@
+//! Stage capability contracts and the machine-readable stage-access
+//! matrix.
+//!
+//! Every `RoundStage` impl must carry a capability annotation directly
+//! above its `impl` header:
+//!
+//! ```text
+//! // bt-stage: reads(config, store), writes(rng, metrics, obs)
+//! impl RoundStage for ExchangePieces { … }
+//! ```
+//!
+//! The analyzer computes the *actual* capability set of the stage's
+//! `run` method — every `SwarmCore` field read or written, transitively
+//! through the call graph — and diagnoses any disagreement
+//! (`stage-contract`). A field the stage writes appears in `writes`;
+//! a field it only reads appears in `reads`; the `rng` field is always
+//! a write (observing a random stream advances it).
+//!
+//! `btlab lint --stage-matrix` renders the same analysis as JSON. The
+//! matrix classifies core fields into **state** (the model's evolving
+//! data), **telemetry** (commutative sinks: counters, profile, audit,
+//! cohort), and **rng**, and reports pairwise write-disjointness over
+//! the *state* fields — the go/no-go artifact for sharding stages
+//! across threads: two stages whose state writes are disjoint (and
+//! whose rng use is restructured onto per-shard streams) can run in
+//! parallel without changing observable behavior.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::CallGraph;
+use crate::diag::{json_escape, Finding};
+use crate::resolve::Workspace;
+use crate::rules::Rule;
+
+/// The engine-core struct whose fields form the capability vocabulary.
+pub const CORE_TYPE: &str = "SwarmCore";
+
+/// The stage trait whose impls must carry contracts.
+pub const STAGE_TRAIT: &str = "RoundStage";
+
+/// Core field types that are telemetry sinks (commutative, shard-safe
+/// by construction) rather than model state.
+const TELEMETRY_TYPES: &[&str] = &[
+    "SwarmMetrics",
+    "SwarmObs",
+    "ProfileSink",
+    "SwarmAudit",
+    "CohortSink",
+    "CountCells",
+];
+
+/// Core field types that are seeded random streams.
+const RNG_TYPES: &[&str] = &["StdRng", "SmallRng", "ChaCha8Rng"];
+
+/// Access mode for one core field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Read-only access.
+    Read,
+    /// At least one mutating access.
+    Write,
+}
+
+/// Per-function capability set: core field → strongest access mode.
+pub type Caps = BTreeMap<String, Mode>;
+
+/// Computes the transitive capability set of every function: direct
+/// core-field accesses unioned with the capabilities of every callee,
+/// to a fixpoint. The `rng` field is always [`Mode::Write`].
+#[must_use]
+pub fn capabilities(ws: &Workspace, cg: &CallGraph) -> Vec<Caps> {
+    let n = ws.functions.len();
+    let mut caps: Vec<Caps> = vec![Caps::new(); n];
+    for (id, facts) in cg.facts.iter().enumerate() {
+        for access in &facts.core {
+            let mode = if access.write || access.field == "rng" {
+                Mode::Write
+            } else {
+                Mode::Read
+            };
+            merge(&mut caps[id], &access.field, mode);
+        }
+    }
+    // Fixpoint: union callee capabilities into callers until stable.
+    // The graph is small (a few thousand functions); a bounded sweep
+    // loop is simpler than a worklist and just as fast here.
+    for _ in 0..n.max(8) {
+        let mut changed = false;
+        for caller in 0..n {
+            for &(callee, _, _) in &cg.edges[caller] {
+                if callee == caller {
+                    continue;
+                }
+                let callee_caps = caps[callee].clone();
+                for (field, mode) in callee_caps {
+                    if merge_get(&mut caps[caller], &field, mode) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    caps
+}
+
+/// Merges `mode` for `field` into `caps` (write dominates read).
+fn merge(caps: &mut Caps, field: &str, mode: Mode) {
+    merge_get(caps, field, mode);
+}
+
+/// Like [`merge`], returning whether anything changed.
+fn merge_get(caps: &mut Caps, field: &str, mode: Mode) -> bool {
+    match caps.get(field) {
+        Some(Mode::Write) => false,
+        Some(Mode::Read) if mode == Mode::Read => false,
+        _ => {
+            caps.insert(field.to_string(), mode);
+            true
+        }
+    }
+}
+
+/// One stage's analyzed access profile.
+#[derive(Debug, Clone)]
+pub struct StageInfo {
+    /// Stage name (from the `name()` method's string literal, falling
+    /// back to the impl type).
+    pub stage: String,
+    /// Implementing type.
+    pub impl_type: String,
+    /// File of the `impl RoundStage for …` header.
+    pub file: String,
+    /// Line of the impl header.
+    pub line: u32,
+    /// Core fields read (never written), sorted.
+    pub reads: Vec<String>,
+    /// Core fields written, sorted.
+    pub writes: Vec<String>,
+}
+
+/// The stage-access matrix: every stage's analyzed capability profile
+/// plus the field classification and pairwise write-disjointness.
+#[derive(Debug)]
+pub struct StageMatrix {
+    /// Model-state fields of the core struct, sorted.
+    pub state_fields: Vec<String>,
+    /// Telemetry-sink fields, sorted.
+    pub telemetry_fields: Vec<String>,
+    /// Random-stream fields, sorted.
+    pub rng_fields: Vec<String>,
+    /// Per-stage profiles, sorted by stage name.
+    pub stages: Vec<StageInfo>,
+}
+
+/// A parsed `// bt-stage: reads(…), writes(…)` annotation.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Contract {
+    reads: Vec<String>,
+    writes: Vec<String>,
+}
+
+/// Parses the payload of a stage note (`reads(a, b), writes(c)`).
+/// Returns `None` when neither clause parses.
+fn parse_contract(payload: &str) -> Option<Contract> {
+    let reads = clause(payload, "reads")?;
+    let writes = clause(payload, "writes")?;
+    Some(Contract { reads, writes })
+}
+
+/// Extracts the sorted identifier list of `name(...)` from `payload`.
+fn clause(payload: &str, name: &str) -> Option<Vec<String>> {
+    let start = payload.find(&format!("{name}("))?;
+    let rest = &payload[start + name.len() + 1..];
+    let end = rest.find(')')?;
+    let mut items: Vec<String> = rest[..end]
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    items.sort();
+    items.dedup();
+    Some(items)
+}
+
+/// Analyzes every stage impl: computes its access profile, checks the
+/// inline contract annotation, and returns the matrix plus any
+/// `stage-contract` findings.
+#[must_use]
+pub fn analyze_stages(
+    ws: &Workspace,
+    caps: &[Caps],
+    stage_notes: &BTreeMap<String, Vec<(u32, String)>>,
+) -> (StageMatrix, Vec<Finding>) {
+    let mut findings = Vec::new();
+    let mut stages = Vec::new();
+    for imp in &ws.impls {
+        if imp.trait_name.as_deref() != Some(STAGE_TRAIT) {
+            continue;
+        }
+        let Some(run_id) = ws.method(&imp.self_type, "run") else {
+            continue; // bodyless trait decl itself has no impls to check
+        };
+        let (reads, writes) = split_caps(&caps[run_id]);
+        let stage = stage_name(ws, &imp.self_type).unwrap_or_else(|| imp.self_type.clone());
+        let info = StageInfo {
+            stage,
+            impl_type: imp.self_type.clone(),
+            file: imp.file.clone(),
+            line: imp.line,
+            reads: reads.clone(),
+            writes: writes.clone(),
+        };
+        check_contract(&info, stage_notes, &mut findings);
+        stages.push(info);
+    }
+    stages.sort_by(|a, b| a.stage.cmp(&b.stage));
+    let matrix = StageMatrix::new(ws, stages);
+    (matrix, findings)
+}
+
+/// Splits a capability map into sorted (read-only, written) field lists.
+fn split_caps(caps: &Caps) -> (Vec<String>, Vec<String>) {
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for (field, mode) in caps {
+        match mode {
+            Mode::Read => reads.push(field.clone()),
+            Mode::Write => writes.push(field.clone()),
+        }
+    }
+    (reads, writes)
+}
+
+/// The stage's runtime name: the string literal returned by its
+/// `name()` method, unquoted.
+fn stage_name(ws: &Workspace, impl_type: &str) -> Option<String> {
+    let id = ws.method(impl_type, "name")?;
+    let lit = ws.functions[id]
+        .body
+        .iter()
+        .find(|t| t.kind == crate::lexer::TokenKind::Literal)?;
+    Some(lit.text.trim_matches('"').to_string())
+}
+
+/// Checks one stage's annotation against its analyzed profile.
+fn check_contract(
+    info: &StageInfo,
+    stage_notes: &BTreeMap<String, Vec<(u32, String)>>,
+    findings: &mut Vec<Finding>,
+) {
+    let expected = format!(
+        "// bt-stage: reads({}), writes({})",
+        info.reads.join(", "),
+        info.writes.join(", ")
+    );
+    // The annotation must sit directly above the impl header (within
+    // three lines, so a doc comment can intervene).
+    let note = stage_notes.get(&info.file).and_then(|notes| {
+        notes
+            .iter()
+            .filter(|(line, _)| *line < info.line && info.line - *line <= 3)
+            .max_by_key(|(line, _)| *line)
+    });
+    let Some((note_line, payload)) = note else {
+        findings.push(Finding::new(
+            Rule::StageContract,
+            &info.file,
+            info.line,
+            1,
+            format!(
+                "stage `{}` ({}) has no capability annotation; add `{}` above the impl",
+                info.stage, info.impl_type, expected
+            ),
+        ));
+        return;
+    };
+    let Some(declared) = parse_contract(payload) else {
+        findings.push(Finding::new(
+            Rule::StageContract,
+            &info.file,
+            *note_line,
+            1,
+            format!(
+                "stage `{}` has an unparsable capability annotation `{}`; expected `{}`",
+                info.stage, payload, expected
+            ),
+        ));
+        return;
+    };
+    if declared.reads != info.reads || declared.writes != info.writes {
+        findings.push(Finding::new(
+            Rule::StageContract,
+            &info.file,
+            *note_line,
+            1,
+            format!(
+                "stage `{}` capability annotation is stale: declared reads({}) writes({}), \
+                 analyzed reads({}) writes({}); update to `{}`",
+                info.stage,
+                declared.reads.join(", "),
+                declared.writes.join(", "),
+                info.reads.join(", "),
+                info.writes.join(", "),
+                expected
+            ),
+        ));
+    }
+}
+
+impl StageMatrix {
+    /// Classifies the core struct's fields and assembles the matrix.
+    fn new(ws: &Workspace, stages: Vec<StageInfo>) -> StageMatrix {
+        let mut state_fields = Vec::new();
+        let mut telemetry_fields = Vec::new();
+        let mut rng_fields = Vec::new();
+        if let Some(core) = ws.structs.get(CORE_TYPE) {
+            for (field, ty) in &core.fields {
+                if RNG_TYPES.contains(&ty.as_str()) {
+                    rng_fields.push(field.clone());
+                } else if TELEMETRY_TYPES.contains(&ty.as_str()) {
+                    telemetry_fields.push(field.clone());
+                } else {
+                    state_fields.push(field.clone());
+                }
+            }
+        }
+        state_fields.sort();
+        telemetry_fields.sort();
+        rng_fields.sort();
+        StageMatrix {
+            state_fields,
+            telemetry_fields,
+            rng_fields,
+            stages,
+        }
+    }
+
+    /// State-field writes of one stage (the disjointness basis).
+    fn state_writes<'a>(&self, info: &'a StageInfo) -> Vec<&'a String> {
+        info.writes
+            .iter()
+            .filter(|w| self.state_fields.contains(w))
+            .collect()
+    }
+
+    /// Renders the matrix as stable, deterministic JSON.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"bt-lint/stage-matrix/v1\",\n");
+        out.push_str(&format!("  \"core\": \"{CORE_TYPE}\",\n"));
+        out.push_str("  \"fields\": {\n");
+        out.push_str(&format!("    \"state\": {},\n", str_array(&self.state_fields)));
+        out.push_str(&format!(
+            "    \"telemetry\": {},\n",
+            str_array(&self.telemetry_fields)
+        ));
+        out.push_str(&format!("    \"rng\": {}\n", str_array(&self.rng_fields)));
+        out.push_str("  },\n");
+        out.push_str("  \"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"stage\": \"{}\", \"impl\": \"{}\", \"file\": \"{}\", \"reads\": {}, \"writes\": {}}}{}\n",
+                json_escape(&s.stage),
+                json_escape(&s.impl_type),
+                json_escape(&s.file),
+                str_array(&s.reads),
+                str_array(&s.writes),
+                if i + 1 < self.stages.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        // Pairwise write-disjointness over state fields.
+        let mut pairs = Vec::new();
+        let mut all_disjoint = true;
+        for (i, a) in self.stages.iter().enumerate() {
+            for b in self.stages.iter().skip(i + 1) {
+                let wa = self.state_writes(a);
+                let overlap: Vec<&String> = self
+                    .state_writes(b)
+                    .into_iter()
+                    .filter(|w| wa.contains(w))
+                    .collect();
+                let disjoint = overlap.is_empty();
+                all_disjoint &= disjoint;
+                pairs.push(format!(
+                    "    {{\"a\": \"{}\", \"b\": \"{}\", \"disjoint\": {}, \"overlap\": {}}}",
+                    json_escape(&a.stage),
+                    json_escape(&b.stage),
+                    disjoint,
+                    str_array(&overlap.into_iter().cloned().collect::<Vec<_>>())
+                ));
+            }
+        }
+        out.push_str("  \"write_disjointness\": {\n");
+        out.push_str("    \"basis\": \"state\",\n");
+        out.push_str(&format!("    \"all_disjoint\": {all_disjoint},\n"));
+        out.push_str("    \"pairs\": [\n");
+        out.push_str(&pairs.join(",\n"));
+        out.push('\n');
+        out.push_str("    ]\n");
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Renders a sorted string list as a compact JSON array.
+fn str_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::lexer::lex;
+    use crate::parse::parse_file;
+
+    const STAGE_SRC: &str = "\
+struct SwarmCore { config: SwarmConfig, store: PeerStore, rng: StdRng, obs: SwarmObs }
+struct SwarmConfig { n: u32 }
+struct PeerStore { n: u32 }
+struct SwarmObs { c: Counter }
+impl PeerStore { fn insert_peer(&mut self) {} fn len(&self) -> usize { 0 } }
+struct Arrive { x: u32 }
+// bt-stage: reads(config), writes(rng, store)
+impl RoundStage for Arrive {
+    fn name(&self) -> &'static str { \"bootstrap\" }
+    fn run(&mut self, core: &mut SwarmCore) {
+        let n = core.config.n;
+        core.rng.next();
+        core.store.insert_peer();
+    }
+}
+";
+
+    type Notes = BTreeMap<String, Vec<(u32, String)>>;
+
+    fn analyze(src: &str) -> (Workspace, Vec<Caps>, Notes) {
+        let file = "crates/swarm/src/stages/x.rs".to_string();
+        let lexed = lex(src);
+        let mut files = BTreeMap::new();
+        files.insert(file.clone(), parse_file(&file, &lexed.tokens));
+        let ws = Workspace::build(&files);
+        let cg = CallGraph::build(&ws, CORE_TYPE);
+        let caps = capabilities(&ws, &cg);
+        let mut notes = BTreeMap::new();
+        notes.insert(file, lexed.stage_notes);
+        (ws, caps, notes)
+    }
+
+    #[test]
+    fn correct_contract_produces_no_findings() {
+        let (ws, caps, notes) = analyze(STAGE_SRC);
+        let (matrix, findings) = analyze_stages(&ws, &caps, &notes);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(matrix.stages.len(), 1);
+        let s = &matrix.stages[0];
+        assert_eq!(s.stage, "bootstrap");
+        assert_eq!(s.reads, vec!["config"]);
+        assert_eq!(s.writes, vec!["rng", "store"]);
+    }
+
+    #[test]
+    fn stale_contract_is_diagnosed_with_the_fix() {
+        let src = STAGE_SRC.replace("reads(config), writes(rng, store)", "reads(), writes(store)");
+        let (ws, caps, notes) = analyze(&src);
+        let (_, findings) = analyze_stages(&ws, &caps, &notes);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::StageContract);
+        assert!(findings[0]
+            .message
+            .contains("// bt-stage: reads(config), writes(rng, store)"));
+    }
+
+    #[test]
+    fn missing_annotation_is_diagnosed() {
+        let src = STAGE_SRC.replace("// bt-stage: reads(config), writes(rng, store)\n", "");
+        let (ws, caps, notes) = analyze(&src);
+        let (_, findings) = analyze_stages(&ws, &caps, &notes);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("no capability annotation"));
+    }
+
+    #[test]
+    fn capabilities_propagate_through_helpers() {
+        let src = "\
+struct SwarmCore { store: PeerStore, round: u64 }
+struct PeerStore { n: u32 }
+fn leaf(core: &mut SwarmCore) { core.round += 1; }
+fn mid(core: &mut SwarmCore) { leaf(core); let _ = core.store.n; }
+fn top(core: &mut SwarmCore) { mid(core); }
+";
+        let (ws, caps, _) = analyze(src);
+        let top = (0..ws.functions.len()).find(|&i| ws.label(i) == "top").unwrap();
+        assert_eq!(caps[top].get("round"), Some(&Mode::Write));
+        assert_eq!(caps[top].get("store"), Some(&Mode::Read));
+    }
+
+    #[test]
+    fn matrix_json_reports_disjointness() {
+        let (ws, caps, notes) = analyze(STAGE_SRC);
+        let (matrix, _) = analyze_stages(&ws, &caps, &notes);
+        let json = matrix.render_json();
+        assert!(json.contains("\"schema\": \"bt-lint/stage-matrix/v1\""));
+        assert!(json.contains("\"state\": [\"config\", \"store\"]"));
+        assert!(json.contains("\"rng\": [\"rng\"]"));
+        assert!(json.contains("\"telemetry\": [\"obs\"]"));
+        assert!(json.contains("\"all_disjoint\": true"));
+    }
+
+    #[test]
+    fn contract_clause_parsing_is_order_insensitive() {
+        let c = parse_contract("writes(b, a), reads(z, y)").unwrap();
+        assert_eq!(c.reads, vec!["y", "z"]);
+        assert_eq!(c.writes, vec!["a", "b"]);
+        assert!(parse_contract("nonsense").is_none());
+    }
+}

@@ -55,6 +55,27 @@ impl Token {
     }
 }
 
+/// One recorded waiver: a rule name allowed at a line (and the next) or
+/// for the whole file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverEntry {
+    /// 1-based line of the waiver comment.
+    pub line: u32,
+    /// Waived rule name (`all` is the wildcard).
+    pub rule: String,
+    /// Whether the waiver covers the whole file (`allow-file`).
+    pub file_wide: bool,
+}
+
+impl WaiverEntry {
+    /// Whether this entry suppresses a finding for `rule` at `line`.
+    #[must_use]
+    pub fn matches(&self, rule: &str, line: u32) -> bool {
+        (self.rule == rule || self.rule == "all")
+            && (self.file_wide || self.line == line || self.line.saturating_add(1) == line)
+    }
+}
+
 /// Inline waivers collected from comments during lexing.
 ///
 /// Syntax (anywhere in a `//` or `/* */` comment):
@@ -66,25 +87,25 @@ impl Token {
 /// * `bt-lint: allow-file(rule-a)` — suppresses the named rules for the
 ///   whole file.
 ///
-/// The rule name `all` waives every rule.
+/// The rule name `all` waives every rule. Entries keep their comment's
+/// line so the engine can report waivers that no longer suppress
+/// anything (`waiver-unused`).
 #[derive(Debug, Default, Clone)]
 pub struct Waivers {
-    /// `(line, rule)` pairs waived for that line and the next.
-    line_waivers: Vec<(u32, String)>,
-    /// Rules waived for the entire file.
-    file_waivers: Vec<String>,
+    entries: Vec<WaiverEntry>,
 }
 
 impl Waivers {
     /// Whether a finding for `rule` at `line` is waived.
     #[must_use]
     pub fn covers(&self, rule: &str, line: u32) -> bool {
-        let matches = |name: &str| name == rule || name == "all";
-        self.file_waivers.iter().any(|w| matches(w))
-            || self
-                .line_waivers
-                .iter()
-                .any(|(l, w)| (*l == line || l.saturating_add(1) == line) && matches(w))
+        self.entries.iter().any(|e| e.matches(rule, line))
+    }
+
+    /// Every recorded waiver, in source order.
+    #[must_use]
+    pub fn entries(&self) -> &[WaiverEntry] {
+        &self.entries
     }
 
     fn record(&mut self, comment: &str, line: u32) {
@@ -99,11 +120,11 @@ impl Waivers {
                 if rule.is_empty() {
                     continue;
                 }
-                if file_wide {
-                    self.file_waivers.push(rule);
-                } else {
-                    self.line_waivers.push((line, rule));
-                }
+                self.entries.push(WaiverEntry {
+                    line,
+                    rule,
+                    file_wide,
+                });
             }
             // `allow-file(` contains `allow(`? No — but `allow(` would also
             // match inside `allow-file(`; matching allow-file first and
@@ -120,6 +141,18 @@ pub struct Lexed {
     pub tokens: Vec<Token>,
     /// Waivers extracted from comments.
     pub waivers: Waivers,
+    /// `// bt-stage: ...` capability annotations, as `(line, text)` with
+    /// the text starting after the `bt-stage:` marker. Consumed by the
+    /// stage-contract checker ([`crate::contracts`]).
+    pub stage_notes: Vec<(u32, String)>,
+}
+
+/// Records the payload of a `// bt-stage: ...` capability annotation.
+fn record_stage_note(notes: &mut Vec<(u32, String)>, comment: &str, line: u32) {
+    const MARKER: &str = "bt-stage:";
+    if let Some(start) = comment.find(MARKER) {
+        notes.push((line, comment[start + MARKER.len()..].trim().to_string()));
+    }
 }
 
 /// Multi-character operators, longest first so maximal munch works.
@@ -166,19 +199,28 @@ pub fn lex(source: &str) -> Lexed {
             continue;
         }
 
-        // Line comments (plain and doc). Waivers live here.
+        // Line comments. Waivers and stage notes live in *plain* `//`
+        // comments only: doc comments (`///`, `//!`) are documentation,
+        // where waiver syntax appears as quoted examples, not intent.
         if c == '/' && bytes.get(i + 1) == Some(&'/') {
+            let doc = matches!(bytes.get(i + 2), Some(&'/') | Some(&'!'));
             let mut text = String::new();
             while i < bytes.len() && bytes[i] != '\n' {
                 text.push(bytes[i]);
                 advance!(1);
             }
-            out.waivers.record(&text, start_line);
+            if !doc {
+                out.waivers.record(&text, start_line);
+                record_stage_note(&mut out.stage_notes, &text, start_line);
+            }
             continue;
         }
 
-        // Block comments, nested.
+        // Block comments, nested. Doc forms (`/**`, `/*!`) are skipped
+        // for waiver/stage-note collection like their line equivalents.
         if c == '/' && bytes.get(i + 1) == Some(&'*') {
+            let doc = matches!(bytes.get(i + 2), Some(&'*') | Some(&'!'))
+                && bytes.get(i + 3) != Some(&'/');
             let mut depth = 0usize;
             let mut text = String::new();
             while i < bytes.len() {
@@ -198,7 +240,10 @@ pub fn lex(source: &str) -> Lexed {
                     advance!(1);
                 }
             }
-            out.waivers.record(&text, start_line);
+            if !doc {
+                out.waivers.record(&text, start_line);
+                record_stage_note(&mut out.stage_notes, &text, start_line);
+            }
             continue;
         }
 
@@ -584,5 +629,23 @@ mod tests {
         let lexed = lex("// bt-lint: allow(panic-unwrap, float-cmp)\nx");
         assert!(lexed.waivers.covers("panic-unwrap", 2));
         assert!(lexed.waivers.covers("float-cmp", 2));
+    }
+
+    #[test]
+    fn waiver_entries_keep_line_and_scope() {
+        let lexed = lex("// bt-lint: allow-file(float-cmp)\n// bt-lint: allow(panic-unwrap)\n");
+        let entries = lexed.waivers.entries();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].file_wide && entries[0].line == 1 && entries[0].rule == "float-cmp");
+        assert!(!entries[1].file_wide && entries[1].line == 2 && entries[1].rule == "panic-unwrap");
+    }
+
+    #[test]
+    fn stage_notes_are_collected() {
+        let lexed = lex("// bt-stage: reads(config) writes(store)\nfn f() {}\n");
+        assert_eq!(
+            lexed.stage_notes,
+            vec![(1, "reads(config) writes(store)".to_string())]
+        );
     }
 }

@@ -1,11 +1,14 @@
 //! `bt-lint` — the standalone lint driver.
 //!
 //! ```text
-//! bt-lint [--root DIR] [--format text|json] [--list-rules]
+//! bt-lint [--root DIR] [--format text|json] [--list-rules] [--stage-matrix]
 //! ```
 //!
 //! Exits 0 when the tree is clean (no non-waived findings), 1 when
-//! blocking findings remain, 2 on usage or I/O errors.
+//! blocking findings remain, 2 on usage or I/O errors. With
+//! `--stage-matrix` the stage-access matrix JSON is printed instead of
+//! the findings; the exit code still reflects the lint gate so a dirty
+//! tree cannot silently regenerate the committed baseline.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -13,12 +16,13 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bt_lint::{lint_workspace, Rule};
+use bt_lint::{analyze_workspace, Rule};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root = PathBuf::from(".");
     let mut format = "text".to_string();
+    let mut stage_matrix = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -30,6 +34,7 @@ fn main() -> ExitCode {
                 Some(f) if f == "text" || f == "json" => format = f.clone(),
                 _ => return usage_error("--format needs `text` or `json`"),
             },
+            "--stage-matrix" => stage_matrix = true,
             "--list-rules" => {
                 for rule in Rule::ALL {
                     println!("{:<26} {}", rule.name(), rule.description());
@@ -37,25 +42,32 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!("usage: bt-lint [--root DIR] [--format text|json] [--list-rules]");
+                println!("usage: bt-lint [--root DIR] [--format text|json] [--list-rules] [--stage-matrix]");
                 return ExitCode::SUCCESS;
             }
             other => return usage_error(&format!("unknown argument `{other}`")),
         }
     }
 
-    let report = match lint_workspace(&root) {
-        Ok(report) => report,
+    let analysis = match analyze_workspace(&root) {
+        Ok(analysis) => analysis,
         Err(e) => {
             eprintln!("bt-lint: scanning {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
-    match format.as_str() {
-        "json" => print!("{}", report.render_json()),
-        _ => print!("{}", report.render_text()),
+    if stage_matrix {
+        print!("{}", analysis.matrix.render_json());
+        for finding in analysis.report.findings.iter().filter(|f| f.blocking()) {
+            eprintln!("{}", finding.render_text());
+        }
+    } else {
+        match format.as_str() {
+            "json" => print!("{}", analysis.report.render_json()),
+            _ => print!("{}", analysis.report.render_text()),
+        }
     }
-    if report.blocking_count() > 0 {
+    if analysis.report.blocking_count() > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
@@ -64,6 +76,6 @@ fn main() -> ExitCode {
 
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("bt-lint: {msg}");
-    eprintln!("usage: bt-lint [--root DIR] [--format text|json] [--list-rules]");
+    eprintln!("usage: bt-lint [--root DIR] [--format text|json] [--list-rules] [--stage-matrix]");
     ExitCode::from(2)
 }

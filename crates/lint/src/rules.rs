@@ -27,11 +27,28 @@ pub enum Rule {
     FloatCmp,
     /// Crate root missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]`.
     PolicyCrateAttrs,
+    /// A function outside the sanctioned RNG scope can transitively
+    /// reach the model RNG (cross-file, call-graph rule).
+    RngReachability,
+    /// Interior mutability (`RefCell`/`Cell`/`Mutex`/…) used in — or
+    /// reached through a helper from — model code.
+    SharedInteriorMut,
+    /// Unordered iteration reached through an out-of-scope helper
+    /// function from model code (cross-file form of
+    /// `det-unordered-collection`).
+    SharedUnorderedHelper,
+    /// A `RoundStage` impl whose `// bt-stage: reads(…) writes(…)`
+    /// capability contract is missing or disagrees with the analyzed
+    /// field accesses.
+    StageContract,
+    /// An inline `// bt-lint: allow(...)` waiver that no longer
+    /// suppresses any finding.
+    WaiverUnused,
 }
 
 impl Rule {
     /// Every rule, in catalog order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 13] = [
         Rule::DetUnorderedCollection,
         Rule::DetWallClock,
         Rule::DetAmbientRng,
@@ -40,6 +57,11 @@ impl Rule {
         Rule::PanicIndex,
         Rule::FloatCmp,
         Rule::PolicyCrateAttrs,
+        Rule::RngReachability,
+        Rule::SharedInteriorMut,
+        Rule::SharedUnorderedHelper,
+        Rule::StageContract,
+        Rule::WaiverUnused,
     ];
 
     /// Stable rule name, used in diagnostics and waivers.
@@ -54,6 +76,11 @@ impl Rule {
             Rule::PanicIndex => "panic-index",
             Rule::FloatCmp => "float-cmp",
             Rule::PolicyCrateAttrs => "policy-crate-attrs",
+            Rule::RngReachability => "rng-reachability",
+            Rule::SharedInteriorMut => "shared-interior-mut",
+            Rule::SharedUnorderedHelper => "shared-unordered-helper",
+            Rule::StageContract => "stage-contract",
+            Rule::WaiverUnused => "waiver-unused",
         }
     }
 
@@ -84,6 +111,21 @@ impl Rule {
             }
             Rule::PolicyCrateAttrs => {
                 "crate root must carry #![forbid(unsafe_code)] and #![deny(missing_docs)]"
+            }
+            Rule::RngReachability => {
+                "function outside the sanctioned scope can transitively reach the model RNG"
+            }
+            Rule::SharedInteriorMut => {
+                "interior mutability (RefCell/Cell/Mutex/...) in or reachable from model code"
+            }
+            Rule::SharedUnorderedHelper => {
+                "unordered iteration reached through a helper function from model code"
+            }
+            Rule::StageContract => {
+                "RoundStage capability contract (// bt-stage: reads/writes) missing or stale"
+            }
+            Rule::WaiverUnused => {
+                "inline bt-lint waiver no longer suppresses any finding; remove it"
             }
         }
     }
@@ -216,6 +258,33 @@ pub fn check_tokens(rules: &[Rule], tokens: &[Token], file: &str, findings: &mut
                              from the simulation clock instead",
                             t.text
                         ),
+                    );
+                }
+                "RefCell" | "Cell" | "Mutex" | "RwLock" | "OnceLock" | "OnceCell"
+                | "UnsafeCell" | "LazyLock"
+                    if rules.contains(&Rule::SharedInteriorMut) =>
+                {
+                    emit(
+                        Rule::SharedInteriorMut,
+                        t,
+                        format!(
+                            "`{}` is interior mutability: writes hide behind `&self`, which \
+                             defeats the per-stage read/write audit and blocks `Sync` sharding; \
+                             use plain fields, `&mut`, or an atomic telemetry cell",
+                            t.text
+                        ),
+                    );
+                }
+                "static"
+                    if rules.contains(&Rule::SharedInteriorMut)
+                        && next.is_some_and(|n| n.is_ident("mut")) =>
+                {
+                    emit(
+                        Rule::SharedInteriorMut,
+                        t,
+                        "`static mut` is unsynchronized global state; thread state explicitly \
+                         or use an atomic"
+                            .to_string(),
                     );
                 }
                 "thread_rng" if rules.contains(&Rule::DetAmbientRng) => {

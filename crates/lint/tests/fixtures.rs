@@ -12,7 +12,7 @@
 
 use std::path::Path;
 
-use bt_lint::{lint_source, lint_workspace, Finding, Report, Rule};
+use bt_lint::{lint_source, Finding, Report, Rule};
 
 const DETERMINISM: &str = include_str!("fixtures/determinism.rs");
 const PANICS: &str = include_str!("fixtures/panics.rs");
@@ -141,10 +141,12 @@ fn workspace_is_clean() {
         .join("../..")
         .canonicalize()
         .expect("workspace root");
-    let report = lint_workspace(&root).expect("workspace walk");
+    let analysis = bt_lint::analyze_workspace(&root).expect("workspace walk");
+    let report = &analysis.report;
+    // Library sources plus the tests/, examples/, and bench trees.
     assert!(
-        report.files_scanned >= 80,
-        "expected the full workspace, scanned only {} files",
+        report.files_scanned >= 120,
+        "expected the full workspace incl. test trees, scanned only {} files",
         report.files_scanned
     );
     assert_eq!(
@@ -164,4 +166,48 @@ fn workspace_is_clean() {
             == 2,
         "expected the two audited float.rs waivers, got: {waived:?}"
     );
+    // The model/observer boundary crossings are audited, not invisible:
+    // every registry-handle resolution shows up waived.
+    assert!(
+        waived
+            .iter()
+            .any(|f| f.rule == Rule::SharedInteriorMut && f.file == "crates/swarm/src/obs.rs"),
+        "expected the audited obs-boundary waivers, got: {waived:?}"
+    );
+    // All eight round stages carry checked capability annotations and
+    // land in the stage matrix.
+    let stages: Vec<&str> = analysis
+        .matrix
+        .stages
+        .iter()
+        .map(|s| s.stage.as_str())
+        .collect();
+    assert_eq!(
+        stages,
+        [
+            "bootstrap",
+            "depart",
+            "establish",
+            "exchange",
+            "maintain",
+            "prune",
+            "sample",
+            "shake"
+        ],
+        "every RoundStage impl must be annotated and analyzed"
+    );
+    // `sample` only reads model state: it must stay write-disjoint from
+    // every other stage (the observation stage never mutates the model).
+    let sample = analysis
+        .matrix
+        .stages
+        .iter()
+        .find(|s| s.stage == "sample")
+        .expect("sample stage");
+    for field in &sample.writes {
+        assert!(
+            !analysis.matrix.state_fields.contains(field),
+            "sample must not write model state, writes {field}"
+        );
+    }
 }

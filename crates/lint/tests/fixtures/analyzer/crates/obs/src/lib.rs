@@ -1,0 +1,24 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Analyzer fixture: the observer crate. Holds an interior-mutability
+//! helper and an unordered-iteration helper (both reached from model
+//! code), an RNG violation, and an unused waiver.
+
+/// Telemetry sink helper: hides a lock.
+pub fn record_exchange() {
+    let shared = Mutex::new(0u64);
+    let _ = shared;
+}
+
+/// Aggregation helper over an unordered map.
+pub fn tally(counts: &HashMap<u32, u32>) -> u32 {
+    counts.len() as u32
+}
+
+/// An observer that — wrongly — advances the model stream.
+pub fn peek(core: &mut SwarmCore) {
+    core.rng.next_u64();
+}
+
+/// Carries a waiver that suppresses nothing.
+pub fn stale_waiver_site() {} // bt-lint: allow(panic-unwrap)

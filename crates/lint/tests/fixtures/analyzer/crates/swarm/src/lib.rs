@@ -1,0 +1,69 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Analyzer fixture: the sanctioned model crate of a miniature
+//! workspace. Exercises typed receiver chains, cross-crate calls into
+//! tainted observer helpers, and a used determinism waiver.
+
+/// The engine core whose fields form the capability vocabulary.
+pub struct SwarmCore {
+    /// Immutable run parameters.
+    pub config: Config,
+    /// Peer slab (model state).
+    pub store: PeerStore,
+    /// Known-peer list (model state).
+    pub tracker: Tracker,
+    /// Seeded model stream.
+    pub rng: StdRng,
+    /// Telemetry handles.
+    pub obs: SwarmObs,
+}
+
+/// Run parameters.
+pub struct Config {
+    /// Target population.
+    pub target: u32,
+}
+
+/// Peer slab.
+pub struct PeerStore {
+    /// Live population.
+    pub count: u32,
+}
+
+/// Known-peer list.
+pub struct Tracker {
+    /// Peers the tracker knows.
+    pub known: u32,
+}
+
+/// Telemetry handles.
+pub struct SwarmObs {
+    /// Exchange counter.
+    pub exchanged: Counter,
+}
+
+impl PeerStore {
+    /// Admits one peer.
+    pub fn insert_peer(&mut self) {
+        self.count += 1;
+    }
+
+    /// Live population.
+    pub fn len(&self) -> u32 {
+        self.count
+    }
+}
+
+/// Drives one round; calls observer helpers across the crate boundary.
+pub fn drive(core: &mut SwarmCore) {
+    let _ = core.config.target;
+    core.store.insert_peer();
+    record_exchange();
+    tally();
+}
+
+/// A deliberately waived unordered-collection use (waiver is *used*).
+pub fn waived_scratch() {
+    let map = HashMap::new(); // bt-lint: allow(det-unordered-collection)
+    let _ = map;
+}

@@ -1,0 +1,7 @@
+//! Analyzer fixture: a monitor (unsanctioned file inside the model
+//! crate) that illegally touches the model stream.
+
+/// Observes the swarm — and, wrongly, advances the model RNG.
+pub fn watch(core: &mut SwarmCore) {
+    core.rng.next_u64();
+}

@@ -1,0 +1,39 @@
+//! Analyzer fixture: two `RoundStage` impls in the sanctioned stage
+//! scope — one with a correct capability contract, one stale.
+
+/// A stage whose annotation matches its analyzed capabilities.
+pub struct GoodStage {
+    /// Rounds seen.
+    pub seen: u32,
+}
+
+// bt-stage: reads(config), writes(rng, store)
+impl RoundStage for GoodStage {
+    fn name(&self) -> &'static str {
+        "good"
+    }
+
+    fn run(&mut self, core: &mut SwarmCore) {
+        let _ = core.config.target;
+        core.rng.next_u64();
+        core.store.insert_peer();
+    }
+}
+
+/// A stage whose annotation is missing its `store` read.
+pub struct StaleStage {
+    /// Rounds seen.
+    pub seen: u32,
+}
+
+// bt-stage: reads(), writes(tracker)
+impl RoundStage for StaleStage {
+    fn name(&self) -> &'static str {
+        "stale"
+    }
+
+    fn run(&mut self, core: &mut SwarmCore) {
+        let _ = core.store.len();
+        core.tracker.known += 1;
+    }
+}

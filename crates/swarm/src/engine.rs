@@ -524,6 +524,8 @@ impl Swarm {
     /// the process-global [`bt_obs::Registry`].
     #[must_use]
     pub fn new(config: SwarmConfig) -> Self {
+        // Audited: one-time handle resolution at construction, never in
+        // the round loop. bt-lint: allow(shared-interior-mut)
         Swarm::with_registry(config, bt_obs::Registry::global())
     }
 
@@ -878,6 +880,9 @@ impl Swarm {
             }
             let probes = self.core.store.probe_count().wrapping_sub(probes_before);
             self.core.profile.add_work("store.slab_probes", probes);
+            // Audited: telemetry flush into the profiler's registry
+            // timers — commutative counts, never read back by model
+            // code. bt-lint: allow(shared-interior-mut)
             self.core.profile.end_stage();
         }
         self.core.profile.end_round();

@@ -6,6 +6,10 @@
 //! names its own `round.*` timer). See DESIGN.md ("Observability") for
 //! the counter and timer name schema.
 
+// Audited: this module *is* the model/observer boundary — resolving
+// counter and timer handles walks the registry's lock-guarded tables,
+// once, at construction. bt-lint: allow-file(shared-interior-mut)
+
 use bt_obs::{Counter, Registry, Timer};
 
 /// Counter handles used by the round loop.

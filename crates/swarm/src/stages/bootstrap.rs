@@ -123,6 +123,7 @@ impl Bootstrap {
     }
 }
 
+// bt-stage: reads(config, round, tracker), writes(audit, cohort, obs, piece_cells, profile, replication, rng, store)
 impl RoundStage for Bootstrap {
     fn name(&self) -> &'static str {
         "bootstrap"

@@ -17,6 +17,7 @@ pub struct DepartCompleted {
     done: Vec<PeerId>,
 }
 
+// bt-stage: reads(config, round), writes(audit, cohort, metrics, obs, piece_cells, profile, replication, store, tracker)
 impl RoundStage for DepartCompleted {
     fn name(&self) -> &'static str {
         "depart"

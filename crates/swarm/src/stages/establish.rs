@@ -16,6 +16,7 @@ pub struct EstablishConnections {
     candidates: Vec<PeerId>,
 }
 
+// bt-stage: reads(config, round, tracker), writes(audit, cohort, obs, profile, rng, store)
 impl RoundStage for EstablishConnections {
     fn name(&self) -> &'static str {
         "establish"

@@ -93,6 +93,7 @@ impl ExchangePieces {
     }
 }
 
+// bt-stage: reads(config, round, tracker), writes(audit, cohort, obs, piece_cells, profile, replication, rng, store)
 impl RoundStage for ExchangePieces {
     fn name(&self) -> &'static str {
         "exchange"

@@ -14,6 +14,7 @@ pub struct MaintainNeighbors {
     handout: Vec<PeerId>,
 }
 
+// bt-stage: reads(config, round, tracker), writes(audit, cohort, profile, rng, store)
 impl RoundStage for MaintainNeighbors {
     fn name(&self) -> &'static str {
         "maintain"

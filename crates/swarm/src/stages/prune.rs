@@ -13,6 +13,7 @@ pub struct PruneConnections {
     pairs: Vec<(PeerId, PeerId)>,
 }
 
+// bt-stage: reads(config, round, tracker), writes(audit, cohort, profile, rng, store)
 impl RoundStage for PruneConnections {
     fn name(&self) -> &'static str {
         "prune"

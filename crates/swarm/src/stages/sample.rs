@@ -23,6 +23,7 @@ pub(crate) fn phase_code(phase: Phase) -> u8 {
 #[derive(Debug, Default)]
 pub struct SampleMetrics;
 
+// bt-stage: reads(config, replication, round, store, tracker), writes(audit, cohort, metrics, profile)
 impl RoundStage for SampleMetrics {
     fn name(&self) -> &'static str {
         "sample"

@@ -10,6 +10,7 @@ use crate::stages::RoundStage;
 #[derive(Debug, Default)]
 pub struct ShakePeers;
 
+// bt-stage: reads(config, round, tracker), writes(audit, cohort, obs, profile, store)
 impl RoundStage for ShakePeers {
     fn name(&self) -> &'static str {
         "shake"

@@ -125,17 +125,30 @@ struct Slot {
 /// Insertion reuses freed slots (LIFO), lookup checks the generation,
 /// and removal bumps it. Iteration over occupied slots is dense:
 /// `capacity()` tracks the high-water population, not total arrivals.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct PeerStore {
     slots: Vec<Slot>,
     free: Vec<u32>,
     next_seq: u64,
     len: usize,
     /// Lifetime count of slab lookups ([`get`](Self::get) /
-    /// [`get_mut`](Self::get_mut)), for cost-attribution profiling. A
-    /// `Cell` so read paths stay `&self`; wraps on overflow — consumers
-    /// diff consecutive readings, so only deltas are meaningful.
-    probes: std::cell::Cell<u64>,
+    /// [`get_mut`](Self::get_mut)), for cost-attribution profiling. An
+    /// atomic (relaxed) so read paths stay `&self` and the store stays
+    /// `Sync` for sharded execution; wraps on overflow — consumers diff
+    /// consecutive readings, so only deltas are meaningful.
+    probes: std::sync::atomic::AtomicU64,
+}
+
+impl Clone for PeerStore {
+    fn clone(&self) -> Self {
+        PeerStore {
+            slots: self.slots.clone(),
+            free: self.free.clone(),
+            next_seq: self.next_seq,
+            len: self.len,
+            probes: std::sync::atomic::AtomicU64::new(self.probe_count()),
+        }
+    }
 }
 
 impl PeerStore {
@@ -195,7 +208,8 @@ impl PeerStore {
     /// synthetic ids.
     #[must_use]
     pub fn get(&self, id: PeerId) -> Option<&Peer> {
-        self.probes.set(self.probes.get().wrapping_add(1));
+        self.probes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let slot = self.slots.get(id.slot as usize)?;
         if slot.generation != id.generation {
             return None;
@@ -206,7 +220,8 @@ impl PeerStore {
     /// Mutable variant of [`get`](Self::get).
     #[must_use]
     pub fn get_mut(&mut self, id: PeerId) -> Option<&mut Peer> {
-        self.probes.set(self.probes.get().wrapping_add(1));
+        self.probes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let slot = self.slots.get_mut(id.slot as usize)?;
         if slot.generation != id.generation {
             return None;
@@ -263,7 +278,7 @@ impl PeerStore {
     /// attribute probes to a code region.
     #[must_use]
     pub fn probe_count(&self) -> u64 {
-        self.probes.get()
+        self.probes.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Iterates over live peers in slot order.

@@ -1,11 +1,18 @@
 #!/usr/bin/env sh
-# Lint gate, two blocking stages:
+# Lint gate, three blocking stages:
 #  1. clippy: the whole workspace (vendor stubs included) must be clean
 #     across every target with warnings denied;
 #  2. bt-lint: the repo's own static analysis pass (determinism,
-#     panic-safety, float hygiene, crate-root policy attributes) must
-#     report zero non-waived findings. See `cargo run -p bt-lint -- --help`.
+#     shared-state audit, RNG reachability, stage contracts,
+#     panic-safety, float hygiene, crate-root policy, waiver accounting)
+#     must report zero non-waived findings. See
+#     `cargo run -p bt-lint -- --help`.
+#  3. stage-matrix ratchet: the committed stage-access matrix must match
+#     what the analyzer derives from source; update
+#     results/baseline/STAGE_MATRIX.json together with any capability
+#     change.
 set -eu
 cd "$(dirname "$0")/.."
 cargo clippy --workspace --all-targets -- -D warnings
 cargo run -q -p bt-lint -- --format json
+cargo run -q -p bt-lint -- --stage-matrix | diff -u results/baseline/STAGE_MATRIX.json -

@@ -450,6 +450,8 @@ pub struct LintArgs {
     pub root: Option<String>,
     /// Emit the machine-readable JSON array instead of text.
     pub json: bool,
+    /// Emit the stage-access matrix JSON instead of the findings.
+    pub stage_matrix: bool,
 }
 
 /// Usage text.
@@ -481,7 +483,7 @@ USAGE:
                 [--clients N] [--seed N]
   btlab analyze --input FILE
   btlab figure  --id fig1a|fig1b|fig2|fig4a|fig4b|fig4c|fig4d
-  btlab lint    [--root DIR] [--format text|json]
+  btlab lint    [--root DIR] [--format text|json] [--stage-matrix]
   btlab help
 
 TELEMETRY (btlab swarm):
@@ -734,6 +736,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                             }
                         };
                     }
+                    "stage-matrix" => a.stage_matrix = flag(key, value)?,
                     _ => return Err(format!("unknown flag --{key} for lint")),
                 }
             }
@@ -1133,9 +1136,15 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), CliEr
         Command::Lint(a) => {
             let root = a.root.clone().unwrap_or_else(|| ".".to_string());
             tracing::info!(target: "btlab", root = root.as_str(); "running static analysis");
-            let report = bt_lint::lint_workspace(std::path::Path::new(&root))
+            let analysis = bt_lint::analyze_workspace(std::path::Path::new(&root))
                 .map_err(|e| format!("cannot lint {root}: {e}"))?;
-            if a.json {
+            let report = analysis.report;
+            if a.stage_matrix {
+                // The matrix replaces the findings on stdout, but the
+                // lint gate still applies: a dirty tree must not be able
+                // to regenerate the committed baseline quietly.
+                write!(out, "{}", analysis.matrix.render_json()).map_err(io_err)?;
+            } else if a.json {
                 write!(out, "{}", report.render_json()).map_err(io_err)?;
             } else {
                 write!(out, "{}", report.render_text()).map_err(io_err)?;
@@ -2426,10 +2435,19 @@ mod tests {
             Command::Lint(LintArgs {
                 root: Some("/tmp/x".into()),
                 json: true,
+                stage_matrix: false,
             })
         );
         assert_eq!(cmd.name(), "lint");
         assert_eq!(cmd.seed(), None);
+        assert_eq!(
+            parse(&args(&["lint", "--stage-matrix"])).unwrap(),
+            Command::Lint(LintArgs {
+                root: None,
+                json: false,
+                stage_matrix: true,
+            })
+        );
         assert!(parse(&args(&["lint", "--format", "yaml"])).is_err());
         assert!(parse(&args(&["lint", "--fix"])).is_err());
     }
@@ -2439,11 +2457,26 @@ mod tests {
         let cmd = Command::Lint(LintArgs {
             root: Some(env!("CARGO_MANIFEST_DIR").to_string()),
             json: false,
+            stage_matrix: false,
         });
         let mut buf = Vec::new();
         run(cmd, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("0 blocking finding(s)"), "{text}");
+    }
+
+    #[test]
+    fn run_lint_stage_matrix_emits_schema() {
+        let cmd = Command::Lint(LintArgs {
+            root: Some(env!("CARGO_MANIFEST_DIR").to_string()),
+            json: false,
+            stage_matrix: true,
+        });
+        let mut buf = Vec::new();
+        run(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"schema\": \"bt-lint/stage-matrix/v1\""), "{text}");
+        assert!(text.contains("\"write_disjointness\""), "{text}");
     }
 
     #[test]
