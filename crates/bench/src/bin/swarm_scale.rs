@@ -23,6 +23,10 @@
 //!   in the output directory, so the recorded `obs_share` reflects a
 //!   realistically instrumented run;
 //! * `--cohort-size N` — reservoir size for `--observed` (default 16);
+//! * `--threads N` — worker threads for the parallel plan phases;
+//!   recorded in the manifest so `btlab compare` refuses cross-thread
+//!   diffs and `btlab trend` charts rounds/sec per thread count.
+//!   Output bytes are identical at any value; only wall time changes;
 //! * `--out DIR` — where the manifest and observability artifacts
 //!   land, overriding `$BT_MANIFEST_DIR` (default `results/`).
 //!
@@ -42,6 +46,7 @@ struct Options {
     profile: Option<PathBuf>,
     observed: bool,
     cohort_size: u32,
+    threads: u32,
     out: Option<PathBuf>,
 }
 
@@ -53,6 +58,7 @@ fn parse_args() -> Options {
         profile: None,
         observed: false,
         cohort_size: 16,
+        threads: 1,
         out: None,
     };
     let mut args = std::env::args().skip(1);
@@ -76,6 +82,11 @@ fn parse_args() -> Options {
                 assert!(size >= 1, "--cohort-size must be >= 1");
                 options.cohort_size = size;
             }
+            "--threads" => {
+                let threads = numeric("--threads") as u32;
+                assert!(threads >= 1, "--threads must be >= 1");
+                options.threads = threads;
+            }
             "--profile" => {
                 let path = args
                     .next()
@@ -90,7 +101,7 @@ fn parse_args() -> Options {
             }
             other => panic!(
                 "unknown flag {other}; try --smoke / --peers / --rounds / --seed \
-                 / --profile / --observed / --cohort-size / --out"
+                 / --profile / --observed / --cohort-size / --threads / --out"
             ),
         }
     }
@@ -119,6 +130,8 @@ fn main() {
     let mut manifest = RunManifest::new("swarm_scale", config_hash, options.seed);
 
     let mut swarm = Swarm::with_registry(config, registry.clone());
+    swarm.set_threads(options.threads);
+    manifest.threads = options.threads;
     manifest.pipeline = swarm.stage_names().iter().map(|s| s.to_string()).collect();
     if options.profile.is_some() {
         swarm.attach_profiler(bt_obs::ProfileOptions {
@@ -181,9 +194,10 @@ fn main() {
     }
 
     println!(
-        "swarm_scale: peers={} rounds={} elapsed={:.3}s throughput={:.2} rounds/sec",
+        "swarm_scale: peers={} rounds={} threads={} elapsed={:.3}s throughput={:.2} rounds/sec",
         options.peers,
         options.rounds,
+        options.threads,
         elapsed.as_secs_f64(),
         rounds_per_sec
     );

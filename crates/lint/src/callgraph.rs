@@ -247,10 +247,13 @@ pub fn extract_facts(ws: &Workspace, f: &FnItem, core_type: &str) -> FnFacts {
         // linter analyzing itself) is just a well-named parameter.
         let rng_named = (p.name == "rng" || p.name.ends_with("_rng"))
             && p.primary_type().is_none_or(|t| !ws.structs.contains_key(t));
-        let rng_typed = p
-            .type_idents
-            .iter()
-            .any(|t| matches!(t.as_str(), "Rng" | "RngCore" | "StdRng" | "SmallRng" | "SeedStream"));
+        let rng_typed = p.type_idents.iter().any(|t| {
+            matches!(
+                t.as_str(),
+                "Rng" | "RngCore" | "StdRng" | "SmallRng" | "SeedStream" | "Substream"
+                    | "PlanStream"
+            )
+        });
         if rng_named || rng_typed {
             facts.rng_param = true;
         }
@@ -480,12 +483,13 @@ pub struct RngReachability {
 /// Computes which functions can transitively reach the model RNG.
 ///
 /// Roots are functions that (a) take an RNG parameter (typed `Rng`/
-/// `StdRng`/`SeedStream`, or named `rng`/`*_rng` with a non-workspace
-/// type), (b) access the core `rng` field, or (c) are methods of the
-/// seeded-stream type itself (`SeedStream`). Pure hash helpers in the
-/// rng module (`splitmix64`, seed derivation) are deliberately *not*
-/// roots: they consume no stream state, so calling them from observer
-/// code cannot perturb replay.
+/// `StdRng`/`SeedStream`/`Substream`/`PlanStream`, or named
+/// `rng`/`*_rng` with a non-workspace type), (b) access the core `rng`
+/// field, or (c) are methods of a seeded-stream type itself
+/// (`SeedStream`, or the stateless plan-phase `PlanStream`). Pure hash
+/// helpers in the rng module (`splitmix64`, seed derivation) are
+/// deliberately *not* roots: they consume no stream state, so calling
+/// them from observer code cannot perturb replay.
 #[must_use]
 pub fn rng_reachability(ws: &Workspace, cg: &CallGraph) -> RngReachability {
     let n = ws.functions.len();
@@ -494,7 +498,7 @@ pub fn rng_reachability(ws: &Workspace, cg: &CallGraph) -> RngReachability {
         let facts = &cg.facts[id];
         if facts.rng_param
             || facts.core.iter().any(|a| a.field == "rng")
-            || f.owner.as_deref() == Some("SeedStream")
+            || matches!(f.owner.as_deref(), Some("SeedStream" | "PlanStream"))
         {
             root[id] = true;
         }
@@ -565,6 +569,32 @@ pub fn rng_findings(
                     ws.label(id),
                     rng_path(ws, rng, id),
                     f.file
+                ),
+            ));
+        }
+    }
+}
+
+/// Emits `commit-no-rng` findings: a commit-phase function (named
+/// `commit` or `commit_*`) that can transitively reach the model RNG.
+/// The commit phase of a plan/commit stage must replay decisions the
+/// plan phase already made — if it can reach a random stream, the
+/// serial commit order reintroduces a draw-order dependence that the
+/// sharded plan phase was built to eliminate.
+pub fn commit_no_rng_findings(ws: &Workspace, rng: &RngReachability, out: &mut Vec<Finding>) {
+    for (id, f) in ws.functions.iter().enumerate() {
+        let commit_phase = f.name == "commit" || f.name.starts_with("commit_");
+        if commit_phase && rng.reaches[id] {
+            out.push(Finding::new(
+                Rule::CommitNoRng,
+                &f.file,
+                f.line,
+                1,
+                format!(
+                    "`{}` is a commit-phase function but can reach the model RNG ({}); \
+                     move the random choice into the plan phase's per-pair substream",
+                    ws.label(id),
+                    rng_path(ws, rng, id),
                 ),
             ));
         }
@@ -806,6 +836,56 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].file, "crates/obs/src/bad.rs");
         assert!(out[0].message.contains("observer -> stage_fn"));
+    }
+
+    #[test]
+    fn plan_stream_methods_are_rng_roots() {
+        let (ws, cg) = build(&[(
+            "crates/swarm/src/rng.rs",
+            "struct PlanStream { hi: u64, lo: u64 }\n\
+             impl PlanStream { fn pick(&mut self, n: usize) -> usize { 0 } }\n\
+             fn planner(stream: &mut PlanStream) { stream.pick(4); }",
+        )]);
+        let rng = rng_reachability(&ws, &cg);
+        assert!(rng.root[fn_id(&ws, "PlanStream::pick")]);
+        assert!(rng.reaches[fn_id(&ws, "planner")]);
+    }
+
+    #[test]
+    fn commit_phase_reaching_rng_is_flagged() {
+        let (ws, cg) = build(&[(
+            "crates/swarm/src/stages/x.rs",
+            "struct SwarmCore { rng: StdRng }\n\
+             struct Stage { n: u32 }\n\
+             impl Stage {\n\
+                 fn commit(&mut self, core: &mut SwarmCore) { core.rng.next(); }\n\
+                 fn commit_one(&mut self, core: &mut SwarmCore) { self.commit(core); }\n\
+                 fn plan(&mut self, core: &SwarmCore) {}\n\
+             }",
+        )]);
+        let rng = rng_reachability(&ws, &cg);
+        let mut out = Vec::new();
+        commit_no_rng_findings(&ws, &rng, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|f| f.rule == Rule::CommitNoRng));
+        assert!(out[0].message.contains("Stage::commit"));
+
+        // An RNG-free commit stays clean even when `plan` draws.
+        let (ws, cg) = build(&[(
+            "crates/swarm/src/stages/x.rs",
+            "struct SwarmCore { round: u64 }\n\
+             struct PlanStream { hi: u64 }\n\
+             impl PlanStream { fn pick(&mut self) -> usize { 0 } }\n\
+             struct Stage { n: u32 }\n\
+             impl Stage {\n\
+                 fn plan(&mut self, core: &SwarmCore, stream: &mut PlanStream) { stream.pick(); }\n\
+                 fn commit(&mut self, core: &mut SwarmCore) { core.round += 1; }\n\
+             }",
+        )]);
+        let rng = rng_reachability(&ws, &cg);
+        let mut out = Vec::new();
+        commit_no_rng_findings(&ws, &rng, &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

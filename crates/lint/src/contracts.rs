@@ -16,6 +16,20 @@
 //! a field it only reads appears in `reads`; the `rng` field is always
 //! a write (observing a random stream advances it).
 //!
+//! A **plan/commit** stage — one whose impl type has both a `plan` and
+//! a `commit` method — must use the split form instead:
+//!
+//! ```text
+//! // bt-stage: plan-reads(config, tracker), commit-writes(store, obs)
+//! ```
+//!
+//! The clauses carry the same analyzed sets (`plan-reads` = fields the
+//! stage only reads, `commit-writes` = fields it writes) but the names
+//! document the phase discipline, and two extra checks enforce it: the
+//! `plan` method's capability set must contain no core-field writes,
+//! and `commit` must not reach the model RNG (`commit-no-rng`, checked
+//! in [`crate::callgraph`]).
+//!
 //! `btlab lint --stage-matrix` renders the same analysis as JSON. The
 //! matrix classifies core fields into **state** (the model's evolving
 //! data), **telemetry** (commutative sinks: counters, profile, audit,
@@ -29,7 +43,7 @@ use std::collections::BTreeMap;
 
 use crate::callgraph::CallGraph;
 use crate::diag::{json_escape, Finding};
-use crate::resolve::Workspace;
+use crate::resolve::{FnId, Workspace};
 use crate::rules::Rule;
 
 /// The engine-core struct whose fields form the capability vocabulary.
@@ -139,6 +153,9 @@ pub struct StageInfo {
     pub reads: Vec<String>,
     /// Core fields written, sorted.
     pub writes: Vec<String>,
+    /// Whether the impl type is a plan/commit stage (has both a `plan`
+    /// and a `commit` method) and must use the split contract form.
+    pub plan_commit: bool,
 }
 
 /// The stage-access matrix: every stage's analyzed capability profile
@@ -155,25 +172,50 @@ pub struct StageMatrix {
     pub stages: Vec<StageInfo>,
 }
 
-/// A parsed `// bt-stage: reads(…), writes(…)` annotation.
+/// A parsed `// bt-stage: reads(…), writes(…)` annotation (or the
+/// split plan/commit form, `plan-reads(…), commit-writes(…)`).
 #[derive(Debug, Default, PartialEq, Eq)]
 struct Contract {
     reads: Vec<String>,
     writes: Vec<String>,
+    /// Whether the annotation used the split plan/commit clause names.
+    split: bool,
 }
 
-/// Parses the payload of a stage note (`reads(a, b), writes(c)`).
-/// Returns `None` when neither clause parses.
+/// Parses the payload of a stage note: the split form
+/// (`plan-reads(a), commit-writes(b)`) when its clauses are present,
+/// the plain form (`reads(a, b), writes(c)`) otherwise. Returns `None`
+/// when neither parses.
 fn parse_contract(payload: &str) -> Option<Contract> {
+    if let (Some(reads), Some(writes)) =
+        (clause(payload, "plan-reads"), clause(payload, "commit-writes"))
+    {
+        return Some(Contract { reads, writes, split: true });
+    }
     let reads = clause(payload, "reads")?;
     let writes = clause(payload, "writes")?;
-    Some(Contract { reads, writes })
+    Some(Contract { reads, writes, split: false })
 }
 
 /// Extracts the sorted identifier list of `name(...)` from `payload`.
+/// The match must start a clause: the preceding character (if any) may
+/// not be part of an identifier or a hyphenated clause name, so plain
+/// `reads(` never matches inside `plan-reads(`.
 fn clause(payload: &str, name: &str) -> Option<Vec<String>> {
-    let start = payload.find(&format!("{name}("))?;
-    let rest = &payload[start + name.len() + 1..];
+    let needle = format!("{name}(");
+    let mut from = 0;
+    let start = loop {
+        let hit = from + payload.get(from..)?.find(&needle)?;
+        let boundary = payload[..hit]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !(c.is_alphanumeric() || c == '_' || c == '-'));
+        if boundary {
+            break hit;
+        }
+        from = hit + 1;
+    };
+    let rest = &payload[start + needle.len()..];
     let end = rest.find(')')?;
     let mut items: Vec<String> = rest[..end]
         .split(',')
@@ -206,6 +248,8 @@ pub fn analyze_stages(
         };
         let (reads, writes) = split_caps(&caps[run_id]);
         let stage = stage_name(ws, &imp.self_type).unwrap_or_else(|| imp.self_type.clone());
+        let plan_id = ws.method(&imp.self_type, "plan");
+        let commit_id = ws.method(&imp.self_type, "commit");
         let info = StageInfo {
             stage,
             impl_type: imp.self_type.clone(),
@@ -213,8 +257,12 @@ pub fn analyze_stages(
             line: imp.line,
             reads: reads.clone(),
             writes: writes.clone(),
+            plan_commit: plan_id.is_some() && commit_id.is_some(),
         };
         check_contract(&info, stage_notes, &mut findings);
+        if info.plan_commit {
+            check_plan_purity(ws, caps, &info, plan_id.expect("plan_commit"), &mut findings);
+        }
         stages.push(info);
     }
     stages.sort_by(|a, b| a.stage.cmp(&b.stage));
@@ -246,17 +294,66 @@ fn stage_name(ws: &Workspace, impl_type: &str) -> Option<String> {
     Some(lit.text.trim_matches('"').to_string())
 }
 
+/// Diagnoses a plan phase that writes core state: the whole point of
+/// the split is that `plan` runs sharded over a shared immutable view,
+/// so any core-field write it can reach is a data race in waiting.
+fn check_plan_purity(
+    ws: &Workspace,
+    caps: &[Caps],
+    info: &StageInfo,
+    plan_id: FnId,
+    findings: &mut Vec<Finding>,
+) {
+    let plan_writes: Vec<&String> = caps[plan_id]
+        .iter()
+        .filter(|(_, mode)| **mode == Mode::Write)
+        .map(|(field, _)| field)
+        .collect();
+    if !plan_writes.is_empty() {
+        let f = &ws.functions[plan_id];
+        findings.push(Finding::new(
+            Rule::StageContract,
+            &f.file,
+            f.line,
+            1,
+            format!(
+                "plan phase of stage `{}` can write core fields ({}); the plan phase must \
+                 be read-only — apply mutations in `commit`",
+                info.stage,
+                plan_writes
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ),
+        ));
+    }
+}
+
+/// The canonical annotation for a stage's analyzed profile.
+fn expected_annotation(info: &StageInfo) -> String {
+    if info.plan_commit {
+        format!(
+            "// bt-stage: plan-reads({}), commit-writes({})",
+            info.reads.join(", "),
+            info.writes.join(", ")
+        )
+    } else {
+        format!(
+            "// bt-stage: reads({}), writes({})",
+            info.reads.join(", "),
+            info.writes.join(", ")
+        )
+    }
+}
+
 /// Checks one stage's annotation against its analyzed profile.
 fn check_contract(
     info: &StageInfo,
     stage_notes: &BTreeMap<String, Vec<(u32, String)>>,
     findings: &mut Vec<Finding>,
 ) {
-    let expected = format!(
-        "// bt-stage: reads({}), writes({})",
-        info.reads.join(", "),
-        info.writes.join(", ")
-    );
+    let expected = expected_annotation(info);
     // The annotation must sit directly above the impl header (within
     // three lines, so a doc comment can intervene).
     let note = stage_notes.get(&info.file).and_then(|notes| {
@@ -291,6 +388,25 @@ fn check_contract(
         ));
         return;
     };
+    if declared.split != info.plan_commit {
+        let (has, wants) = if info.plan_commit {
+            ("plain reads/writes", "the split plan-reads/commit-writes")
+        } else {
+            ("split plan-reads/commit-writes", "the plain reads/writes")
+        };
+        findings.push(Finding::new(
+            Rule::StageContract,
+            &info.file,
+            *note_line,
+            1,
+            format!(
+                "stage `{}` uses the {has} contract form but needs {wants} form; \
+                 update to `{expected}`",
+                info.stage,
+            ),
+        ));
+        return;
+    }
     if declared.reads != info.reads || declared.writes != info.writes {
         findings.push(Finding::new(
             Rule::StageContract,
@@ -364,10 +480,11 @@ impl StageMatrix {
         out.push_str("  \"stages\": [\n");
         for (i, s) in self.stages.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"stage\": \"{}\", \"impl\": \"{}\", \"file\": \"{}\", \"reads\": {}, \"writes\": {}}}{}\n",
+                "    {{\"stage\": \"{}\", \"impl\": \"{}\", \"file\": \"{}\", \"plan_commit\": {}, \"reads\": {}, \"writes\": {}}}{}\n",
                 json_escape(&s.stage),
                 json_escape(&s.impl_type),
                 json_escape(&s.file),
+                s.plan_commit,
                 str_array(&s.reads),
                 str_array(&s.writes),
                 if i + 1 < self.stages.len() { "," } else { "" }
@@ -523,6 +640,96 @@ fn top(core: &mut SwarmCore) { mid(core); }
         let c = parse_contract("writes(b, a), reads(z, y)").unwrap();
         assert_eq!(c.reads, vec!["y", "z"]);
         assert_eq!(c.writes, vec!["a", "b"]);
+        assert!(!c.split);
         assert!(parse_contract("nonsense").is_none());
+    }
+
+    #[test]
+    fn split_clause_names_do_not_leak_into_plain_clauses() {
+        let c = parse_contract("plan-reads(config), commit-writes(store, obs)").unwrap();
+        assert!(c.split);
+        assert_eq!(c.reads, vec!["config"]);
+        assert_eq!(c.writes, vec!["obs", "store"]);
+        // The plain clause names must not match inside the hyphenated
+        // ones: a split payload has no plain `reads(...)` clause.
+        assert_eq!(clause("plan-reads(config), commit-writes(store)", "reads"), None);
+        assert_eq!(clause("plan-reads(config), commit-writes(store)", "writes"), None);
+    }
+
+    /// A plan/commit stage: `run` delegates to a read-only `plan` and a
+    /// mutating `commit`.
+    const SPLIT_SRC: &str = "\
+struct SwarmCore { config: SwarmConfig, store: PeerStore, obs: SwarmObs }
+struct SwarmConfig { n: u32 }
+struct PeerStore { n: u32 }
+struct SwarmObs { c: Counter }
+impl PeerStore { fn insert_peer(&mut self) {} }
+struct Exchange { x: u32 }
+// bt-stage: plan-reads(config), commit-writes(store)
+impl RoundStage for Exchange {
+    fn name(&self) -> &'static str { \"exchange\" }
+    fn run(&mut self, core: &mut SwarmCore) {
+        self.plan(core);
+        self.commit(core);
+    }
+}
+impl Exchange {
+    fn plan(&mut self, core: &SwarmCore) { let n = core.config.n; }
+    fn commit(&mut self, core: &mut SwarmCore) { core.store.insert_peer(); }
+}
+";
+
+    #[test]
+    fn split_contract_is_required_and_sufficient_for_plan_commit_stages() {
+        let (ws, caps, notes) = analyze(SPLIT_SRC);
+        let (matrix, findings) = analyze_stages(&ws, &caps, &notes);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(matrix.stages.len(), 1);
+        assert!(matrix.stages[0].plan_commit);
+        assert!(matrix.render_json().contains("\"plan_commit\": true"));
+
+        // The plain form on a plan/commit stage is diagnosed with the fix.
+        let src = SPLIT_SRC.replace(
+            "plan-reads(config), commit-writes(store)",
+            "reads(config), writes(store)",
+        );
+        let (ws, caps, notes) = analyze(&src);
+        let (_, findings) = analyze_stages(&ws, &caps, &notes);
+        assert_eq!(findings.len(), 1);
+        assert!(
+            findings[0]
+                .message
+                .contains("// bt-stage: plan-reads(config), commit-writes(store)"),
+            "{}",
+            findings[0].message
+        );
+    }
+
+    #[test]
+    fn plan_phase_writes_are_diagnosed() {
+        let src = SPLIT_SRC.replace(
+            "fn plan(&mut self, core: &SwarmCore) { let n = core.config.n; }",
+            "fn plan(&mut self, core: &SwarmCore) { core.store.insert_peer(); }",
+        );
+        let (ws, caps, notes) = analyze(&src);
+        let (_, findings) = analyze_stages(&ws, &caps, &notes);
+        // The annotation itself goes stale too (config is no longer
+        // read); the purity finding is the one naming the plan phase.
+        let purity: Vec<_> = findings
+            .iter()
+            .filter(|f| f.message.contains("must be read-only"))
+            .collect();
+        assert_eq!(purity.len(), 1, "{findings:?}");
+        assert!(purity[0].message.contains("plan phase of stage `exchange`"));
+        assert!(purity[0].message.contains("store"));
+    }
+
+    #[test]
+    fn ordinary_stages_keep_the_plain_form() {
+        let (ws, caps, notes) = analyze(STAGE_SRC);
+        let (matrix, findings) = analyze_stages(&ws, &caps, &notes);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(!matrix.stages[0].plan_commit);
+        assert!(matrix.render_json().contains("\"plan_commit\": false"));
     }
 }

@@ -22,7 +22,7 @@
 //!   which must degrade to errors rather than abort a simulation;
 //! * **float-cmp** — the model-numerics crates (`bt-markov`, `bt-model`);
 //! * **policy-crate-attrs** — every workspace crate root;
-//! * **cross-file rules** (`rng-reachability`,
+//! * **cross-file rules** (`rng-reachability`, `commit-no-rng`,
 //!   `shared-interior-mut`/`shared-unordered-helper` helper form,
 //!   `stage-contract`) — computed over the whole library workspace
 //!   call graph; see [`crate::callgraph`] and [`crate::contracts`];
@@ -268,6 +268,7 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
     let cg = CallGraph::build(&ws, contracts::CORE_TYPE);
     let rng = callgraph::rng_reachability(&ws, &cg);
     callgraph::rng_findings(&ws, &rng, &rng_sanctioned, &mut findings);
+    callgraph::commit_no_rng_findings(&ws, &rng, &mut findings);
     callgraph::shared_state_findings(&ws, &cg, &|rel| in_scope(&MODEL_SCOPE, rel), &mut findings);
     let caps = contracts::capabilities(&ws, &cg);
     let (matrix, contract_findings) = contracts::analyze_stages(&ws, &caps, &stage_notes);

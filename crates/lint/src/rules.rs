@@ -41,6 +41,11 @@ pub enum Rule {
     /// capability contract is missing or disagrees with the analyzed
     /// field accesses.
     StageContract,
+    /// A commit-phase function (`commit` / `commit_*`) can transitively
+    /// reach the model RNG. The commit phase of a plan/commit stage
+    /// replays planned decisions; any randomness belongs in the plan
+    /// phase's per-pair substreams.
+    CommitNoRng,
     /// An inline `// bt-lint: allow(...)` waiver that no longer
     /// suppresses any finding.
     WaiverUnused,
@@ -48,7 +53,7 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in catalog order.
-    pub const ALL: [Rule; 13] = [
+    pub const ALL: [Rule; 14] = [
         Rule::DetUnorderedCollection,
         Rule::DetWallClock,
         Rule::DetAmbientRng,
@@ -61,6 +66,7 @@ impl Rule {
         Rule::SharedInteriorMut,
         Rule::SharedUnorderedHelper,
         Rule::StageContract,
+        Rule::CommitNoRng,
         Rule::WaiverUnused,
     ];
 
@@ -80,6 +86,7 @@ impl Rule {
             Rule::SharedInteriorMut => "shared-interior-mut",
             Rule::SharedUnorderedHelper => "shared-unordered-helper",
             Rule::StageContract => "stage-contract",
+            Rule::CommitNoRng => "commit-no-rng",
             Rule::WaiverUnused => "waiver-unused",
         }
     }
@@ -123,6 +130,9 @@ impl Rule {
             }
             Rule::StageContract => {
                 "RoundStage capability contract (// bt-stage: reads/writes) missing or stale"
+            }
+            Rule::CommitNoRng => {
+                "commit-phase function reaches the model RNG; randomness belongs in the plan phase"
             }
             Rule::WaiverUnused => {
                 "inline bt-lint waiver no longer suppresses any finding; remove it"

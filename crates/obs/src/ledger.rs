@@ -57,6 +57,14 @@ pub struct LedgerRecord {
     /// records written before the field existed).
     #[serde(default)]
     pub obs_share: f64,
+    /// Worker-thread count the run's parallel plan phases used (0 in
+    /// records written before the field existed; treat as 1). A
+    /// throughput knob, not part of the run's deterministic identity —
+    /// [`LedgerRecord::normalized`] zeroes it with the other timing
+    /// fields — but kept raw so `btlab trend` can chart rounds/sec per
+    /// thread count.
+    #[serde(default)]
+    pub threads: u32,
 }
 
 impl LedgerRecord {
@@ -90,6 +98,7 @@ impl LedgerRecord {
             stage_p95_ns,
             violations,
             obs_share: manifest.obs_share,
+            threads: manifest.threads,
         }
     }
 
@@ -103,6 +112,7 @@ impl LedgerRecord {
             wall_clock_secs: 0.0,
             rounds_per_sec: 0.0,
             obs_share: 0.0,
+            threads: 0,
             stage_p95_ns: self
                 .stage_p95_ns
                 .iter()
@@ -306,6 +316,7 @@ mod tests {
         let normal = record.normalized();
         assert_eq!(normal.wall_clock_secs, 0.0);
         assert_eq!(normal.rounds_per_sec, 0.0);
+        assert_eq!(normal.threads, 0, "thread count is a throughput knob");
         assert_eq!(normal.stage_p95("round.exchange"), Some(0));
         assert_eq!(normal.seed, record.seed);
         assert_eq!(normal.rounds, record.rounds);

@@ -52,6 +52,13 @@ pub struct RunManifest {
     /// wall_clock_secs`), the quantity the `--obs-budget` gate checks.
     #[serde(default)]
     pub obs_share: f64,
+    /// Worker-thread count the run's parallel plan phases used. Zero in
+    /// manifests written before the field existed (treat as 1: those
+    /// runs were serial). Purely a throughput knob — the determinism
+    /// contract guarantees byte-identical results at every value — but
+    /// recorded so performance comparisons only pair like with like.
+    #[serde(default)]
+    pub threads: u32,
 }
 
 impl RunManifest {
@@ -74,6 +81,7 @@ impl RunManifest {
             peak_population: 0,
             obs_wall_secs: 0.0,
             obs_share: 0.0,
+            threads: 1,
         }
     }
 
@@ -278,6 +286,28 @@ mod tests {
     /// Local exact-zero check (this crate has no bt-markov dependency).
     fn bt_markov_float_is_zero(x: f64) -> bool {
         x.abs() < f64::EPSILON
+    }
+
+    // Manifests written before `threads` existed must still load; the
+    // zero marks them as pre-field (consumers treat that as serial).
+    #[test]
+    fn manifest_tolerates_missing_threads() {
+        let manifest = sample_manifest();
+        assert_eq!(manifest.threads, 1, "fresh manifests default to serial");
+        let text = manifest.to_json().unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let trimmed = match value {
+            serde_json::Value::Object(entries) => serde_json::Value::Object(
+                entries
+                    .into_iter()
+                    .filter(|(key, _)| key != "threads")
+                    .collect(),
+            ),
+            other => other,
+        };
+        let back: RunManifest =
+            serde_json::from_str(&serde_json::to_string(&trimmed).unwrap()).unwrap();
+        assert_eq!(back.threads, 0);
     }
 
     #[test]

@@ -161,6 +161,15 @@ pub struct SwarmConfig {
     /// currently trapped in the bootstrap phase (holding ≤ 1 piece), so
     /// trapped peers gain tradable newcomers faster.
     pub bootstrap_relief: bool,
+    /// Tracker re-announce period in rounds: peers top up depleted
+    /// neighbor sets from the tracker only on rounds where
+    /// `(round - 1) % reannounce_interval == 0`. The default of 1
+    /// re-announces every round (the original behavior); larger values
+    /// amortize tracker traffic at the cost of staler neighborhoods.
+    /// Deserialized configs written before this field existed read as 0
+    /// and are treated as 1.
+    #[serde(default)]
+    pub reannounce_interval: u64,
     /// Rounds to exclude from steady-state statistics (potential-set
     /// buckets, utilization, completion records of peers that joined during
     /// warm-up). Population and entropy series are always recorded in full
@@ -224,6 +233,7 @@ impl Default for SwarmConfigBuilder {
                 slow_peer_fraction: 0.0,
                 slow_upload_budget: 1,
                 bootstrap_relief: false,
+                reannounce_interval: 1,
                 max_rounds: 1_000,
                 stop_after_completions: None,
                 observers: 0,
@@ -362,6 +372,12 @@ impl SwarmConfigBuilder {
         self
     }
 
+    /// Sets the tracker re-announce period in rounds (must be ≥ 1).
+    pub fn reannounce_interval(&mut self, rounds: u64) -> &mut Self {
+        self.config.reannounce_interval = rounds;
+        self
+    }
+
     /// Sets the steady-state measurement warm-up.
     pub fn metrics_warmup_rounds(&mut self, rounds: u64) -> &mut Self {
         self.config.metrics_warmup_rounds = rounds;
@@ -425,6 +441,11 @@ impl SwarmConfigBuilder {
         if c.blocks_per_piece == 0 {
             return Err(Error::InvalidConfig(
                 "blocks_per_piece must be at least 1".into(),
+            ));
+        }
+        if c.reannounce_interval == 0 {
+            return Err(Error::InvalidConfig(
+                "reannounce_interval must be at least 1".into(),
             ));
         }
         if c.slow_peer_fraction > 0.0 && c.slow_upload_budget == 0 {
@@ -507,6 +528,22 @@ mod tests {
         assert!(SwarmConfig::builder().max_connections(0).build().is_err());
         assert!(SwarmConfig::builder().neighbor_set_size(0).build().is_err());
         assert!(SwarmConfig::builder().max_rounds(0).build().is_err());
+        assert!(SwarmConfig::builder()
+            .reannounce_interval(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn reannounce_defaults_to_every_round_and_tolerates_old_json() {
+        let c = SwarmConfig::builder().build().unwrap();
+        assert_eq!(c.reannounce_interval, 1);
+        // Configs serialized before the field existed deserialize with
+        // the serde default (0); consumers treat that as 1.
+        let mut json = serde_json::to_string(&c).unwrap();
+        json = json.replace("\"reannounce_interval\":1,", "");
+        let back: SwarmConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.reannounce_interval, 0);
     }
 
     #[test]

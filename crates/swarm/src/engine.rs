@@ -78,7 +78,34 @@ pub struct SwarmCore {
     pub(crate) cohort: bt_obs::CohortSink,
 }
 
+/// An immutable, `Sync` view of the swarm state a parallel plan phase
+/// may read: configuration, peer store, and the round number.
+///
+/// [`SwarmCore`] itself is not `Sync` (its cohort sink owns a boxed
+/// writer), so stages that shard read-only planning across worker
+/// threads borrow this view instead. Store probe counting is atomic, so
+/// concurrent reads through the view stay `&self` and race-free.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreView<'a> {
+    /// The run configuration.
+    pub config: &'a SwarmConfig,
+    /// The peer store, read-only.
+    pub store: &'a PeerStore,
+    /// Current round number.
+    pub round: u64,
+}
+
 impl SwarmCore {
+    /// The immutable view of the fields a parallel plan phase reads.
+    #[must_use]
+    pub fn view(&self) -> CoreView<'_> {
+        CoreView {
+            config: &self.config,
+            store: &self.store,
+            round: self.round,
+        }
+    }
+
     /// The configuration this swarm runs under.
     #[must_use]
     pub fn config(&self) -> &SwarmConfig {
@@ -615,6 +642,16 @@ impl Swarm {
             .iter()
             .map(|entry| entry.stage.name())
             .collect()
+    }
+
+    /// Sets the worker-thread count for stages with a parallel plan
+    /// phase (currently the exchange stage). Purely a throughput knob:
+    /// the determinism contract guarantees byte-identical outputs at
+    /// every value. Values below 1 are treated as 1.
+    pub fn set_threads(&mut self, threads: u32) {
+        for entry in &mut self.pipeline {
+            entry.stage.set_threads(threads.max(1));
+        }
     }
 
     /// The global per-piece replication counts, maintained incrementally
@@ -1669,6 +1706,118 @@ mod block_tests {
         // One piece per connection-round: a download of 10 pieces with up
         // to 3 connections finishes within a handful of rounds.
         assert!(metrics.mean_download_rounds() < 30.0);
+    }
+}
+
+#[cfg(test)]
+mod plan_commit_tests {
+    use super::*;
+    use crate::config::{InitialPieces, PieceSelection};
+    use crate::SwarmConfig;
+    use proptest::prelude::*;
+
+    /// A complete textual digest of the model-visible swarm state: every
+    /// alive peer's bitfield, topology, credit, and partials, plus the
+    /// mutation audit and the replication index. Two runs with equal
+    /// digests have made identical exchange decisions.
+    fn state_digest(swarm: &Swarm) -> String {
+        use std::fmt::Write as _;
+        let core = &swarm.core;
+        let mut out = String::new();
+        for &id in core.tracker.peers() {
+            let peer = core.store.peer(id);
+            let have: Vec<u32> = peer.have.iter().collect();
+            let neighbors: Vec<u64> = peer.neighbors.iter().map(|n| n.seq()).collect();
+            let connections: Vec<u64> = peer.connections.iter().map(|n| n.seq()).collect();
+            let credit: Vec<(u64, u32)> =
+                peer.credit.iter().map(|(k, &v)| (k.seq(), v)).collect();
+            writeln!(
+                out,
+                "peer {} have={:?} nbrs={:?} conns={:?} credit={:?} partial={:?} shaken={} slow={}",
+                id.seq(),
+                have,
+                neighbors,
+                connections,
+                credit,
+                peer.partial,
+                peer.shaken,
+                peer.slow,
+            )
+            .unwrap();
+        }
+        writeln!(out, "audit {:?}", core.audit).unwrap();
+        writeln!(out, "replication {:?}", core.replication.counts()).unwrap();
+        writeln!(out, "cells {:?}", core.piece_cells.counts()).unwrap();
+        out
+    }
+
+    fn plan_commit_config(seed: u64, rarest: bool) -> SwarmConfig {
+        SwarmConfig::builder()
+            .pieces(16)
+            .max_connections(3)
+            .neighbor_set_size(6)
+            .arrival_rate(0.0)
+            .initial_leechers(24)
+            .initial_pieces(InitialPieces::Random { count: 4 })
+            .piece_selection(if rarest {
+                PieceSelection::RarestFirst
+            } else {
+                PieceSelection::RandomFirst
+            })
+            .max_rounds(40)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The sharding theorem behind `--threads`: because every pair
+        /// plan draws from a stateless per-pair stream, running the plan
+        /// phase on one shard or many must leave the entire store, audit,
+        /// replication index, and piece cells identical after any number
+        /// of rounds.
+        #[test]
+        fn one_shard_plan_equals_many_shards(
+            seed in any::<u64>(),
+            threads in 2u32..9,
+            rarest in prop::bool::ANY,
+        ) {
+            let mut serial = Swarm::new(plan_commit_config(seed, rarest));
+            serial.set_threads(1);
+            let mut sharded = Swarm::new(plan_commit_config(seed, rarest));
+            sharded.set_threads(threads);
+            for round in 0..30 {
+                serial.step_round();
+                sharded.step_round();
+                prop_assert_eq!(
+                    state_digest(&serial),
+                    state_digest(&sharded),
+                    "state diverged at round {} with {} threads",
+                    round + 1,
+                    threads
+                );
+            }
+            serial.assert_invariants();
+            sharded.assert_invariants();
+        }
+    }
+
+    /// The same equivalence on the metrics a full threaded run reports.
+    #[test]
+    fn threaded_run_metrics_match_serial() {
+        for threads in [2, 4, 8] {
+            let mut serial = Swarm::new(plan_commit_config(77, true));
+            serial.set_threads(1);
+            let mut sharded = Swarm::new(plan_commit_config(77, true));
+            sharded.set_threads(threads);
+            for _ in 0..40 {
+                serial.step_round();
+                sharded.step_round();
+            }
+            assert_eq!(serial.metrics(), sharded.metrics(), "threads={threads}");
+        }
     }
 }
 

@@ -1,9 +1,89 @@
 //! Piece-selection strategies (§2.1): rarest-first and random-first.
+//!
+//! Selection is generic over a [`Substream`] — a source of uniform
+//! picks. The serial engine path feeds it the model `StdRng`; the
+//! parallel exchange plan phase feeds it a [`PlanStream`], a stateless
+//! per-pair-direction SplitMix64 stream keyed off run identity alone so
+//! that decisions are independent of worker count and shard layout.
 
 use rand::Rng;
 
 use crate::config::PieceSelection;
 use crate::piece::{Bitfield, PieceId};
+
+/// A source of uniform random picks for piece selection.
+///
+/// Implemented by the model RNG (`StdRng`, the serial engine path) and
+/// by [`PlanStream`] (the parallel plan phase). Keeping selection
+/// generic over this trait — rather than `rand::Rng` — lets the plan
+/// phase draw from deterministic per-pair streams that never touch the
+/// serial model RNG.
+pub trait Substream {
+    /// Returns a uniform index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `n == 0`; callers pick from non-empty candidate
+    /// sets.
+    fn pick(&mut self, n: usize) -> usize;
+}
+
+impl Substream for rand::rngs::StdRng {
+    fn pick(&mut self, n: usize) -> usize {
+        self.gen_range(0..n)
+    }
+}
+
+/// A stateless SplitMix64 pick stream keyed from run identity.
+///
+/// The parallel exchange plan derives one stream per connection-pair
+/// direction via [`PlanStream::pair`], chaining the run seed, round,
+/// both peer sequence numbers, and the direction through the same
+/// SplitMix64 mix `bt_des::SeedStream` uses for substream derivation.
+/// Because the key depends only on *what* is being decided — never on
+/// which worker or shard decides it — the resulting bytes are identical
+/// at any `--threads` value, and a 1-shard plan equals an N-shard plan
+/// bit for bit.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanStream {
+    state: u64,
+}
+
+impl PlanStream {
+    /// Derives the stream for one direction of a connection pair in one
+    /// round: `lo`/`hi` are the canonical (sorted) peer sequence
+    /// numbers and `dir` is 0 for the lo→hi download and 1 for hi→lo.
+    #[must_use]
+    pub fn pair(seed: u64, round: u64, lo: u64, hi: u64, dir: u64) -> Self {
+        let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+        for salt in [round, lo, hi, dir] {
+            h = splitmix64(h ^ salt);
+        }
+        PlanStream { state: h }
+    }
+
+    /// The next raw 64-bit draw (SplitMix64 sequence step).
+    fn next_u64(&mut self) -> u64 {
+        self.state = splitmix64(self.state);
+        self.state
+    }
+}
+
+impl Substream for PlanStream {
+    fn pick(&mut self, n: usize) -> usize {
+        // Modulo bias is ~n / 2^64 — negligible at piece-count scale.
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// SplitMix64 finalizer, mirroring `bt_des::rng`'s derivation mix so
+/// plan streams and seed substreams share one well-studied permutation.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Picks which piece to download from a connected peer.
 ///
@@ -39,13 +119,13 @@ use crate::piece::{Bitfield, PieceId};
 /// );
 /// assert_eq!(picked, Some(1));
 /// ```
-pub fn select_piece<R: Rng + ?Sized>(
+pub fn select_piece<S: Substream + ?Sized>(
     strategy: PieceSelection,
     mine: &Bitfield,
     theirs: &Bitfield,
     replication: &[u64],
     taken: &[PieceId],
-    rng: &mut R,
+    rng: &mut S,
 ) -> Option<PieceId> {
     let mut wanted: Vec<PieceId> = mine
         .wanted_from(theirs)
@@ -61,7 +141,7 @@ pub fn select_piece<R: Rng + ?Sized>(
         return None;
     }
     match strategy {
-        PieceSelection::RandomFirst => Some(wanted[rng.gen_range(0..wanted.len())]),
+        PieceSelection::RandomFirst => Some(wanted[rng.pick(wanted.len())]),
         PieceSelection::RarestFirst => {
             assert!(
                 replication.len() == mine.len() as usize,
@@ -77,8 +157,74 @@ pub fn select_piece<R: Rng + ?Sized>(
                 .into_iter()
                 .filter(|&p| replication[p as usize] == min_rep)
                 .collect();
-            Some(rarest[rng.gen_range(0..rarest.len())])
+            Some(rarest[rng.pick(rarest.len())])
         }
+    }
+}
+
+/// Ranks up to `limit` candidate pieces to download from a connected
+/// peer, best first, into `out` (cleared first).
+///
+/// This is [`select_piece`] iterated without replacement: each rank is
+/// drawn by the same rule (uniform over wanted for random-first,
+/// uniform over the rarest wanted for rarest-first) from the pieces not
+/// yet ranked. The parallel exchange plan emits a ranked list per
+/// connection direction so the serial commit can take the first
+/// candidate still valid against live taken/possession state — a
+/// downloader invalidates at most `max_connections` candidates in one
+/// round (one claim or acquisition per other connection), so
+/// `limit = max_connections + 1` always leaves a usable candidate when
+/// one exists.
+///
+/// # Panics
+///
+/// Panics (like [`select_piece`]) if `strategy` is rarest-first and
+/// `replication` does not cover all pieces.
+pub fn rank_pieces<S: Substream + ?Sized>(
+    strategy: PieceSelection,
+    mine: &Bitfield,
+    theirs: &Bitfield,
+    replication: &[u64],
+    limit: usize,
+    rng: &mut S,
+    out: &mut Vec<PieceId>,
+) {
+    out.clear();
+    let mut remaining = mine.wanted_from(theirs);
+    if remaining.is_empty() {
+        return;
+    }
+    if strategy == PieceSelection::RarestFirst {
+        assert!(
+            replication.len() == mine.len() as usize,
+            "replication vector must cover all {} pieces",
+            mine.len()
+        );
+    }
+    while out.len() < limit && !remaining.is_empty() {
+        let idx = match strategy {
+            PieceSelection::RandomFirst => rng.pick(remaining.len()),
+            PieceSelection::RarestFirst => {
+                let min_rep = remaining
+                    .iter()
+                    .map(|&p| replication[p as usize])
+                    .min()
+                    .expect("remaining is non-empty");
+                let ties = remaining
+                    .iter()
+                    .filter(|&&p| replication[p as usize] == min_rep)
+                    .count();
+                let nth = rng.pick(ties);
+                remaining
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &p)| replication[p as usize] == min_rep)
+                    .nth(nth)
+                    .map(|(i, _)| i)
+                    .expect("tie index within tie count")
+            }
+        };
+        out.push(remaining.swap_remove(idx));
     }
 }
 
@@ -236,6 +382,126 @@ mod tests {
             &mut rng,
         );
         assert_eq!(p, Some(2));
+    }
+
+    #[test]
+    fn plan_stream_is_reproducible() {
+        let mut a = PlanStream::pair(42, 3, 10, 17, 0);
+        let mut b = PlanStream::pair(42, 3, 10, 17, 0);
+        let draws_a: Vec<usize> = (0..16).map(|_| a.pick(1000)).collect();
+        let draws_b: Vec<usize> = (0..16).map(|_| b.pick(1000)).collect();
+        assert_eq!(draws_a, draws_b);
+        assert!(draws_a.iter().all(|&d| d < 1000));
+    }
+
+    #[test]
+    fn plan_stream_keys_separate_streams() {
+        let base: Vec<usize> = {
+            let mut s = PlanStream::pair(42, 3, 10, 17, 0);
+            (0..8).map(|_| s.pick(usize::MAX)).collect()
+        };
+        for key in [
+            PlanStream::pair(43, 3, 10, 17, 0), // seed
+            PlanStream::pair(42, 4, 10, 17, 0), // round
+            PlanStream::pair(42, 3, 11, 17, 0), // lo
+            PlanStream::pair(42, 3, 10, 18, 0), // hi
+            PlanStream::pair(42, 3, 10, 17, 1), // direction
+        ] {
+            let mut s = key;
+            let draws: Vec<usize> = (0..8).map(|_| s.pick(usize::MAX)).collect();
+            assert_ne!(draws, base, "key {key:?} must not collide with base");
+        }
+    }
+
+    #[test]
+    fn plan_stream_drives_selection() {
+        // select_piece accepts a PlanStream wherever it accepts the
+        // model RNG, and the pick lands in the wanted set.
+        let mine = bf(8, &[0]);
+        let theirs = bf(8, &[1, 2, 3]);
+        let mut stream = PlanStream::pair(7, 1, 0, 1, 0);
+        for _ in 0..32 {
+            let p = select_piece(
+                PieceSelection::RandomFirst,
+                &mine,
+                &theirs,
+                &[],
+                &[],
+                &mut stream,
+            )
+            .expect("uploader has novel pieces");
+            assert!([1, 2, 3].contains(&p));
+        }
+    }
+
+    #[test]
+    fn rank_pieces_lists_distinct_wanted_pieces() {
+        let mine = bf(8, &[0]);
+        let theirs = bf(8, &[1, 2, 3, 4]);
+        let mut stream = PlanStream::pair(1, 1, 0, 1, 0);
+        let mut out = Vec::new();
+        rank_pieces(
+            PieceSelection::RandomFirst,
+            &mine,
+            &theirs,
+            &[],
+            10,
+            &mut stream,
+            &mut out,
+        );
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3, 4], "all wanted pieces, each once");
+    }
+
+    #[test]
+    fn rank_pieces_respects_limit_and_empty_want() {
+        let mine = bf(8, &[]);
+        let theirs = bf(8, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        let mut stream = PlanStream::pair(2, 1, 0, 1, 0);
+        let mut out = vec![99];
+        rank_pieces(
+            PieceSelection::RandomFirst,
+            &mine,
+            &theirs,
+            &[],
+            3,
+            &mut stream,
+            &mut out,
+        );
+        assert_eq!(out.len(), 3);
+        let full = bf(8, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        rank_pieces(
+            PieceSelection::RandomFirst,
+            &full,
+            &theirs,
+            &[],
+            3,
+            &mut stream,
+            &mut out,
+        );
+        assert!(out.is_empty(), "nothing wanted clears the output");
+    }
+
+    #[test]
+    fn rank_pieces_orders_rarest_first() {
+        let mine = bf(6, &[]);
+        let theirs = bf(6, &[0, 1, 2, 3]);
+        let replication = [9, 1, 5, 5, 0, 0];
+        let mut stream = PlanStream::pair(3, 1, 0, 1, 0);
+        let mut out = Vec::new();
+        rank_pieces(
+            PieceSelection::RarestFirst,
+            &mine,
+            &theirs,
+            &replication,
+            10,
+            &mut stream,
+            &mut out,
+        );
+        assert_eq!(out[0], 1, "unique rarest piece ranks first");
+        assert_eq!(out[3], 0, "most replicated ranks last");
+        assert!(out[1] == 2 || out[1] == 3, "ties fill the middle ranks");
     }
 
     #[test]

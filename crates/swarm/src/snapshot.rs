@@ -140,7 +140,10 @@ mod tests {
 
     #[test]
     fn summary_statistics() {
-        let swarm = swarm_after(5);
+        // Capture before any endowed peer can have completed and
+        // departed (8 missing pieces at 3 connections needs 3+ rounds),
+        // so the median is robustly positive for any RNG stream.
+        let swarm = swarm_after(2);
         let snap = Snapshot::capture(&swarm);
         assert!(snap.median_pieces() >= 1, "endowed peers hold pieces");
         assert!(snap.mean_degree() >= 0.0);

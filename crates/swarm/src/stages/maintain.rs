@@ -9,6 +9,12 @@ use crate::stages::RoundStage;
 ///
 /// The handout excludes the peer's current neighbors by borrowing the
 /// neighbor list in place — the old engine cloned it per peer per round.
+///
+/// Tracker contact is amortized by `reannounce_interval`: the top-up
+/// runs only on rounds where `(round - 1) % interval == 0` (rounds 1,
+/// R+1, 2R+1, …), so the default of 1 re-announces every round — the
+/// original behavior, RNG stream included — while larger values shrink
+/// `maintain.handout_entries` at the cost of staler neighborhoods.
 #[derive(Debug, Default)]
 pub struct MaintainNeighbors {
     handout: Vec<PeerId>,
@@ -25,6 +31,12 @@ impl RoundStage for MaintainNeighbors {
     }
 
     fn run(&mut self, core: &mut SwarmCore) {
+        // Pre-reannounce configs deserialize the interval as 0; treat
+        // that as the old every-round behavior.
+        let interval = core.config.reannounce_interval.max(1);
+        if !core.round.saturating_sub(1).is_multiple_of(interval) {
+            return;
+        }
         let s = core.config.neighbor_set_size as usize;
         let mut handed = 0u64;
         // No stage mutates the tracker's alive list mid-round, so

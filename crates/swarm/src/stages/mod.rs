@@ -54,9 +54,13 @@ use crate::engine::SwarmCore;
 /// stage it may do as it pleases.
 ///
 /// Determinism contract: all randomness must come from the core's RNG
-/// (via [`SwarmCore::rng`]), and the number and order of RNG calls for a
-/// given swarm state must be a pure function of that state — that is
-/// what makes same-seed runs byte-identical.
+/// (via [`SwarmCore::rng`]) — or, for a stage with a parallel plan
+/// phase, from stateless [`crate::selection::PlanStream`] substreams
+/// keyed off run identity alone (seed, round, pair) — and the number
+/// and order of RNG calls for a given swarm state must be a pure
+/// function of that state. That is what makes same-seed runs
+/// byte-identical at any thread count: worker threads only distribute
+/// plan work, they never influence which stream decides what.
 pub trait RoundStage: std::fmt::Debug {
     /// Stable stage name, used to select or disable stages by name
     /// (e.g. `btlab swarm --disable-stage shake`).
@@ -68,6 +72,11 @@ pub trait RoundStage: std::fmt::Debug {
 
     /// Executes the stage for one round.
     fn run(&mut self, core: &mut SwarmCore);
+
+    /// Sets the worker-thread count for stages with a parallel plan
+    /// phase. Purely a throughput knob: outputs are byte-identical at
+    /// every value. Stages without a parallel phase ignore it.
+    fn set_threads(&mut self, _threads: u32) {}
 }
 
 /// Names of all stages [`default_pipeline`] can produce, for validating

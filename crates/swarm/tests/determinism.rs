@@ -252,6 +252,86 @@ fn same_seed_cohort_streams_are_byte_identical() {
     assert!(!events.is_empty(), "a 120-round run traces events");
 }
 
+/// One fully-observed run at a given worker-thread count: telemetry
+/// bytes, cohort bytes, a metrics digest, the doctor's verdicts, and
+/// the normalized ledger line. The upgraded determinism contract says
+/// every one of these is a function of the seed alone — `threads` is
+/// pure throughput.
+fn run_threaded(seed: u64, rounds: u64, threads: u32) -> (Vec<u8>, Vec<u8>, String, String, String) {
+    let registry = bt_obs::Registry::new();
+    let mut swarm = Swarm::with_registry(config(seed), registry.clone());
+    swarm.set_threads(threads);
+    let buf = SharedBuf::default();
+    swarm.attach_telemetry(
+        TelemetryRecorder::new(TelemetryOptions::default()).to_writer(Box::new(buf.clone())),
+    );
+    let cohort_buf = SharedBuf::default();
+    swarm.attach_cohort(8, Box::new(cohort_buf.clone()));
+    swarm.attach_doctor(DoctorOptions {
+        cadence: 4,
+        ..DoctorOptions::default()
+    });
+    let pipeline = swarm.stage_names();
+    for _ in 0..rounds {
+        swarm.step_round();
+    }
+    let report = swarm.take_doctor_report().expect("doctor was attached");
+    assert!(report.report.checks > 0, "monitors sampled rounds");
+    let verdicts = format!("{:?}", report.report.violations);
+    let digest = format!("{:?}", swarm.metrics());
+    let mut manifest = bt_obs::RunManifest::new("swarm", bt_obs::fnv1a_hex(b"det"), seed);
+    manifest.pipeline = pipeline.iter().map(|s| (*s).to_string()).collect();
+    manifest.threads = threads;
+    manifest.finish(&registry, std::time::Duration::from_secs(1));
+    manifest.peak_population = registry.counter("swarm.peak_population").get();
+    let ledger =
+        bt_obs::LedgerRecord::from_manifest(&manifest, report.report.violations.len() as u64)
+            .normalized()
+            .to_jsonl()
+            .expect("ledger record serializes");
+    (
+        buf.contents(),
+        cohort_buf.contents(),
+        digest,
+        verdicts,
+        ledger,
+    )
+}
+
+#[test]
+fn thread_count_is_invisible_to_every_output() {
+    // The contract the parallel exchange plan phase upholds: same seed,
+    // same bytes, at any --threads value. Telemetry, cohort traces,
+    // metrics, monitor verdicts, and the normalized ledger line must all
+    // be byte-identical across thread counts.
+    let serial = run_threaded(42, 120, 1);
+    assert!(!serial.0.is_empty(), "telemetry produced records");
+    assert!(!serial.1.is_empty(), "cohort produced records");
+    for threads in [2, 8] {
+        let threaded = run_threaded(42, 120, threads);
+        assert_eq!(
+            serial.0, threaded.0,
+            "telemetry diverged at --threads {threads}"
+        );
+        assert_eq!(
+            serial.1, threaded.1,
+            "cohort stream diverged at --threads {threads}"
+        );
+        assert_eq!(
+            serial.2, threaded.2,
+            "metrics diverged at --threads {threads}"
+        );
+        assert_eq!(
+            serial.3, threaded.3,
+            "monitor verdicts diverged at --threads {threads}"
+        );
+        assert_eq!(
+            serial.4, threaded.4,
+            "normalized ledger diverged at --threads {threads}"
+        );
+    }
+}
+
 #[test]
 fn different_seeds_diverge() {
     // Sanity check that the equality above is not vacuous: a different

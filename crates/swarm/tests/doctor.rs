@@ -53,7 +53,17 @@ fn diagnose(
     fault: Option<FaultSpec>,
     bundle_root: Option<std::path::PathBuf>,
 ) -> DoctorReport {
+    diagnose_threaded(config, fault, bundle_root, 1)
+}
+
+fn diagnose_threaded(
+    config: SwarmConfig,
+    fault: Option<FaultSpec>,
+    bundle_root: Option<std::path::PathBuf>,
+    threads: u32,
+) -> DoctorReport {
     let mut swarm = Swarm::with_registry(config, bt_obs::Registry::new());
+    swarm.set_threads(threads);
     swarm.attach_doctor(DoctorOptions {
         cadence: 1,
         bundle_root,
@@ -165,6 +175,40 @@ fn half_open_connection_fires_slot_balance() {
     assert!(
         !firing.contains(&"piece-conservation".to_string()),
         "piece accounting is untouched by a connection fault: {firing:?}"
+    );
+}
+
+#[test]
+fn threaded_run_keeps_monitors_clean_and_catches_faults() {
+    // A healthy run at --threads 8 must be as clean as the serial one —
+    // the sharded plan phase introduces no accounting drift the
+    // monitors could see...
+    let clean = diagnose_threaded(live_config(42), None, None, 8);
+    assert!(
+        clean.is_clean(),
+        "threaded healthy run tripped monitors: {:?}",
+        clean.report.violations
+    );
+    // ...and an injected fault still fires the same monitors as serial:
+    // parallelism neither masks corruption nor invents it.
+    let faulty = diagnose_threaded(
+        quiet_config(7),
+        Some(FaultSpec {
+            round: 5,
+            kind: FaultKind::UnaccountedPiece,
+        }),
+        None,
+        8,
+    );
+    assert!(!faulty.is_clean());
+    let firing = firing_monitors(&faulty);
+    assert!(
+        firing.contains(&"piece-conservation".to_string()),
+        "{firing:?}"
+    );
+    assert!(
+        firing.contains(&"replication-oracle".to_string()),
+        "{firing:?}"
     );
 }
 

@@ -37,10 +37,12 @@ fn main() {
         cli::Command::Swarm(a) => {
             manifest.pipeline = cli::swarm_pipeline_names(a);
             manifest.disabled_stages = a.disabled_stages.clone();
+            manifest.threads = a.threads;
         }
         cli::Command::Doctor(a) => {
             manifest.pipeline = cli::swarm_pipeline_names(&a.swarm);
             manifest.disabled_stages = a.swarm.disabled_stages.clone();
+            manifest.threads = a.swarm.threads;
         }
         _ => {}
     }

@@ -229,6 +229,11 @@ pub struct SwarmArgs {
     pub cohort: Option<String>,
     /// Reservoir size of the sampled peer cohort.
     pub cohort_size: u32,
+    /// Worker threads for the parallel plan phases. Output bytes are
+    /// identical at every value; only wall time changes.
+    pub threads: u32,
+    /// Tracker re-announce interval in rounds (1 = every round).
+    pub reannounce: u64,
 }
 
 impl Default for SwarmArgs {
@@ -255,6 +260,8 @@ impl Default for SwarmArgs {
             profile: None,
             cohort: None,
             cohort_size: 16,
+            threads: 1,
+            reannounce: 1,
         }
     }
 }
@@ -466,6 +473,7 @@ USAGE:
                 [--flight FILE] [--entropy-floor F] [--stall-rounds N]
                 [--flight-capacity N] [--disable-stage NAME[,NAME..]]
                 [--profile FILE] [--cohort FILE] [--cohort-size N]
+                [--threads N] [--reannounce R]
   btlab model   [--pieces N] [--k N] [--s N] [--alpha F] [--gamma F]
                 [--replications N] [--seed N]
   btlab report  [--telemetry FILE] [--cohort FILE] [--cohort-export FILE]
@@ -546,6 +554,18 @@ DOCTOR (btlab doctor / trend):
   readable ledgers). Before reading, trend rotates the ledger once it
   exceeds --max-ledger-bytes (default 16 MiB; 0 disables): the oldest
   lines move to a `.1` archive next to it.
+
+PARALLEL EXECUTION (btlab swarm / doctor):
+  --threads N shards the exchange stage's read-only plan phase across N
+  workers; a serial commit phase then applies the planned transfers in
+  canonical pair order. Piece picks come from stateless per-pair
+  substreams keyed off the run seed, so every output — metrics,
+  telemetry, cohort traces, doctor verdicts — is byte-identical at any
+  --threads value; only wall time changes. The run manifest records
+  threads, and `btlab compare` refuses (exit 2) to diff manifests with
+  mismatched thread counts. --reannounce R re-announces peers to the
+  tracker every R rounds instead of every round (default 1), amortizing
+  the maintain stage's handout work at large populations.
 
 EXIT CODES:
   0 success; 1 run failure (simulation error, compare regression,
@@ -779,6 +799,18 @@ fn apply_swarm_flag(a: &mut SwarmArgs, key: &str, value: &str) -> Result<bool, S
                 return Err("--cohort-size must be >= 1".to_string());
             }
         }
+        "threads" => {
+            a.threads = num(key, value)?;
+            if a.threads == 0 {
+                return Err("--threads must be >= 1".to_string());
+            }
+        }
+        "reannounce" => {
+            a.reannounce = num(key, value)?;
+            if a.reannounce == 0 {
+                return Err("--reannounce must be >= 1".to_string());
+            }
+        }
         "flight" => a.flight = Some(required(key, value)?),
         "entropy-floor" => a.entropy_floor = Some(num(key, value)?),
         "stall-rounds" => a.stall_rounds = Some(num(key, value)?),
@@ -965,6 +997,7 @@ fn build_swarm(a: &SwarmArgs) -> Result<bt_swarm::Swarm, String> {
         .arrival_rate(a.lambda)
         .initial_leechers(a.initial)
         .max_rounds(a.rounds)
+        .reannounce_interval(a.reannounce)
         .seed(a.seed);
     if let Some(f) = a.shake {
         builder.shake_at(f);
@@ -984,6 +1017,7 @@ fn build_swarm(a: &SwarmArgs) -> Result<bt_swarm::Swarm, String> {
         tracing::info!(target: "btlab", disabled = a.disabled_stages.join(",").as_str(); "stage ablation active");
         bt_swarm::Swarm::with_pipeline(config, bt_obs::Registry::global(), stages)
     };
+    swarm.set_threads(a.threads);
     if a.telemetry.is_some() || a.flight.is_some() {
         let format: bt_swarm::TelemetryFormat = a.telemetry_format.parse()?;
         let flight = a.flight.as_ref().map(|path| bt_swarm::FlightOptions {
@@ -1749,6 +1783,10 @@ struct CompareSide {
     /// reports, which do not record it.
     obs_share: Option<f64>,
     obs_wall_secs: f64,
+    /// Worker-thread count from a run manifest (pre-field manifests
+    /// count as 1); `None` for profile reports. Timing comparisons are
+    /// only meaningful at equal thread counts.
+    threads: Option<u32>,
 }
 
 /// Loads `path` as either a [`bt_obs::ProfileReport`] (from
@@ -1784,6 +1822,7 @@ fn load_compare_side(path: &str) -> Result<CompareSide, CliError> {
             rounds_per_sec: (report.rounds_per_sec > 0.0).then_some(report.rounds_per_sec),
             obs_share: None,
             obs_wall_secs: 0.0,
+            threads: None,
         })
     } else if value.get("phase_secs").is_some() {
         let manifest: bt_obs::RunManifest = serde_json::from_str(&text)
@@ -1811,6 +1850,7 @@ fn load_compare_side(path: &str) -> Result<CompareSide, CliError> {
             rounds_per_sec,
             obs_share: Some(manifest.obs_share),
             obs_wall_secs: manifest.obs_wall_secs,
+            threads: Some(manifest.threads.max(1)),
         })
     } else {
         Err(invalid(format!(
@@ -1836,6 +1876,18 @@ fn run_compare<W: std::io::Write>(a: &CompareArgs, out: &mut W) -> Result<(), Cl
     }
     let baseline = load_compare_side(&a.baseline)?;
     let candidate = load_compare_side(&a.candidate)?;
+    // Timing deltas between runs at different worker-thread counts
+    // measure the parallelism knob, not a code change; refuse the
+    // mismatch as bad input rather than reporting a bogus verdict.
+    if let (Some(b), Some(c)) = (baseline.threads, candidate.threads) {
+        if b != c {
+            return Err(CliError::Invalid(format!(
+                "thread-count mismatch: baseline {} ran with threads={b}, candidate {} with \
+                 threads={c}; rerun one side so the counts match",
+                a.baseline, a.candidate
+            )));
+        }
+    }
     writeln!(
         out,
         "comparing baseline {} vs candidate {} (tolerance {:.1}%)",
@@ -2133,21 +2185,23 @@ fn run_trend<W: std::io::Write>(a: &TrendArgs, out: &mut W) -> Result<(), CliErr
     .map_err(io_err)?;
     writeln!(
         out,
-        "{:>4} {:<12} {:>6} {:>10} {:>8} {:>10} {:>14} {:>6} {:>6}",
-        "#", "command", "seed", "config", "rounds", "peak_pop", "rounds_per_sec", "obs%", "viol"
+        "{:>4} {:<12} {:>6} {:>10} {:>8} {:>10} {:>4} {:>14} {:>6} {:>6}",
+        "#", "command", "seed", "config", "rounds", "peak_pop", "thr", "rounds_per_sec", "obs%",
+        "viol"
     )
     .map_err(io_err)?;
     let first_index = records.len() - window.len();
     for (i, r) in window.iter().enumerate() {
         writeln!(
             out,
-            "{:>4} {:<12} {:>6} {:>10} {:>8} {:>10} {:>14.1} {:>6.2} {:>6}",
+            "{:>4} {:<12} {:>6} {:>10} {:>8} {:>10} {:>4} {:>14.1} {:>6.2} {:>6}",
             first_index + i + 1,
             r.command,
             r.seed,
             &r.config_hash[..r.config_hash.len().min(10)],
             r.rounds,
             r.peak_population,
+            r.threads.max(1),
             r.rounds_per_sec,
             r.obs_share * 100.0,
             r.violations
@@ -2157,24 +2211,31 @@ fn run_trend<W: std::io::Write>(a: &TrendArgs, out: &mut W) -> Result<(), CliErr
 
     let latest = window.last().expect("window non-empty");
     // Timing comparisons only make sense between runs of the same
-    // command and configuration; a config change resets the baseline.
+    // command, configuration, and worker-thread count; a config change
+    // resets the baseline, and rounds/sec trends per thread count
+    // (records predating the threads field count as serial).
     let prior: Vec<&bt_obs::LedgerRecord> = window[..window.len() - 1]
         .iter()
-        .filter(|r| r.command == latest.command && r.config_hash == latest.config_hash)
+        .filter(|r| {
+            r.command == latest.command
+                && r.config_hash == latest.config_hash
+                && r.threads.max(1) == latest.threads.max(1)
+        })
         .collect();
     if prior.is_empty() {
         writeln!(
             out,
-            "\nno prior record in the window matches the latest run's command and config \
-             hash; no verdicts"
+            "\nno prior record in the window matches the latest run's command, config \
+             hash, and thread count; no verdicts"
         )
         .map_err(io_err)?;
         return Ok(());
     }
     writeln!(
         out,
-        "\ntrajectories (latest vs median of {} matching prior run(s)):",
-        prior.len()
+        "\ntrajectories (latest vs median of {} matching prior run(s) at threads={}):",
+        prior.len(),
+        latest.threads.max(1)
     )
     .map_err(io_err)?;
     writeln!(
@@ -3380,6 +3441,7 @@ mod tests {
             stage_p95_ns: vec![("round.exchange".into(), 2_000_000)],
             obs_share: 0.02,
             violations,
+            threads: 1,
         }
     }
 
@@ -3621,5 +3683,52 @@ mod tests {
         assert_eq!(a.cohort_size, 16, "default reservoir size");
         let err = parse(&args(&["swarm", "--cohort-size", "0"])).unwrap_err();
         assert!(err.contains("--cohort-size must be >= 1"), "{err}");
+    }
+
+    #[test]
+    fn swarm_threads_and_reannounce_flags_parse_and_validate() {
+        let cmd = parse(&args(&["swarm", "--threads", "8", "--reannounce", "4"])).unwrap();
+        let Command::Swarm(a) = cmd else {
+            panic!("expected swarm");
+        };
+        assert_eq!(a.threads, 8);
+        assert_eq!(a.reannounce, 4);
+        let defaults = parse(&args(&["swarm"])).unwrap();
+        let Command::Swarm(d) = defaults else {
+            panic!("expected swarm");
+        };
+        assert_eq!(d.threads, 1, "serial by default");
+        assert_eq!(d.reannounce, 1, "re-announce every round by default");
+        let err = parse(&args(&["swarm", "--threads", "0"])).unwrap_err();
+        assert!(err.contains("--threads must be >= 1"), "{err}");
+        let err = parse(&args(&["swarm", "--reannounce", "0"])).unwrap_err();
+        assert!(err.contains("--reannounce must be >= 1"), "{err}");
+    }
+
+    #[test]
+    fn compare_refuses_mismatched_thread_counts() {
+        let base = std::env::temp_dir().join("btlab-cli-compare-threads-base.json");
+        let cand = std::env::temp_dir().join("btlab-cli-compare-threads-cand.json");
+        let mut baseline = sample_manifest(1.0, 60, 2.0);
+        baseline.threads = 1;
+        baseline.write_to(&base).unwrap();
+        let mut candidate = sample_manifest(1.0, 60, 2.0);
+        candidate.threads = 8;
+        candidate.write_to(&cand).unwrap();
+        let mut buf = Vec::new();
+        let err = run(
+            Command::Compare(CompareArgs {
+                baseline: base.to_str().unwrap().into(),
+                candidate: cand.to_str().unwrap().into(),
+                tolerance: 0.25,
+                obs_budget: None,
+            }),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "thread mismatch is a usage error");
+        assert!(err.to_string().contains("thread-count mismatch"), "{err}");
+        std::fs::remove_file(&base).ok();
+        std::fs::remove_file(&cand).ok();
     }
 }
