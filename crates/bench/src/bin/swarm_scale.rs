@@ -27,16 +27,56 @@
 //!   recorded in the manifest so `btlab compare` refuses cross-thread
 //!   diffs and `btlab trend` charts rounds/sec per thread count.
 //!   Output bytes are identical at any value; only wall time changes;
+//! * `--heartbeat` — emit wall-clock-cadenced progress records to
+//!   `DIR/run.heartbeat.jsonl` plus an atomically-replaced
+//!   `DIR/run.status.json`, the artifacts `btlab watch` tails;
+//! * `--heartbeat-secs S` — heartbeat cadence (default 1.0);
 //! * `--out DIR` — where the manifest and observability artifacts
 //!   land, overriding `$BT_MANIFEST_DIR` (default `results/`).
 //!
-//! The manifest is written to `DIR/BENCH_swarm.json`.
+//! The manifest is written to `DIR/BENCH_swarm.json`. With the
+//! `alloc-profile` feature a counting global allocator is installed and
+//! `--profile` reports gain a per-stage `mem.alloc_bytes` work counter.
 
 use std::path::PathBuf;
 use std::time::Instant; // bt-lint: allow(det-wall-clock) — bench measures wall time by design
 
 use bt_obs::{fnv1a_hex, RunManifest};
 use bt_swarm::Swarm;
+
+/// A [`std::alloc::GlobalAlloc`] wrapper that forwards to the system
+/// allocator and mirrors every call into the process-global counters in
+/// [`bt_obs::mem`]. Lives here (not in bt-obs, which forbids unsafe
+/// code) because the wrapper itself is irreducibly `unsafe impl`; the
+/// counters it feeds are plain safe atomics.
+#[cfg(feature = "alloc-profile")]
+struct CountingAlloc;
+
+#[cfg(feature = "alloc-profile")]
+// SAFETY: every method forwards verbatim to `std::alloc::System`, which
+// upholds the GlobalAlloc contract; the added counter calls touch only
+// relaxed atomics and never allocate.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        bt_obs::mem::record_alloc(layout.size());
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        bt_obs::mem::record_dealloc(layout.size());
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        bt_obs::mem::record_dealloc(layout.size());
+        bt_obs::mem::record_alloc(new_size);
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Benchmark knobs parsed from the command line.
 struct Options {
@@ -47,6 +87,8 @@ struct Options {
     observed: bool,
     cohort_size: u32,
     threads: u32,
+    heartbeat: bool,
+    heartbeat_secs: f64,
     out: Option<PathBuf>,
 }
 
@@ -59,6 +101,8 @@ fn parse_args() -> Options {
         observed: false,
         cohort_size: 16,
         threads: 1,
+        heartbeat: false,
+        heartbeat_secs: 1.0,
         out: None,
     };
     let mut args = std::env::args().skip(1);
@@ -87,6 +131,15 @@ fn parse_args() -> Options {
                 assert!(threads >= 1, "--threads must be >= 1");
                 options.threads = threads;
             }
+            "--heartbeat" => options.heartbeat = true,
+            "--heartbeat-secs" => {
+                let secs: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--heartbeat-secs requires a numeric argument"));
+                assert!(secs >= 0.0, "--heartbeat-secs must be >= 0");
+                options.heartbeat_secs = secs;
+            }
             "--profile" => {
                 let path = args
                     .next()
@@ -101,7 +154,8 @@ fn parse_args() -> Options {
             }
             other => panic!(
                 "unknown flag {other}; try --smoke / --peers / --rounds / --seed \
-                 / --profile / --observed / --cohort-size / --threads / --out"
+                 / --profile / --observed / --cohort-size / --threads / --heartbeat \
+                 / --heartbeat-secs / --out"
             ),
         }
     }
@@ -152,6 +206,21 @@ fn main() {
             Box::new(std::io::BufWriter::new(file)),
         );
     }
+    if options.heartbeat {
+        let emitter = bt_obs::HeartbeatEmitter::new(
+            bt_obs::HeartbeatOptions {
+                dir: out_dir.clone(),
+                interval: std::time::Duration::from_secs_f64(options.heartbeat_secs),
+                command: "swarm_scale".to_string(),
+                seed: options.seed,
+                target_rounds: options.rounds,
+            },
+            registry.clone(),
+        )
+        .expect("create heartbeat artifacts");
+        swarm.attach_heartbeat(emitter);
+        println!("heartbeat: {}", out_dir.join(bt_obs::RUN_STATUS_FILE).display());
+    }
     let started = Instant::now(); // bt-lint: allow(det-wall-clock) — timing is the measurement
     for _ in 0..options.rounds {
         swarm.step_round();
@@ -161,6 +230,9 @@ fn main() {
     if options.observed {
         let _ = swarm.take_telemetry();
         let _ = swarm.take_cohort();
+    }
+    if options.heartbeat {
+        let _ = swarm.take_heartbeat();
     }
     let elapsed = started.elapsed();
     manifest.finish(&registry, elapsed);
@@ -206,6 +278,19 @@ fn main() {
         manifest.obs_share * 100.0,
         manifest.obs_wall_secs
     );
+    println!(
+        "memory: rss={:.1} MiB peak={:.1} MiB",
+        manifest.rss_bytes as f64 / (1024.0 * 1024.0),
+        manifest.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+    );
+    if bt_obs::mem::alloc_counting_active() {
+        println!(
+            "allocations: {} calls, {:.1} MiB total ({:.1} MiB live)",
+            bt_obs::mem::allocation_calls(),
+            bt_obs::mem::allocated_bytes_total() as f64 / (1024.0 * 1024.0),
+            bt_obs::mem::live_alloc_bytes() as f64 / (1024.0 * 1024.0)
+        );
+    }
     println!("manifest: {}", out_path.display());
     for (name, secs) in &manifest.phase_secs {
         println!("  {name}: {secs:.3}s");

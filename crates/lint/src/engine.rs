@@ -66,6 +66,14 @@ const PANIC_SCOPE: [&str; 3] = [
 /// Path prefixes where the float-comparison rule applies.
 const FLOAT_SCOPE: [&str; 2] = ["crates/markov/src", "crates/core/src"];
 
+/// Files outside the determinism scope whose wall-clock use is still
+/// audited: the sanctioned wall-clock boundary. The heartbeat module is
+/// the one place observer code may read clocks, and it must carry a
+/// `bt-lint: allow-file(det-wall-clock)` waiver documenting that — the
+/// waiver-unused rule then guarantees the audit note stays truthful if
+/// the clock reads ever move elsewhere.
+const WALL_CLOCK_AUDIT_SCOPE: [&str; 1] = ["crates/obs/src/heartbeat.rs"];
+
 /// Files allowed to (transitively) reach the model RNG: the simulation
 /// engine and its stages, the selection/tracker/piece policies, the
 /// model/math crates, and the drivers that seed runs. Everything else —
@@ -137,6 +145,9 @@ pub fn rules_for_path(rel: &str) -> Vec<Rule> {
     }
     if in_scope(&PANIC_SCOPE, rel) {
         set.extend([Rule::PanicUnwrap, Rule::PanicMacro, Rule::PanicIndex]);
+    }
+    if in_scope(&WALL_CLOCK_AUDIT_SCOPE, rel) && !set.contains(&Rule::DetWallClock) {
+        set.push(Rule::DetWallClock);
     }
     if in_scope(&FLOAT_SCOPE, rel) {
         set.push(Rule::FloatCmp);
@@ -397,6 +408,22 @@ mod tests {
         assert!(rules_for_path("src/cli.rs").is_empty());
         assert!(rules_for_path("crates/bench/src/bin/swarm_scale.rs")
             .contains(&Rule::DetWallClock));
+        // The sanctioned wall-clock boundary: heartbeat.rs is audited
+        // for clock use (so its allow-file waiver suppresses a real
+        // finding), keeps its panic-scope rules, and its sibling
+        // modules stay un-audited.
+        let heartbeat = rules_for_path("crates/obs/src/heartbeat.rs");
+        assert!(heartbeat.contains(&Rule::DetWallClock));
+        assert!(heartbeat.contains(&Rule::PanicUnwrap));
+        assert_eq!(
+            heartbeat
+                .iter()
+                .filter(|r| **r == Rule::DetWallClock)
+                .count(),
+            1,
+            "audit scope must not duplicate the rule"
+        );
+        assert!(!rules_for_path("crates/obs/src/mem.rs").contains(&Rule::DetWallClock));
     }
 
     #[test]

@@ -65,6 +65,13 @@ pub struct LedgerRecord {
     /// thread count.
     #[serde(default)]
     pub threads: u32,
+    /// Peak resident-set size of the run's process in bytes (`VmHWM`;
+    /// 0 in records written before the field existed or off procfs).
+    /// Machine-dependent, so [`LedgerRecord::normalized`] zeroes it
+    /// with the timing fields; `btlab trend` and the `--mem-budget`
+    /// compare gate read the raw value.
+    #[serde(default)]
+    pub peak_rss_bytes: u64,
 }
 
 impl LedgerRecord {
@@ -99,6 +106,7 @@ impl LedgerRecord {
             violations,
             obs_share: manifest.obs_share,
             threads: manifest.threads,
+            peak_rss_bytes: manifest.peak_rss_bytes,
         }
     }
 
@@ -113,6 +121,7 @@ impl LedgerRecord {
             rounds_per_sec: 0.0,
             obs_share: 0.0,
             threads: 0,
+            peak_rss_bytes: 0,
             stage_p95_ns: self
                 .stage_p95_ns
                 .iter()
@@ -376,6 +385,35 @@ mod tests {
             serde_json::from_str(&serde_json::to_string(&trimmed).unwrap()).unwrap();
         assert!(back.obs_share.abs() < f64::EPSILON);
         assert_eq!(back.seed, record.seed);
+    }
+
+    // Records written before `peak_rss_bytes` existed must still load,
+    // and normalization zeroes the machine-dependent value.
+    #[test]
+    fn record_tolerates_missing_peak_rss() {
+        let record = sample_record(5);
+        let line = record.to_jsonl().unwrap();
+        let value: serde_json::Value = serde_json::from_str(&line).unwrap();
+        let trimmed = match value {
+            serde_json::Value::Object(entries) => serde_json::Value::Object(
+                entries
+                    .into_iter()
+                    .filter(|(key, _)| key != "peak_rss_bytes")
+                    .collect(),
+            ),
+            other => other,
+        };
+        let back: LedgerRecord =
+            serde_json::from_str(&serde_json::to_string(&trimmed).unwrap()).unwrap();
+        assert_eq!(back.peak_rss_bytes, 0);
+        assert_eq!(back.seed, record.seed);
+        assert_eq!(record.normalized().peak_rss_bytes, 0);
+        if cfg!(target_os = "linux") {
+            assert!(
+                record.peak_rss_bytes > 0,
+                "manifest finish samples memory on linux"
+            );
+        }
     }
 
     #[test]

@@ -43,6 +43,17 @@
 //!    deterministic reservoir-sampled peer cohort whose members get
 //!    full binary-framed lifecycle traces at O(cohort) cost per round,
 //!    with a JSONL export path.
+//! 10. **Heartbeats** ([`HeartbeatEmitter`], [`read_status`],
+//!     [`read_heartbeat`]): wall-clock-cadenced progress records for
+//!     long runs — an append-only `run.heartbeat.jsonl` stream plus an
+//!     atomically-replaced `run.status.json` that `btlab watch` tails.
+//!     The one sanctioned wall-clock module; observer-only, so
+//!     attaching heartbeats never perturbs a deterministic run.
+//! 11. **Memory telemetry** ([`mem`]): procfs RSS sampling
+//!     (`/proc/self/statm` + `VmHWM`) for heartbeats and manifests, and
+//!     the process-global allocation counters a counting allocator
+//!     (feature `alloc-profile` in `bt-bench`) feeds so the profiler
+//!     can attribute allocation deltas per round stage.
 //!
 //! # Span hierarchy
 //!
@@ -58,8 +69,10 @@
 
 mod cohort;
 mod filter;
+mod heartbeat;
 mod ledger;
 mod manifest;
+pub mod mem;
 mod monitor;
 mod profiling;
 mod registry;
@@ -74,6 +87,11 @@ pub use cohort::{
     COHORT_SCHEMA_VERSION,
 };
 pub use filter::EnvFilter;
+pub use heartbeat::{
+    read_heartbeat, read_status, swarm_phase, Heartbeat, HeartbeatEmitter, HeartbeatMeta,
+    HeartbeatOptions, HeartbeatPulse, HeartbeatRecord, RunStatus, WallTimer,
+    HEARTBEAT_SCHEMA_VERSION, HEARTBEAT_STREAM_FILE, RUN_STATUS_FILE,
+};
 pub use ledger::{
     append_record, default_ledger_path, read_ledger, rotate_ledger, LedgerRecord,
     DEFAULT_MAX_LEDGER_BYTES, LEDGER_SCHEMA_VERSION,

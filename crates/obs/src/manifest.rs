@@ -59,6 +59,17 @@ pub struct RunManifest {
     /// recorded so performance comparisons only pair like with like.
     #[serde(default)]
     pub threads: u32,
+    /// Resident-set size in bytes sampled at the end of the run
+    /// (`/proc/self/statm`). Zero in manifests written before the field
+    /// existed and on platforms without procfs.
+    #[serde(default)]
+    pub rss_bytes: u64,
+    /// Peak resident-set size in bytes over the whole run (`VmHWM`),
+    /// the quantity the `--mem-budget` gate checks. Zero in manifests
+    /// written before the field existed and on platforms without
+    /// procfs.
+    #[serde(default)]
+    pub peak_rss_bytes: u64,
 }
 
 impl RunManifest {
@@ -82,6 +93,8 @@ impl RunManifest {
             obs_wall_secs: 0.0,
             obs_share: 0.0,
             threads: 1,
+            rss_bytes: 0,
+            peak_rss_bytes: 0,
         }
     }
 
@@ -107,6 +120,9 @@ impl RunManifest {
         } else {
             0.0
         };
+        let memory = crate::mem::sample_memory();
+        self.rss_bytes = memory.rss_bytes;
+        self.peak_rss_bytes = memory.peak_rss_bytes;
     }
 
     /// Value of the counter named `name`, if present.
@@ -308,6 +324,42 @@ mod tests {
         let back: RunManifest =
             serde_json::from_str(&serde_json::to_string(&trimmed).unwrap()).unwrap();
         assert_eq!(back.threads, 0);
+    }
+
+    // Manifests written before the memory fields existed must still
+    // load, with both readings zero ("telemetry unavailable").
+    #[test]
+    fn manifest_tolerates_missing_memory_fields() {
+        let manifest = sample_manifest();
+        let text = manifest.to_json().unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let trimmed = match value {
+            serde_json::Value::Object(entries) => serde_json::Value::Object(
+                entries
+                    .into_iter()
+                    .filter(|(key, _)| key != "rss_bytes" && key != "peak_rss_bytes")
+                    .collect(),
+            ),
+            other => other,
+        };
+        let back: RunManifest =
+            serde_json::from_str(&serde_json::to_string(&trimmed).unwrap()).unwrap();
+        assert_eq!(back.rss_bytes, 0);
+        assert_eq!(back.peak_rss_bytes, 0);
+    }
+
+    #[test]
+    fn finish_samples_process_memory() {
+        let registry = Registry::new();
+        let mut manifest = RunManifest::new("swarm", fnv1a_hex(b"mem"), 1);
+        manifest.finish(&registry, Duration::from_secs(1));
+        assert!(
+            manifest.peak_rss_bytes >= manifest.rss_bytes,
+            "peak covers current"
+        );
+        if cfg!(target_os = "linux") {
+            assert!(manifest.rss_bytes > 0, "procfs reports a resident process");
+        }
     }
 
     #[test]

@@ -527,6 +527,7 @@ pub struct Swarm {
     pipeline: Vec<PipelineEntry>,
     telemetry: Option<TelemetryRecorder>,
     doctor: Option<SwarmDoctor>,
+    heartbeat: Option<bt_obs::HeartbeatEmitter>,
     fault: Option<FaultSpec>,
 }
 
@@ -607,6 +608,7 @@ impl Swarm {
             pipeline,
             telemetry: None,
             doctor: None,
+            heartbeat: None,
             fault: None,
         }
     }
@@ -767,6 +769,26 @@ impl Swarm {
         sink
     }
 
+    /// Attaches a heartbeat emitter (see [`bt_obs::HeartbeatEmitter`]):
+    /// subsequent rounds emit wall-clock-cadenced progress records to
+    /// the emitter's run directory. The emitter only reads swarm state
+    /// and makes no model RNG calls, so attaching it leaves a same-seed
+    /// run byte-identical — `crates/swarm/tests/determinism.rs` locks
+    /// the property in. Emission errors are logged, never fatal: a full
+    /// disk must not kill a multi-hour run.
+    pub fn attach_heartbeat(&mut self, emitter: bt_obs::HeartbeatEmitter) {
+        self.heartbeat = Some(emitter);
+    }
+
+    /// Detaches and returns the heartbeat emitter after writing its
+    /// final beat and marking `run.status.json` finished — e.g. after
+    /// driving rounds with [`Swarm::step_round`]. `None` when no
+    /// emitter was attached.
+    pub fn take_heartbeat(&mut self) -> Option<bt_obs::HeartbeatEmitter> {
+        self.finish_heartbeat();
+        self.heartbeat.take()
+    }
+
     /// Attaches a [`SwarmDoctor`]: subsequent rounds are checked against
     /// the built-in invariant monitors at the doctor's cadence. Like the
     /// profiler and telemetry, the doctor only reads state and makes no
@@ -869,6 +891,7 @@ impl Swarm {
             recorder.finish();
         }
         self.core.cohort.finish();
+        self.finish_heartbeat();
         tracing::info!(
             target: "bt_swarm",
             rounds = self.core.metrics.rounds_run,
@@ -911,12 +934,20 @@ impl Swarm {
         for entry in &mut self.pipeline {
             self.core.profile.begin_stage(entry.stage.name());
             let probes_before = self.core.store.probe_count();
+            let alloc_before = bt_obs::mem::allocated_bytes_total();
             {
                 let _g = entry.timer.start();
                 entry.stage.run(&mut self.core);
             }
             let probes = self.core.store.probe_count().wrapping_sub(probes_before);
             self.core.profile.add_work("store.slab_probes", probes);
+            // Allocation attribution: the delta is nonzero only when a
+            // counting allocator is installed (`alloc-profile` feature
+            // of bt-bench); otherwise this is two relaxed atomic loads.
+            let alloc_delta = bt_obs::mem::allocated_bytes_total().wrapping_sub(alloc_before);
+            if alloc_delta > 0 {
+                self.core.profile.add_work("mem.alloc_bytes", alloc_delta);
+            }
             // Audited: telemetry flush into the profiler's registry
             // timers — commutative counts, never read back by model
             // code. bt-lint: allow(shared-interior-mut)
@@ -938,6 +969,10 @@ impl Swarm {
         if self.telemetry.is_some() {
             let _g = self.core.obs.telemetry_timer.start();
             self.record_telemetry();
+        }
+        if self.heartbeat.is_some() {
+            let _g = self.core.obs.heartbeat_timer.start();
+            self.record_heartbeat();
         }
         tracing::debug!(
             target: "bt_swarm::round",
@@ -995,6 +1030,52 @@ impl Swarm {
             }
         }
         self.doctor = Some(doctor);
+    }
+
+    /// The current round's heartbeat pulse: population off the tracker,
+    /// entropy off the replication index, and the swarm phase from the
+    /// median piece count ([`bt_obs::swarm_phase`]) — all O(pieces)
+    /// sketch reads, no population scan, no RNG.
+    fn heartbeat_pulse(&self) -> bt_obs::HeartbeatPulse {
+        let core = &self.core;
+        let population = core.tracker.len() as u64;
+        let median_pieces = u64::from(core.piece_cells.quantile(0.5).unwrap_or(0));
+        bt_obs::HeartbeatPulse {
+            round: core.round,
+            population,
+            entropy: entropy_of(core.replication.counts()),
+            phase: bt_obs::swarm_phase(population, median_pieces, core.config.pieces),
+        }
+    }
+
+    /// Emits a heartbeat if the attached emitter's wall-clock cadence
+    /// says one is due. Emission errors are logged and swallowed.
+    fn record_heartbeat(&mut self) {
+        if !self.heartbeat.as_ref().is_some_and(bt_obs::HeartbeatEmitter::due) {
+            return;
+        }
+        let pulse = self.heartbeat_pulse();
+        if let Some(emitter) = self.heartbeat.as_mut() {
+            if let Err(e) = emitter.beat(&pulse) {
+                tracing::warn!(target: "bt_swarm", "heartbeat emission failed: {e}");
+            }
+        }
+    }
+
+    /// Writes the final beat and marks the run status finished. A no-op
+    /// when no emitter is attached (or it already finished — the
+    /// emitter's `finish` is idempotent).
+    fn finish_heartbeat(&mut self) {
+        if self.heartbeat.is_none() {
+            return;
+        }
+        let _g = self.core.obs.heartbeat_timer.start();
+        let pulse = self.heartbeat_pulse();
+        if let Some(emitter) = self.heartbeat.as_mut() {
+            if let Err(e) = emitter.finish(&pulse) {
+                tracing::warn!(target: "bt_swarm", "heartbeat finalization failed: {e}");
+            }
+        }
     }
 
     /// The current round's [`TelemetrySample`], built from the streaming

@@ -44,6 +44,8 @@ pub(crate) struct SwarmObs {
     pub telemetry_timer: Timer,
     /// Wall time in the doctor's monitor checks (`obs.doctor`).
     pub doctor_timer: Timer,
+    /// Wall time in the heartbeat emitter (`obs.heartbeat`).
+    pub heartbeat_timer: Timer,
 }
 
 impl SwarmObs {
@@ -62,6 +64,7 @@ impl SwarmObs {
             rounds: registry.counter("swarm.rounds"),
             telemetry_timer: registry.timer("obs.telemetry"),
             doctor_timer: registry.timer("obs.doctor"),
+            heartbeat_timer: registry.timer("obs.heartbeat"),
         }
     }
 }

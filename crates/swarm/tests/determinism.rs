@@ -332,6 +332,118 @@ fn thread_count_is_invisible_to_every_output() {
     }
 }
 
+/// One fully-observed run with an optional heartbeat emitter attached,
+/// returning the telemetry bytes, cohort bytes, a metrics digest, and
+/// the normalized ledger line. `Duration::ZERO` cadence makes the
+/// emitter beat every round, maximizing its chance to perturb anything.
+fn run_with_heartbeat(
+    seed: u64,
+    rounds: u64,
+    threads: u32,
+    heartbeat: bool,
+) -> (Vec<u8>, Vec<u8>, String, String) {
+    let registry = bt_obs::Registry::new();
+    let mut swarm = Swarm::with_registry(config(seed), registry.clone());
+    swarm.set_threads(threads);
+    let buf = SharedBuf::default();
+    swarm.attach_telemetry(
+        TelemetryRecorder::new(TelemetryOptions::default()).to_writer(Box::new(buf.clone())),
+    );
+    let cohort_buf = SharedBuf::default();
+    swarm.attach_cohort(8, Box::new(cohort_buf.clone()));
+    let dir = std::env::temp_dir().join(format!(
+        "bt_swarm_det_heartbeat_{}_{seed}_{threads}_{heartbeat}",
+        std::process::id()
+    ));
+    if heartbeat {
+        let _ = std::fs::remove_dir_all(&dir);
+        let emitter = bt_obs::HeartbeatEmitter::new(
+            bt_obs::HeartbeatOptions {
+                dir: dir.clone(),
+                interval: std::time::Duration::ZERO,
+                command: "swarm".to_string(),
+                seed,
+                target_rounds: rounds,
+            },
+            registry.clone(),
+        )
+        .expect("heartbeat artifacts in temp dir");
+        swarm.attach_heartbeat(emitter);
+    }
+    let pipeline = swarm.stage_names();
+    for _ in 0..rounds {
+        swarm.step_round();
+    }
+    if heartbeat {
+        let emitter = swarm.take_heartbeat().expect("heartbeat stayed attached");
+        assert!(emitter.is_finished(), "take_heartbeat writes the final beat");
+        assert!(
+            emitter.beats() >= rounds,
+            "zero-interval cadence beats every round"
+        );
+        let status =
+            bt_obs::read_status(&dir.join(bt_obs::RUN_STATUS_FILE)).expect("status parses");
+        assert!(status.is_finished());
+        assert_eq!(status.last.round, rounds);
+        let file = std::fs::File::open(dir.join(bt_obs::HEARTBEAT_STREAM_FILE))
+            .expect("heartbeat stream exists");
+        let (meta, beats) = bt_obs::read_heartbeat(file).expect("heartbeat stream parses");
+        assert_eq!(meta.seed, seed);
+        assert!(!beats.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let digest = format!("{:?}", swarm.metrics());
+    let mut manifest = bt_obs::RunManifest::new("swarm", bt_obs::fnv1a_hex(b"det"), seed);
+    manifest.pipeline = pipeline.iter().map(|s| (*s).to_string()).collect();
+    manifest.threads = threads;
+    manifest.finish(&registry, std::time::Duration::from_secs(1));
+    manifest.peak_population = registry.counter("swarm.peak_population").get();
+    let ledger = bt_obs::LedgerRecord::from_manifest(&manifest, 0)
+        .normalized()
+        .to_jsonl()
+        .expect("ledger record serializes");
+    (buf.contents(), cohort_buf.contents(), digest, ledger)
+}
+
+#[test]
+fn heartbeat_does_not_perturb_the_run() {
+    // The heartbeat emitter reads a pulse of engine state and the wall
+    // clock, makes no model-RNG calls, and feeds nothing back — so a
+    // heartbeat run must be byte-identical to a bare one, at every
+    // thread count (ISSUE 10 tentpole contract).
+    for threads in [1, 8] {
+        let plain = run_with_heartbeat(42, 120, threads, false);
+        let beating = run_with_heartbeat(42, 120, threads, true);
+        assert!(!plain.0.is_empty(), "telemetry produced records");
+        assert_eq!(
+            plain.0, beating.0,
+            "heartbeats changed the telemetry stream at --threads {threads}"
+        );
+        assert_eq!(
+            plain.1, beating.1,
+            "heartbeats changed the cohort stream at --threads {threads}"
+        );
+        assert_eq!(
+            plain.2, beating.2,
+            "heartbeats changed engine metrics at --threads {threads}"
+        );
+        assert_eq!(
+            plain.3, beating.3,
+            "heartbeats changed the normalized ledger line at --threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn heartbeat_runs_are_byte_identical_across_thread_counts() {
+    let serial = run_with_heartbeat(42, 120, 1, true);
+    let threaded = run_with_heartbeat(42, 120, 8, true);
+    assert_eq!(serial.0, threaded.0, "telemetry diverged");
+    assert_eq!(serial.1, threaded.1, "cohort stream diverged");
+    assert_eq!(serial.2, threaded.2, "metrics diverged");
+    assert_eq!(serial.3, threaded.3, "normalized ledger diverged");
+}
+
 #[test]
 fn different_seeds_diverge() {
     // Sanity check that the equality above is not vacuous: a different

@@ -46,7 +46,9 @@ fn main() {
         }
         _ => {}
     }
-    let wants_manifest = !matches!(command, cli::Command::Help);
+    // `watch` is a read-only follower of someone else's run directory;
+    // writing a manifest for it would pollute the results it observes.
+    let wants_manifest = !matches!(command, cli::Command::Help | cli::Command::Watch(_));
     // The ledger tracks simulation runs; one record per swarm or
     // doctor invocation, appended even when the run fails so a
     // violation shows up in `btlab trend`.

@@ -35,6 +35,8 @@ pub enum Command {
     Doctor(DoctorArgs),
     /// Render per-metric trajectories from the cross-run ledger.
     Trend(TrendArgs),
+    /// Tail a run directory's heartbeat artifacts, live or post-hoc.
+    Watch(WatchArgs),
     /// Run the repo's static analysis pass (`bt-lint`).
     Lint(LintArgs),
     /// Print usage.
@@ -56,6 +58,7 @@ impl Command {
             Command::Compare(_) => "compare",
             Command::Doctor(_) => "doctor",
             Command::Trend(_) => "trend",
+            Command::Watch(_) => "watch",
             Command::Lint(_) => "lint",
             Command::Help => "help",
         }
@@ -75,6 +78,7 @@ impl Command {
             | Command::Profile(_)
             | Command::Compare(_)
             | Command::Trend(_)
+            | Command::Watch(_)
             | Command::Lint(_)
             | Command::Help => None,
         }
@@ -234,6 +238,11 @@ pub struct SwarmArgs {
     pub threads: u32,
     /// Tracker re-announce interval in rounds (1 = every round).
     pub reannounce: u64,
+    /// Run directory for heartbeat artifacts (`run.heartbeat.jsonl` +
+    /// `run.status.json`), the files `btlab watch` tails.
+    pub heartbeat: Option<String>,
+    /// Heartbeat emission cadence in wall seconds (0 beats every round).
+    pub heartbeat_secs: f64,
 }
 
 impl Default for SwarmArgs {
@@ -262,6 +271,8 @@ impl Default for SwarmArgs {
             cohort_size: 16,
             threads: 1,
             reannounce: 1,
+            heartbeat: None,
+            heartbeat_secs: 1.0,
         }
     }
 }
@@ -349,6 +360,27 @@ pub struct CompareArgs {
     /// when the candidate manifest's `obs_share` exceeds it. With this
     /// flag, a single positional path gates that manifest alone.
     pub obs_budget: Option<f64>,
+    /// Peak-RSS headroom budget in percent over the baseline manifest's
+    /// `peak_rss_bytes`: fail (exit 1) when the candidate's peak RSS
+    /// grows beyond it. Needs both positionals — memory is judged
+    /// relative to a baseline, never absolutely.
+    pub mem_budget: Option<f64>,
+}
+
+/// Arguments of `btlab watch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchArgs {
+    /// Run directory holding `run.status.json` and
+    /// `run.heartbeat.jsonl` (a run launched with `--heartbeat`).
+    pub dir: String,
+    /// Fail (exit 1) when a running status stops changing for this many
+    /// wall seconds; `None` waits forever.
+    pub timeout_secs: Option<f64>,
+    /// Poll cadence in wall seconds.
+    pub interval_secs: f64,
+    /// Emit one JSON status document per change instead of the
+    /// human progress line.
+    pub json: bool,
 }
 
 /// Arguments of `btlab report`.
@@ -474,6 +506,7 @@ USAGE:
                 [--flight-capacity N] [--disable-stage NAME[,NAME..]]
                 [--profile FILE] [--cohort FILE] [--cohort-size N]
                 [--threads N] [--reannounce R]
+                [--heartbeat DIR] [--heartbeat-secs S]
   btlab model   [--pieces N] [--k N] [--s N] [--alpha F] [--gamma F]
                 [--replications N] [--seed N]
   btlab report  [--telemetry FILE] [--cohort FILE] [--cohort-export FILE]
@@ -481,7 +514,9 @@ USAGE:
                 [--replications N] [--seed N] [--strict]
   btlab profile PROFILE.json [--top N] [--json]
   btlab compare BASELINE CANDIDATE [--tolerance F] [--obs-budget PCT]
+                [--mem-budget PCT]
   btlab compare MANIFEST --obs-budget PCT
+  btlab watch   RUN_DIR [--timeout-secs S] [--interval-secs S] [--json]
   btlab doctor  [all swarm flags] [--cadence N] [--floor F]
                 [--min-population N] [--bundle-dir DIR]
                 [--inject-fault KIND@ROUND]
@@ -529,11 +564,36 @@ COHORT TRACING (btlab swarm / report):
 
 OBSERVER OVERHEAD (btlab compare --obs-budget):
   Run manifests record the wall-time share spent inside observers
-  (obs.* phase timers: telemetry capture, doctor checks) as obs_share.
-  `btlab compare MANIFEST --obs-budget PCT` (one positional) gates that
-  share alone; with two positionals the gate rides along the regression
-  diff. Over budget exits 1; gating a profile report (which records no
-  obs_share) exits 2.
+  (obs.* phase timers: telemetry capture, doctor checks, heartbeats) as
+  obs_share. `btlab compare MANIFEST --obs-budget PCT` (one positional)
+  gates that share alone; with two positionals the gate rides along the
+  regression diff. Over budget exits 1; gating a profile report (which
+  records no obs_share) exits 2.
+
+HEARTBEATS (btlab swarm --heartbeat / watch):
+  --heartbeat DIR streams wall-clock-cadenced progress records (round,
+  rounds/sec, ETA to --rounds, swarm phase, entropy, observer share,
+  current/peak RSS) to DIR/run.heartbeat.jsonl and atomically replaces
+  DIR/run.status.json on every beat (default cadence 1s; tune with
+  --heartbeat-secs). The heartbeat is an observer: it makes no model-RNG
+  calls, so a run with heartbeats is byte-identical to one without.
+  `btlab watch RUN_DIR` tails those artifacts, live or after the fact:
+  a progress bar with ETA, phase, and memory, refreshed every
+  --interval-secs (default 1), exiting 0 once the run finishes. With
+  --timeout-secs S a running status that stops changing for S seconds
+  of wall time exits 1 (stall detection for CI); --json emits one JSON
+  status document per change for scripting. A missing or torn
+  run.status.json and a headerless heartbeat stream exit 2.
+
+MEMORY (btlab compare --mem-budget / trend):
+  Run manifests and ledger records carry current and peak RSS sampled
+  from procfs. `btlab compare BASELINE CANDIDATE --mem-budget PCT`
+  fails (exit 1) when the candidate's peak RSS exceeds the baseline's
+  by more than PCT percent; inputs without memory telemetry (profile
+  reports, pre-memory manifests) exit 2. `btlab trend` charts peak RSS
+  per run. Bench binaries built with `--features alloc-profile` also
+  attribute heap-allocation bytes per round stage in --profile reports
+  (work counter `mem.alloc_bytes`).
 
 DOCTOR (btlab doctor / trend):
   `btlab doctor` runs a swarm with the runtime invariant monitors
@@ -601,10 +661,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Ok(Command::Help);
     };
-    // profile/compare take positional paths, which parse_flags rejects.
+    // profile/compare/watch take positional paths, which parse_flags
+    // rejects.
     match cmd.as_str() {
         "profile" => return parse_profile(rest),
         "compare" => return parse_compare(rest),
+        "watch" => return parse_watch(rest),
         _ => {}
     }
     let flags = parse_flags(rest)?;
@@ -811,6 +873,16 @@ fn apply_swarm_flag(a: &mut SwarmArgs, key: &str, value: &str) -> Result<bool, S
                 return Err("--reannounce must be >= 1".to_string());
             }
         }
+        "heartbeat" => a.heartbeat = Some(required(key, value)?),
+        "heartbeat-secs" => {
+            a.heartbeat_secs = num(key, value)?;
+            if a.heartbeat_secs < 0.0 {
+                return Err(format!(
+                    "--heartbeat-secs must be >= 0, got {}",
+                    a.heartbeat_secs
+                ));
+            }
+        }
         "flight" => a.flight = Some(required(key, value)?),
         "entropy-floor" => a.entropy_floor = Some(num(key, value)?),
         "stall-rounds" => a.stall_rounds = Some(num(key, value)?),
@@ -879,10 +951,12 @@ fn parse_compare(rest: &[String]) -> Result<Command, String> {
     let flags = parse_flags(&flag_tokens)?;
     let mut tolerance = 0.10f64;
     let mut obs_budget = None;
+    let mut mem_budget = None;
     for (key, value) in &flags {
         match key.as_str() {
             "tolerance" => tolerance = num(key, value)?,
             "obs-budget" => obs_budget = Some(num(key, value)?),
+            "mem-budget" => mem_budget = Some(num(key, value)?),
             _ => return Err(format!("unknown flag --{key} for compare")),
         }
     }
@@ -894,8 +968,22 @@ fn parse_compare(rest: &[String]) -> Result<Command, String> {
             return Err(format!("--obs-budget is a percentage (0..=100), got {budget}"));
         }
     }
+    if let Some(budget) = mem_budget {
+        if !(0.0..=100.0).contains(&budget) {
+            return Err(format!("--mem-budget is a percentage (0..=100), got {budget}"));
+        }
+    }
     // With --obs-budget, a single manifest path gates observer overhead
-    // alone (baseline == candidate, no regression comparison).
+    // alone (baseline == candidate, no regression comparison). The
+    // memory gate has no such mode: peak RSS is only meaningful
+    // relative to a baseline.
+    if positionals.len() == 1 && mem_budget.is_some() {
+        return Err(
+            "--mem-budget compares peak RSS against a baseline; pass BASELINE and \
+             CANDIDATE paths"
+                .to_string(),
+        );
+    }
     if positionals.len() == 1 && obs_budget.is_some() {
         let path = positionals.pop().unwrap_or_default();
         return Ok(Command::Compare(CompareArgs {
@@ -903,6 +991,7 @@ fn parse_compare(rest: &[String]) -> Result<Command, String> {
             candidate: path,
             tolerance,
             obs_budget,
+            mem_budget,
         }));
     }
     if positionals.len() != 2 {
@@ -919,6 +1008,44 @@ fn parse_compare(rest: &[String]) -> Result<Command, String> {
         candidate,
         tolerance,
         obs_budget,
+        mem_budget,
+    }))
+}
+
+fn parse_watch(rest: &[String]) -> Result<Command, String> {
+    let (positionals, flag_tokens) = split_positionals(rest);
+    let flags = parse_flags(&flag_tokens)?;
+    let mut timeout_secs = None;
+    let mut interval_secs = 1.0f64;
+    let mut json = false;
+    for (key, value) in &flags {
+        match key.as_str() {
+            "timeout-secs" => timeout_secs = Some(num(key, value)?),
+            "interval-secs" => interval_secs = num(key, value)?,
+            "json" => json = flag(key, value)?,
+            _ => return Err(format!("unknown flag --{key} for watch")),
+        }
+    }
+    if let Some(timeout) = timeout_secs {
+        if timeout <= 0.0 {
+            return Err(format!("--timeout-secs must be > 0, got {timeout}"));
+        }
+    }
+    if interval_secs <= 0.0 {
+        return Err(format!("--interval-secs must be > 0, got {interval_secs}"));
+    }
+    if positionals.len() != 1 {
+        return Err(format!(
+            "watch takes one RUN_DIR path, got {} positional argument(s)",
+            positionals.len()
+        ));
+    }
+    let dir = positionals.into_iter().next().unwrap_or_default();
+    Ok(Command::Watch(WatchArgs {
+        dir,
+        timeout_secs,
+        interval_secs,
+        json,
     }))
 }
 
@@ -1047,6 +1174,20 @@ fn build_swarm(a: &SwarmArgs) -> Result<bt_swarm::Swarm, String> {
             Box::new(std::io::BufWriter::new(file)),
         );
     }
+    if let Some(dir) = &a.heartbeat {
+        let emitter = bt_obs::HeartbeatEmitter::new(
+            bt_obs::HeartbeatOptions {
+                dir: std::path::PathBuf::from(dir),
+                interval: std::time::Duration::from_secs_f64(a.heartbeat_secs),
+                command: "swarm".to_string(),
+                seed: a.seed,
+                target_rounds: a.rounds,
+            },
+            bt_obs::Registry::global(),
+        )
+        .map_err(|e| format!("cannot create heartbeat artifacts in {dir}: {e}"))?;
+        swarm.attach_heartbeat(emitter);
+    }
     Ok(swarm)
 }
 
@@ -1167,6 +1308,7 @@ pub fn run<W: std::io::Write>(command: Command, out: &mut W) -> Result<(), CliEr
         Command::Compare(a) => run_compare(&a, out),
         Command::Doctor(a) => run_doctor(&a, out),
         Command::Trend(a) => run_trend(&a, out),
+        Command::Watch(a) => run_watch(&a, out),
         Command::Lint(a) => {
             let root = a.root.clone().unwrap_or_else(|| ".".to_string());
             tracing::info!(target: "btlab", root = root.as_str(); "running static analysis");
@@ -1787,6 +1929,10 @@ struct CompareSide {
     /// count as 1); `None` for profile reports. Timing comparisons are
     /// only meaningful at equal thread counts.
     threads: Option<u32>,
+    /// Peak resident-set size from a run manifest; `None` for profile
+    /// reports, 0 for manifests written before memory telemetry (or
+    /// off-procfs platforms).
+    peak_rss_bytes: Option<u64>,
 }
 
 /// Loads `path` as either a [`bt_obs::ProfileReport`] (from
@@ -1823,6 +1969,7 @@ fn load_compare_side(path: &str) -> Result<CompareSide, CliError> {
             obs_share: None,
             obs_wall_secs: 0.0,
             threads: None,
+            peak_rss_bytes: None,
         })
     } else if value.get("phase_secs").is_some() {
         let manifest: bt_obs::RunManifest = serde_json::from_str(&text)
@@ -1851,6 +1998,7 @@ fn load_compare_side(path: &str) -> Result<CompareSide, CliError> {
             obs_share: Some(manifest.obs_share),
             obs_wall_secs: manifest.obs_wall_secs,
             threads: Some(manifest.threads.max(1)),
+            peak_rss_bytes: Some(manifest.peak_rss_bytes),
         })
     } else {
         Err(invalid(format!(
@@ -1958,6 +2106,7 @@ fn run_compare<W: std::io::Write>(a: &CompareArgs, out: &mut W) -> Result<(), Cl
     }
 
     check_obs_budget(a, &candidate, out)?;
+    check_mem_budget(a, &baseline, &candidate, out)?;
 
     if regressions.is_empty() {
         writeln!(out, "no regressions beyond tolerance").map_err(io_err)?;
@@ -2012,6 +2161,61 @@ fn check_obs_budget<W: std::io::Write>(
             "observer overhead {share_pct:.2}% exceeds the --obs-budget {budget_pct:.2}% \
              (obs.* timers: {:.3}s)",
             candidate.obs_wall_secs
+        )));
+    }
+    Ok(())
+}
+
+/// Enforces `--mem-budget`: the candidate manifest's peak RSS must not
+/// exceed the baseline's by more than the budget percentage. Peak RSS
+/// is machine-dependent, so the gate is relative headroom over a
+/// baseline recorded on the same hardware — never an absolute number.
+/// Inputs without memory telemetry (profile reports, manifests written
+/// before the field existed, off-procfs platforms recording 0) are a
+/// data error (exit 2); an over-budget candidate is a run failure
+/// (exit 1). Without `--mem-budget` this is a no-op.
+fn check_mem_budget<W: std::io::Write>(
+    a: &CompareArgs,
+    baseline: &CompareSide,
+    candidate: &CompareSide,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let io_err = |e: std::io::Error| format!("i/o error: {e}");
+    let Some(budget_pct) = a.mem_budget else {
+        return Ok(());
+    };
+    let missing = |path: &str| {
+        CliError::Invalid(format!(
+            "{path}: --mem-budget needs run manifests with memory telemetry \
+             (peak_rss_bytes > 0); regenerate the manifest on a procfs platform"
+        ))
+    };
+    let base = baseline
+        .peak_rss_bytes
+        .filter(|&b| b > 0)
+        .ok_or_else(|| missing(&a.baseline))?;
+    let cand = candidate
+        .peak_rss_bytes
+        .filter(|&c| c > 0)
+        .ok_or_else(|| missing(&a.candidate))?;
+    let mib = |bytes: u64| bytes as f64 / (1024.0 * 1024.0);
+    let delta_pct = (cand as f64 - base as f64) / base as f64 * 100.0;
+    let over = delta_pct > budget_pct;
+    let verdict = if over { "OVER BUDGET" } else { "ok" };
+    writeln!(
+        out,
+        "peak RSS: candidate {:.1} MiB vs baseline {:.1} MiB ({delta_pct:+.1}%), \
+         budget +{budget_pct:.1}% — {verdict}",
+        mib(cand),
+        mib(base)
+    )
+    .map_err(io_err)?;
+    if over {
+        return Err(CliError::Failure(format!(
+            "peak RSS {:.1} MiB exceeds the baseline's {:.1} MiB by {delta_pct:.1}%, \
+             over the --mem-budget {budget_pct:.1}% headroom",
+            mib(cand),
+            mib(base)
         )));
     }
     Ok(())
@@ -2185,16 +2389,16 @@ fn run_trend<W: std::io::Write>(a: &TrendArgs, out: &mut W) -> Result<(), CliErr
     .map_err(io_err)?;
     writeln!(
         out,
-        "{:>4} {:<12} {:>6} {:>10} {:>8} {:>10} {:>4} {:>14} {:>6} {:>6}",
+        "{:>4} {:<12} {:>6} {:>10} {:>8} {:>10} {:>4} {:>14} {:>6} {:>8} {:>6}",
         "#", "command", "seed", "config", "rounds", "peak_pop", "thr", "rounds_per_sec", "obs%",
-        "viol"
+        "peak_mib", "viol"
     )
     .map_err(io_err)?;
     let first_index = records.len() - window.len();
     for (i, r) in window.iter().enumerate() {
         writeln!(
             out,
-            "{:>4} {:<12} {:>6} {:>10} {:>8} {:>10} {:>4} {:>14.1} {:>6.2} {:>6}",
+            "{:>4} {:<12} {:>6} {:>10} {:>8} {:>10} {:>4} {:>14.1} {:>6.2} {:>8.1} {:>6}",
             first_index + i + 1,
             r.command,
             r.seed,
@@ -2204,6 +2408,7 @@ fn run_trend<W: std::io::Write>(a: &TrendArgs, out: &mut W) -> Result<(), CliErr
             r.threads.max(1),
             r.rounds_per_sec,
             r.obs_share * 100.0,
+            r.peak_rss_bytes as f64 / (1024.0 * 1024.0),
             r.violations
         )
         .map_err(io_err)?;
@@ -2287,6 +2492,20 @@ fn run_trend<W: std::io::Write>(a: &TrendArgs, out: &mut W) -> Result<(), CliErr
         latest.obs_share * 100.0,
         false,
     )?;
+    // Records predating memory telemetry carry 0 and are skipped by the
+    // zero guard above, so the row only appears once both sides have it.
+    row(
+        out,
+        "peak_rss_mib",
+        median(
+            prior
+                .iter()
+                .map(|r| r.peak_rss_bytes as f64 / (1024.0 * 1024.0))
+                .collect(),
+        ),
+        latest.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+        false,
+    )?;
     for (timer, latest_ns) in &latest.stage_p95_ns {
         let prior_values: Vec<f64> = prior
             .iter()
@@ -2319,6 +2538,122 @@ fn run_trend<W: std::io::Write>(a: &TrendArgs, out: &mut W) -> Result<(), CliErr
         writeln!(out, "flagged metrics: {flagged}").map_err(io_err)?;
     }
     Ok(())
+}
+
+/// Executes `btlab watch`: tails a run directory's heartbeat artifacts
+/// (see the HEARTBEATS section of [`USAGE`]). A missing or torn
+/// `run.status.json` and a headerless heartbeat stream are data errors
+/// (exit 2); a running status that stops changing for `--timeout-secs`
+/// wall seconds is a stall (exit 1); a finished run exits 0.
+fn run_watch<W: std::io::Write>(a: &WatchArgs, out: &mut W) -> Result<(), CliError> {
+    let dir = std::path::Path::new(&a.dir);
+    let status_path = dir.join(bt_obs::RUN_STATUS_FILE);
+    let stream_path = dir.join(bt_obs::HEARTBEAT_STREAM_FILE);
+    let read = |path: &std::path::Path| -> Result<bt_obs::RunStatus, CliError> {
+        bt_obs::read_status(path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                CliError::Invalid(format!(
+                    "{}: no {}; was the run launched with --heartbeat?",
+                    dir.display(),
+                    bt_obs::RUN_STATUS_FILE
+                ))
+            } else {
+                CliError::Invalid(format!("cannot read {}: {e}", path.display()))
+            }
+        })
+    };
+    let mut status = read(&status_path)?;
+    // Validate the stream header up front: a headerless stream means
+    // the artifacts do not come from a heartbeat run at all. Bytes
+    // after the final newline are an in-flight partial write and parse
+    // fine (see [`bt_obs::read_heartbeat`]).
+    let stream = std::fs::File::open(&stream_path)
+        .map_err(|e| CliError::Invalid(format!("cannot open {}: {e}", stream_path.display())))?;
+    bt_obs::read_heartbeat(stream)
+        .map_err(|e| CliError::Invalid(format!("cannot read {}: {e}", stream_path.display())))?;
+    emit_watch_line(a, &status, out)?;
+    let mut silent = bt_obs::WallTimer::start();
+    while !status.is_finished() {
+        std::thread::sleep(std::time::Duration::from_secs_f64(a.interval_secs));
+        let next = read(&status_path)?;
+        if next != status {
+            status = next;
+            silent.reset();
+            emit_watch_line(a, &status, out)?;
+        } else if let Some(timeout) = a.timeout_secs {
+            if silent.elapsed_secs() >= timeout {
+                return Err(CliError::Failure(format!(
+                    "run {} is silent: status unchanged for {:.1}s (--timeout-secs \
+                     {timeout}) at round {}/{}",
+                    dir.display(),
+                    silent.elapsed_secs(),
+                    status.last.round,
+                    status.target_rounds
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One watch output line: the JSON status document under `--json`,
+/// otherwise a human progress line with bar, ETA, phase, and memory.
+fn emit_watch_line<W: std::io::Write>(
+    a: &WatchArgs,
+    status: &bt_obs::RunStatus,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let io_err = |e: std::io::Error| CliError::from(format!("i/o error: {e}"));
+    if a.json {
+        let line = serde_json::to_string(status)
+            .map_err(|e| CliError::from(format!("serialization error: {e}")))?;
+        writeln!(out, "{line}").map_err(io_err)?;
+    } else {
+        let beat = &status.last;
+        writeln!(
+            out,
+            "{:<8} [{}] {:>5.1}% round {}/{} | {:.1} r/s | eta {} | phase {} | pop {} | \
+             rss {:.1} MiB (peak {:.1})",
+            status.state,
+            progress_bar(status.progress()),
+            status.progress() * 100.0,
+            beat.round,
+            status.target_rounds,
+            beat.rounds_per_sec,
+            format_eta(beat.eta_secs),
+            beat.phase,
+            beat.population,
+            beat.rss_bytes as f64 / (1024.0 * 1024.0),
+            beat.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+        )
+        .map_err(io_err)?;
+    }
+    // Watch output races a live run; flush so a follower (or CI log)
+    // sees each line as it lands, not at buffer boundaries.
+    out.flush().map_err(io_err)
+}
+
+/// Renders `fraction` (0..=1) as a fixed-width ASCII bar.
+fn progress_bar(fraction: f64) -> String {
+    const WIDTH: usize = 20;
+    let filled = (fraction.clamp(0.0, 1.0) * WIDTH as f64).round() as usize;
+    let mut bar = String::with_capacity(WIDTH);
+    for i in 0..WIDTH {
+        bar.push(if i < filled { '#' } else { '.' });
+    }
+    bar
+}
+
+/// Renders an ETA in seconds as `1h02m`, `3m20s`, or `12s`.
+fn format_eta(secs: f64) -> String {
+    let total = secs.max(0.0).round() as u64;
+    if total >= 3600 {
+        format!("{}h{:02}m", total / 3600, (total % 3600) / 60)
+    } else if total >= 60 {
+        format!("{}m{:02}s", total / 60, total % 60)
+    } else {
+        format!("{total}s")
+    }
 }
 
 #[cfg(test)]
@@ -2594,6 +2929,70 @@ mod tests {
         assert_eq!(Command::Help.seed(), None);
         let cmd = parse(&args(&["figure", "--id", "fig2"])).unwrap();
         assert_eq!(cmd.seed(), None);
+    }
+
+    #[test]
+    fn watch_parses_and_validates() {
+        let cmd = parse(&args(&["watch", "results/scale50k"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Watch(WatchArgs {
+                dir: "results/scale50k".into(),
+                timeout_secs: None,
+                interval_secs: 1.0,
+                json: false,
+            })
+        );
+        assert_eq!(cmd.name(), "watch");
+        assert_eq!(cmd.seed(), None);
+        let cmd = parse(&args(&[
+            "watch", "d", "--timeout-secs", "30", "--interval-secs", "0.2", "--json",
+        ]))
+        .unwrap();
+        let Command::Watch(a) = cmd else {
+            panic!("expected watch");
+        };
+        assert_eq!(a.timeout_secs, Some(30.0));
+        assert!((a.interval_secs - 0.2).abs() < 1e-12);
+        assert!(a.json);
+        assert!(parse(&args(&["watch"])).is_err());
+        assert!(parse(&args(&["watch", "a", "b"])).is_err());
+        assert!(parse(&args(&["watch", "d", "--timeout-secs", "0"])).is_err());
+        assert!(parse(&args(&["watch", "d", "--interval-secs", "-1"])).is_err());
+        assert!(parse(&args(&["watch", "d", "--follow"])).is_err());
+    }
+
+    #[test]
+    fn swarm_heartbeat_flags_parse() {
+        let cmd = parse(&args(&[
+            "swarm",
+            "--heartbeat",
+            "rundir",
+            "--heartbeat-secs",
+            "0.5",
+        ]))
+        .unwrap();
+        let Command::Swarm(a) = cmd else {
+            panic!("expected swarm");
+        };
+        assert_eq!(a.heartbeat.as_deref(), Some("rundir"));
+        assert!((a.heartbeat_secs - 0.5).abs() < 1e-12);
+        assert_eq!(SwarmArgs::default().heartbeat, None);
+        assert!(parse(&args(&["swarm", "--heartbeat"])).is_err());
+        assert!(parse(&args(&["swarm", "--heartbeat-secs", "-1"])).is_err());
+    }
+
+    #[test]
+    fn compare_mem_budget_parses_and_validates() {
+        let cmd = parse(&args(&["compare", "a.json", "b.json", "--mem-budget", "50"])).unwrap();
+        let Command::Compare(a) = cmd else {
+            panic!("expected compare");
+        };
+        assert_eq!(a.mem_budget, Some(50.0));
+        assert!(parse(&args(&["compare", "a.json", "b.json", "--mem-budget", "120"])).is_err());
+        // No gate-only mode for memory: peak RSS is judged relative to
+        // a baseline, so one positional cannot carry the gate.
+        assert!(parse(&args(&["compare", "a.json", "--mem-budget", "50"])).is_err());
     }
 
     #[test]
@@ -2975,6 +3374,7 @@ mod tests {
                     candidate: cand.to_str().unwrap().into(),
                     tolerance,
                     obs_budget: None,
+                    mem_budget: None,
                 }),
                 out,
             )
@@ -3026,6 +3426,7 @@ mod tests {
                 candidate: cand.to_str().unwrap().into(),
                 tolerance: 0.25,
                 obs_budget: None,
+                mem_budget: None,
             }),
             &mut buf,
         )
@@ -3050,6 +3451,7 @@ mod tests {
                 candidate: path.to_str().unwrap().into(),
                 tolerance: 0.1,
                 obs_budget: None,
+                mem_budget: None,
             }),
             &mut buf,
         )
@@ -3338,6 +3740,7 @@ mod tests {
                 candidate: bad.to_str().unwrap().into(),
                 tolerance: 0.1,
                 obs_budget: None,
+                mem_budget: None,
             }),
             &mut buf,
         )
@@ -3442,6 +3845,7 @@ mod tests {
             obs_share: 0.02,
             violations,
             threads: 1,
+            peak_rss_bytes: 64 * 1024 * 1024,
         }
     }
 
@@ -3575,6 +3979,7 @@ mod tests {
                     candidate: path.to_str().unwrap().into(),
                     tolerance: 0.1,
                     obs_budget: Some(budget),
+                    mem_budget: None,
                 }),
                 &mut buf,
             );
@@ -3604,6 +4009,7 @@ mod tests {
                 candidate: profile.to_str().unwrap().into(),
                 tolerance: 0.1,
                 obs_budget: Some(5.0),
+                mem_budget: None,
             }),
             &mut buf,
         )
@@ -3722,6 +4128,7 @@ mod tests {
                 candidate: cand.to_str().unwrap().into(),
                 tolerance: 0.25,
                 obs_budget: None,
+                mem_budget: None,
             }),
             &mut buf,
         )

@@ -730,3 +730,296 @@ fn doctor_clean_runs_build_a_ledger_that_trend_renders() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Replaces `key` in a JSON object (the vendored `Value` is an
+/// entries vec with no `IndexMut`).
+fn set_field(value: &mut serde_json::Value, key: &str, new: serde_json::Value) {
+    let serde_json::Value::Object(entries) = value else {
+        panic!("expected a JSON object");
+    };
+    let entry = entries
+        .iter_mut()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("object has no `{key}` field"));
+    entry.1 = new;
+}
+
+/// Runs a short heartbeat-enabled swarm into `dir/run`, returning the
+/// run directory. Zero cadence means every round beats, so even a
+/// sub-second run leaves a stream worth watching.
+fn heartbeat_run(dir: &std::path::Path) -> std::path::PathBuf {
+    let run_dir = dir.join("run");
+    let out = btlab()
+        .args([
+            "swarm",
+            "--pieces",
+            "10",
+            "--rounds",
+            "60",
+            "--initial",
+            "8",
+            "--seed",
+            "5",
+            "--heartbeat",
+            run_dir.to_str().unwrap(),
+            "--heartbeat-secs",
+            "0",
+            "--log",
+            "quiet",
+        ])
+        .env("BT_MANIFEST_DIR", dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    run_dir
+}
+
+#[test]
+fn watch_renders_a_finished_run_and_exits_zero() {
+    let dir = std::env::temp_dir().join("btlab-e2e-watch-finished");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let run_dir = heartbeat_run(&dir);
+
+    let out = btlab()
+        .args(["watch", run_dir.to_str().unwrap()])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("finished"), "{stdout}");
+    assert!(stdout.contains("round 60/60"), "{stdout}");
+    assert!(stdout.contains("phase"), "{stdout}");
+    assert!(stdout.contains("rss"), "{stdout}");
+    assert!(stdout.contains("eta"), "{stdout}");
+
+    // --json emits the status document itself, one line per change.
+    let out = btlab()
+        .args(["watch", run_dir.to_str().unwrap(), "--json"])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let status: serde_json::Value =
+        serde_json::from_str(stdout.lines().next().expect("one JSON line"))
+            .expect("watch --json line parses");
+    assert_eq!(status.get("state").and_then(|v| v.as_str()), Some("finished"));
+    assert_eq!(status.get("target_rounds").and_then(|v| v.as_u64()), Some(60));
+    let last_round = status
+        .get("last")
+        .and_then(|last| last.get("round"))
+        .and_then(|v| v.as_u64());
+    assert_eq!(last_round, Some(60));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn watch_times_out_on_a_stalled_run_with_exit_one() {
+    let dir = std::env::temp_dir().join("btlab-e2e-watch-stall");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let run_dir = heartbeat_run(&dir);
+
+    // Rewind the status document to `running`: the artifacts now look
+    // like a live run whose writer died mid-flight.
+    let status_path = run_dir.join("run.status.json");
+    let mut status: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&status_path).expect("status written"))
+            .expect("status is JSON");
+    set_field(
+        &mut status,
+        "state",
+        serde_json::Value::Str("running".to_string()),
+    );
+    std::fs::write(&status_path, serde_json::to_string_pretty(&status).unwrap()).unwrap();
+
+    let out = btlab()
+        .args([
+            "watch",
+            run_dir.to_str().unwrap(),
+            "--timeout-secs",
+            "0.4",
+            "--interval-secs",
+            "0.1",
+        ])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "a stalled run is a failure");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("silent"), "{stderr}");
+    assert!(stderr.contains("--timeout-secs"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn watch_rejects_missing_torn_or_headerless_artifacts_with_exit_two() {
+    let dir = std::env::temp_dir().join("btlab-e2e-watch-invalid");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    // No run.status.json at all: the directory is not a heartbeat run.
+    let empty = dir.join("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = btlab()
+        .args(["watch", empty.to_str().unwrap()])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "missing status is a data error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("run.status.json"), "{stderr}");
+    assert!(stderr.contains("--heartbeat"), "{stderr}");
+
+    // A torn/garbage status document.
+    let torn = dir.join("torn");
+    std::fs::create_dir_all(&torn).unwrap();
+    std::fs::write(torn.join("run.status.json"), "{\"state\": \"runni").unwrap();
+    let out = btlab()
+        .args(["watch", torn.to_str().unwrap()])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "torn status is a data error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("malformed status document"), "{stderr}");
+
+    // A valid status but a headerless heartbeat stream.
+    let run_dir = heartbeat_run(&dir);
+    let stream_path = run_dir.join("run.heartbeat.jsonl");
+    let stream = std::fs::read_to_string(&stream_path).expect("stream written");
+    let beat_line = stream
+        .lines()
+        .nth(1)
+        .expect("stream has beats after the header");
+    std::fs::write(&stream_path, format!("{beat_line}\n")).unwrap();
+    let out = btlab()
+        .args(["watch", run_dir.to_str().unwrap()])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "headerless stream is a data error"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no meta header"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_mem_budget_gates_peak_rss_against_the_baseline() {
+    let dir = std::env::temp_dir().join("btlab-e2e-mem-budget");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    // One real run provides a manifest with live memory telemetry; a
+    // doctored copy with double the peak plays the bloated candidate.
+    assert!(btlab()
+        .args(["swarm", "--pieces", "10", "--rounds", "40", "--initial", "8", "--seed", "5"])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs")
+        .status
+        .success());
+    let base = dir.join("manifest-swarm.json");
+    let mut manifest: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&base).expect("manifest written"))
+            .expect("manifest is JSON");
+    let peak = manifest
+        .get("peak_rss_bytes")
+        .and_then(|v| v.as_u64())
+        .expect("manifest records peak RSS");
+    if peak == 0 {
+        // Off-procfs platform: the gate cannot see memory here, and the
+        // invalid-input path below still covers the contract.
+        eprintln!("peak_rss_bytes is 0 on this platform; skipping the gate checks");
+    } else {
+        let cand = dir.join("candidate.json");
+        set_field(
+            &mut manifest,
+            "peak_rss_bytes",
+            serde_json::Value::UInt(peak * 2),
+        );
+        std::fs::write(&cand, serde_json::to_string_pretty(&manifest).unwrap()).unwrap();
+
+        // Within budget: +100% growth passes a generous 150% headroom.
+        let out = btlab()
+            .args([
+                "compare",
+                base.to_str().unwrap(),
+                base.to_str().unwrap(),
+                "--tolerance",
+                "10",
+                "--mem-budget",
+                "50",
+            ])
+            .env("BT_MANIFEST_DIR", &dir)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("peak RSS"), "{stdout}");
+        assert!(stdout.contains("ok"), "{stdout}");
+
+        // Over budget: the doubled candidate busts a 50% headroom.
+        let out = btlab()
+            .args([
+                "compare",
+                base.to_str().unwrap(),
+                cand.to_str().unwrap(),
+                "--tolerance",
+                "10",
+                "--mem-budget",
+                "50",
+            ])
+            .env("BT_MANIFEST_DIR", &dir)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(1), "over-budget memory exits 1");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("OVER BUDGET"), "{stdout}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--mem-budget"), "{stderr}");
+    }
+
+    // A baseline without memory telemetry is a data error (exit 2).
+    let old = dir.join("old.json");
+    set_field(&mut manifest, "peak_rss_bytes", serde_json::Value::UInt(0));
+    std::fs::write(&old, serde_json::to_string_pretty(&manifest).unwrap()).unwrap();
+    let out = btlab()
+        .args([
+            "compare",
+            old.to_str().unwrap(),
+            base.to_str().unwrap(),
+            "--tolerance",
+            "10",
+            "--mem-budget",
+            "50",
+        ])
+        .env("BT_MANIFEST_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "a memory-less baseline is a data error"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("memory telemetry"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
